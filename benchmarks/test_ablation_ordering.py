@@ -1,0 +1,73 @@
+"""E-ABL — ablation: communication-processing order (Section 5 preamble).
+
+The paper: "We have considered variants of the heuristics, where
+communications are sorted according to another criterion (as for instance
+their length, or the ratio of their weight over their length).  It turns
+out that decreasing weights gives the best results."  This bench re-runs
+SG, IG and TB under all four orderings over a Monte-Carlo batch and
+compares success rates and mean power inverse.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_trials, save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import ImprovedGreedy, SimpleGreedy, TwoBend
+from repro.heuristics.ordering import ORDERINGS
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+FACTORIES = {
+    "SG": SimpleGreedy,
+    "IG": ImprovedGreedy,
+    "TB": TwoBend,
+}
+
+
+def _run(trials):
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    succ = {(h, o): 0 for h in FACTORIES for o in ORDERINGS}
+    inv = {(h, o): 0.0 for h in FACTORIES for o in ORDERINGS}
+    for rng in spawn_rngs(4242, trials):
+        # a regime where SG/IG/TB succeed often enough to compare orderings
+        comms = uniform_random_workload(mesh, 30, 100.0, 1600.0, rng=rng)
+        prob = RoutingProblem(mesh, power, comms)
+        for hname, factory in FACTORIES.items():
+            for ordering in ORDERINGS:
+                res = factory(ordering=ordering).solve(prob)
+                succ[(hname, ordering)] += int(res.valid)
+                inv[(hname, ordering)] += res.power_inverse
+    return succ, inv
+
+
+def test_ablation_ordering(benchmark):
+    trials = max(10, bench_trials())
+    succ, inv = benchmark.pedantic(_run, args=(trials,), rounds=1, iterations=1)
+    rows = []
+    for hname in FACTORIES:
+        for ordering in ORDERINGS:
+            rows.append(
+                [
+                    hname,
+                    ordering,
+                    f"{succ[(hname, ordering)] / trials:.2f}",
+                    f"{inv[(hname, ordering)] / trials * 1e4:.3f}",
+                ]
+            )
+    save_result(
+        "ablation_ordering",
+        f"Ordering ablation over {trials} instances (30 comms, 100-1600)\n"
+        + format_table(
+            ["heuristic", "ordering", "success", "mean 1e4/P"], rows
+        ),
+    )
+    # the paper's claim: decreasing weight is the best (or tied-best)
+    # criterion for each greedy heuristic, measured by success rate
+    for hname in FACTORIES:
+        weight_succ = succ[(hname, "weight")]
+        for ordering in ("length", "input"):
+            assert weight_succ >= succ[(hname, ordering)] - max(
+                2, trials // 10
+            ), (hname, ordering)

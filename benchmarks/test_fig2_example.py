@@ -1,0 +1,55 @@
+"""E-FIG2 — the Figure 2 worked example (Section 3.5).
+
+Regenerates the paper's three powers exactly: XY = 128, best 1-MP = 56,
+best 2-MP = 32 (``P_leak = 0, P0 = 1, α = 3, BW = 4``), timing the whole
+pipeline (problem build + XY + exhaustive 1-MP optimum + 2-MP optimum).
+"""
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro import Communication, Mesh, PowerModel, RoutedFlow, Routing, RoutingProblem
+from repro.mesh.paths import Path
+from repro.optimal import optimal_single_path
+from repro.utils.tables import format_table
+
+
+def _run():
+    mesh = Mesh(2, 2)
+    problem = RoutingProblem(
+        mesh,
+        PowerModel.fig2_example(),
+        [Communication((0, 0), (1, 1), 1.0), Communication((0, 0), (1, 1), 3.0)],
+    )
+    p_xy = Routing.xy(problem).total_power()
+    p_1mp = optimal_single_path(problem).power
+    two_mp = Routing(
+        problem,
+        [
+            [RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0)],
+            [
+                RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0),
+                RoutedFlow(Path.yx(mesh, (0, 0), (1, 1)), 2.0),
+            ],
+        ],
+    )
+    return p_xy, p_1mp, two_mp.total_power()
+
+
+def test_fig2_example(benchmark):
+    p_xy, p_1mp, p_2mp = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert p_xy == pytest.approx(128.0)
+    assert p_1mp == pytest.approx(56.0)
+    assert p_2mp == pytest.approx(32.0)
+    save_result(
+        "fig2_example",
+        format_table(
+            ["routing rule", "paper", "measured"],
+            [
+                ["XY", 128, p_xy],
+                ["best 1-MP", 56, p_1mp],
+                ["best 2-MP", 32, p_2mp],
+            ],
+            ndigits=1,
+        ),
+    )

@@ -1,0 +1,60 @@
+"""E-FIG7 — sensitivity to the number of communications (Figure 7).
+
+Three panels (small / mixed / big communications), two series each
+(normalised power inverse, failure ratio).  Qualitative assertions pin the
+paper's findings: the failure hierarchy XY ≥ SG ≥ … ≥ PR, XY failing
+early, PR succeeding almost whenever BEST does.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_trials, save_result
+from repro.experiments import fig7_config, run_sweep, sweep_to_text
+from repro.experiments.runner import BEST_KEY
+
+
+def _run_panel(panel, n_values):
+    cfg = fig7_config(panel, trials=bench_trials(), n_values=n_values)
+    return run_sweep(cfg)
+
+
+def test_fig7a_small_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("a", range(20, 141, 20)), rounds=1, iterations=1
+    )
+    save_result("fig7a_small_comms", sweep_to_text(result))
+    fr = result.series("failure_ratio")
+    # paper: XY begins to fail before 10 comms and is hopeless by 80;
+    # PR succeeds ~4/5 of the time at 80
+    assert fr["XY"][-1] >= 0.95
+    i80 = result.x_values.index(80)
+    assert fr["PR"][i80] <= 0.45
+    assert fr["XY"][i80] >= fr["SG"][i80] >= fr["PR"][i80]
+    assert all(
+        fr[BEST_KEY][k] <= fr["PR"][k] + 1e-9 for k in range(len(result.points))
+    )
+
+
+def test_fig7b_mixed_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("b", range(10, 71, 10)), rounds=1, iterations=1
+    )
+    save_result("fig7b_mixed_comms", sweep_to_text(result))
+    fr = result.series("failure_ratio")
+    # paper: same conclusions as (a); TB and IG close to each other
+    i = result.x_values.index(40)
+    assert fr["XY"][i] >= fr["PR"][i]
+    assert abs(fr["TB"][i] - fr["IG"][i]) < 0.5
+
+
+def test_fig7c_big_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("c", range(4, 31, 4)), rounds=1, iterations=1
+    )
+    save_result("fig7c_big_comms", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    fr = result.series("failure_ratio")
+    # paper: with big comms PR is within 95% of BEST wherever it succeeds
+    for k in range(len(result.points)):
+        if fr[BEST_KEY][k] < 0.7:  # points where BEST mostly succeeds
+            assert npi["PR"][k] >= 0.80 * npi[BEST_KEY][k]

@@ -1,0 +1,66 @@
+"""E-FIG8 — sensitivity to the size (weight) of communications (Figure 8).
+
+Three panels (10 / 20 / 40 communications of a common weight).  The
+qualitative pins: every heuristic collapses once the common weight crosses
+``BW/2`` (no two comms fit one link any more — the paper's sharp breakdown
+"around 1750 Mb/s"), XYI tracks BEST in the light regime, PR is robust in
+the heavy regime.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_trials, save_result
+from repro.experiments import fig8_config, run_sweep, sweep_to_text
+from repro.experiments.runner import BEST_KEY
+
+
+def _run_panel(panel, weights):
+    cfg = fig8_config(panel, trials=bench_trials(), weights=weights)
+    return run_sweep(cfg)
+
+
+WEIGHTS = tuple(range(200, 3501, 300))
+
+
+def test_fig8a_few_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("a", WEIGHTS), rounds=1, iterations=1
+    )
+    save_result("fig8a_few_comms", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    light = [k for k, w in enumerate(result.x_values) if w <= 1400]
+    # paper: XYI within 98% of BEST below 1600 Mb/s (10 comms)
+    assert min(npi["XYI"][k] for k in light) >= 0.9
+    fr = result.series("failure_ratio")
+    heavy = [k for k, w in enumerate(result.x_values) if w > 1750]
+    # above BW/2 two comms can no longer share a link: failures jump
+    assert min(fr["XY"][k] for k in heavy) >= fr["XY"][light[0]]
+
+
+def test_fig8b_some_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("b", WEIGHTS), rounds=1, iterations=1
+    )
+    save_result("fig8b_some_comms", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    fr = result.series("failure_ratio")
+    # paper: XYI collapses past 2000 Mb/s while PR is not affected —
+    # compare their normalised inverses in the heavy regime
+    heavy = [k for k, w in enumerate(result.x_values) if w >= 2300]
+    usable = [k for k in heavy if fr[BEST_KEY][k] < 1.0]
+    if usable:
+        assert all(npi["PR"][k] >= npi["XYI"][k] - 1e-9 for k in usable)
+
+
+def test_fig8c_numerous_comms(benchmark):
+    result = benchmark.pedantic(
+        _run_panel,
+        args=("c", tuple(range(200, 1801, 200))),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig8c_numerous_comms", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    # paper: XYI ~90% of BEST until 1100 Mb/s then falls
+    early = [k for k, w in enumerate(result.x_values) if w <= 1000]
+    assert min(npi["XYI"][k] for k in early) >= 0.7

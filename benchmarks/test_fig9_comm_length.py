@@ -1,0 +1,67 @@
+"""E-FIG9 — sensitivity to the average length of communications (Figure 9).
+
+Three panels (100 small / 25 mixed / 12 big communications, target length
+swept 2..14).  Pins: XYI leads for short lengths and decays with length;
+PR takes over as length grows (panel a crossover ~10); with few big
+communications PR stays near BEST at every length.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_trials, save_result
+from repro.experiments import fig9_config, run_sweep, sweep_to_text
+from repro.experiments.runner import BEST_KEY
+
+LENGTHS = tuple(range(2, 15, 2))
+
+
+def _run_panel(panel, trials_scale=1.0):
+    trials = max(5, int(bench_trials() * trials_scale))
+    cfg = fig9_config(panel, trials=trials, lengths=LENGTHS)
+    return run_sweep(cfg)
+
+
+def test_fig9a_numerous_small(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("a",), kwargs={"trials_scale": 0.6}, rounds=1, iterations=1
+    )
+    save_result("fig9a_numerous_small", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    # paper: XYI best until length ~10 (>=90% of BEST), PR best beyond;
+    # we pin XYI's lead at short lengths and the crossover by length 10
+    short = [k for k, L in enumerate(result.x_values) if L <= 6]
+    assert min(npi["XYI"][k] for k in short) >= 0.75
+    long_ = [k for k, L in enumerate(result.x_values) if L >= 10]
+    assert all(npi["PR"][k] >= npi["XYI"][k] - 0.05 for k in long_)
+
+
+def test_fig9b_some_mixed(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("b",), rounds=1, iterations=1
+    )
+    save_result("fig9b_some_mixed", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    fr = result.series("failure_ratio")
+    # paper: PR best almost everywhere (>= 85% of BEST), XYI decays
+    usable = [k for k in range(len(result.points)) if fr[BEST_KEY][k] < 0.9]
+    for k in usable:
+        if result.x_values[k] > 2:
+            assert npi["PR"][k] >= 0.6
+    assert npi["XYI"][-1] <= npi["XYI"][0] + 0.1  # decays (weakly)
+
+
+def test_fig9c_few_big(benchmark):
+    result = benchmark.pedantic(
+        _run_panel, args=("c",), rounds=1, iterations=1
+    )
+    save_result("fig9c_few_big", sweep_to_text(result))
+    npi = result.series("norm_power_inverse")
+    fr = result.series("failure_ratio")
+    # paper: PR ~90% of BEST at every length; failures shrink from
+    # length 2 to length 5 (short comms collide on the same axis)
+    usable = [k for k in range(len(result.points)) if fr[BEST_KEY][k] < 0.9]
+    for k in usable:
+        assert npi["PR"][k] >= 0.75
+    assert fr[BEST_KEY][result.x_values.index(2)] >= fr[BEST_KEY][
+        result.x_values.index(6)
+    ]

@@ -1,0 +1,91 @@
+"""E-NOC — deployment validation: load–latency curves of XY vs PR.
+
+The paper's objective is power; this bench checks the routing also
+*behaves* when deployed: we provision link frequencies for the computed
+routing, drive it with Bernoulli packet arrivals at a growing fraction of
+the nominal rates, and record packet latency and delivered throughput
+(the classic NoC evaluation curve).
+
+On an instance where both XY and PR are valid, expectations:
+
+* both stay stable at least up to the nominal point (fraction 1.0) —
+  frequency quantisation gives every link headroom;
+* the power-optimised Manhattan routing does not pay a latency penalty:
+  all its paths are shortest, so zero-load latency matches XY's;
+* saturation arrives at a fraction > 1 for both, where the least
+  over-provisioned link runs out of headroom.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import get_heuristic
+from repro.noc import latency_sweep, saturation_fraction
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+FRACTIONS = (0.2, 0.5, 0.8, 1.0, 1.3, 1.8, 2.5)
+
+
+def _find_instance():
+    """A reproducible instance where XY and PR are both valid."""
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    for seed in range(100):
+        comms = uniform_random_workload(mesh, 12, 100.0, 1200.0, rng=seed)
+        problem = RoutingProblem(mesh, power, comms)
+        xy = get_heuristic("XY").solve(problem)
+        pr = get_heuristic("PR").solve(problem)
+        if xy.valid and pr.valid:
+            return problem, xy, pr
+    raise AssertionError("no doubly-valid instance in 100 seeds")
+
+
+def _run():
+    problem, xy, pr = _find_instance()
+    curves = {}
+    for name, res in (("XY", xy), ("PR", pr)):
+        curves[name] = latency_sweep(
+            res.routing,
+            FRACTIONS,
+            cycles=4000,
+            warmup=800,
+            injection="bernoulli",
+            seed=20260611,
+        )
+    return problem, curves
+
+
+def test_noc_latency_curves(benchmark):
+    problem, curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for frac_idx, frac in enumerate(FRACTIONS):
+        row = [f"{frac:.1f}"]
+        for name in ("XY", "PR"):
+            pt = curves[name][frac_idx]
+            lat = f"{pt.mean_latency:.1f}" if np.isfinite(pt.mean_latency) else "-"
+            row += [lat, f"{pt.delivered_ratio:.2f}"]
+        rows.append(row)
+    sats = {n: saturation_fraction(curves[n]) for n in ("XY", "PR")}
+    save_result(
+        "noc_latency",
+        "Load-latency sweep, Bernoulli arrivals, 8x8, 12 comms "
+        "(links provisioned per routing)\n"
+        + format_table(
+            ["fraction", "XY lat", "XY del", "PR lat", "PR del"], rows
+        )
+        + f"\nsaturation fraction: XY {sats['XY']:.2f}  PR {sats['PR']:.2f}",
+    )
+
+    for name in ("XY", "PR"):
+        pts = curves[name]
+        # stable through the nominal operating point
+        for pt in pts:
+            if pt.fraction <= 1.0:
+                assert pt.stable, (name, pt)
+        # latency is monotone-ish: the top of the sweep is the worst
+        finite = [p.mean_latency for p in pts if np.isfinite(p.mean_latency)]
+        assert finite[0] == min(finite), name
+    # shortest paths: zero-load latency of PR within 25% of XY's
+    assert curves["PR"][0].mean_latency <= curves["XY"][0].mean_latency * 1.25

@@ -1,0 +1,111 @@
+"""E-OPEN — the conclusion's open problem, answered numerically.
+
+The paper (Section 7): "we still need to estimate how much can be gained
+by a single-path Manhattan routing when all communications share the same
+source and destination nodes" — Theorem 1 proves a Θ(p) gain for
+*unbounded splitting* but the single-path case is left open.
+
+This bench computes, for corner-to-corner shared-endpoint workloads on
+p × p chips, the exact 1-MP optimum (band DP), the max-MP sandwich
+(piecewise-linear convex flow LPs) and XY, under the Section 4 model
+(dynamic power only, α = 2.95).  Reported ratios:
+
+* ``XY / 1-MP*``   — what optimal single-path routing gains over XY;
+* ``1-MP* / maxMP`` — what unbounded splitting would still add;
+* ``XY / maxMP``   — Theorem 1's Θ(p) for calibration.
+
+Measured shape (the open question's answer on these instances): with
+*equal* rates, optimal single-path routing captures almost the whole
+Theorem 1 gain (1-MP*/maxMP stays within ~1.0-1.6 while XY/1-MP* grows
+with p); with *skewed* rates the one dominant communication cannot be
+split, so a genuine multi-path residual remains and grows with p
+(~2.3x at p=6, ~2.9x at p=8) — splitting matters exactly when the rate
+distribution is heavy-tailed.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro import Communication, Mesh, PowerModel, RoutingProblem
+from repro.optimal import same_endpoint_gap
+from repro.utils.tables import format_table
+
+#: one rate profile per workload flavour (rates in Mb/s)
+PROFILES = {
+    "equal x4": [500.0] * 4,
+    "skewed x4": [1000.0, 600.0, 300.0, 100.0],
+    "equal x6": [350.0] * 6,
+}
+
+
+def _run():
+    power = PowerModel.dynamic_only(alpha=2.95, bandwidth=float("inf"))
+    records = []
+    for p in (4, 6, 8):
+        mesh = Mesh(p, p)
+        for label, rates in PROFILES.items():
+            problem = RoutingProblem(
+                mesh,
+                power,
+                [Communication((0, 0), (p - 1, p - 1), r) for r in rates],
+            )
+            gap = same_endpoint_gap(problem, segments=48)
+            records.append((p, label, gap))
+    return records
+
+
+def test_open_problem(benchmark):
+    records = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for p, label, gap in records:
+        xy_vs_multi = (
+            gap.xy_power / gap.flow_upper if gap.flow_upper > 0 else float("nan")
+        )
+        rows.append(
+            [
+                str(p),
+                label,
+                f"{gap.xy_vs_single:.2f}",
+                f"{gap.single_vs_multi:.3f}",
+                f"{xy_vs_multi:.2f}",
+                f"{gap.flow_lower / gap.flow_upper:.3f}",
+            ]
+        )
+    save_result(
+        "open_problem",
+        "Open problem (Section 7): shared-endpoint gains, dynamic power "
+        "alpha=2.95\n"
+        + format_table(
+            [
+                "p",
+                "profile",
+                "XY/1-MP*",
+                "1-MP*/maxMP",
+                "XY/maxMP",
+                "LP tightness",
+            ],
+            rows,
+        ),
+    )
+
+    by_profile = {}
+    by_p = {}
+    for p, label, gap in records:
+        by_profile.setdefault(label, []).append((p, gap))
+        by_p.setdefault(p, {})[label] = gap
+    for label, seq in by_profile.items():
+        seq.sort()
+        # Theorem 1 calibration: the XY/maxMP ratio strictly grows with p
+        ratios = [g.xy_power / g.flow_upper for _, g in seq]
+        assert ratios == sorted(ratios), (label, ratios)
+        # XY/1-MP* grows with p for every profile
+        xy_gains = [g.xy_vs_single for _, g in seq]
+        assert xy_gains == sorted(xy_gains), (label, xy_gains)
+    for p, gaps in by_p.items():
+        # equal rates: single-path captures most of the multi-path gain
+        assert gaps["equal x6"].single_vs_multi < 1.6, p
+        # skewed rates: the unsplittable heavy flow leaves a real residual
+        assert (
+            gaps["skewed x4"].single_vs_multi
+            > gaps["equal x4"].single_vs_multi
+        ), p

@@ -1,0 +1,81 @@
+"""E-OPT — heuristics vs the exact optimum and the relaxation bound.
+
+The paper's future work asks for "a bound on the optimal solution for
+single-path Manhattan routings (or even ... the optimal solution for small
+problem instances)".  This bench computes, over a batch of small 4×4
+instances:
+
+* the exact 1-MP optimum (branch & bound, cross-checked by MILP),
+* the Frank–Wolfe certified lower bound (continuous max-MP dynamic power),
+* each heuristic's average optimality gap — including the SA/GA/TABU
+  metaheuristic extensions, which should close most of the remaining gap
+  at their (much) higher runtime.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import bench_trials, save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import META_HEURISTICS, PAPER_HEURISTICS, get_heuristic
+from repro.optimal import frank_wolfe_relaxation, milp_single_path, optimal_single_path
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+
+def _run(n_instances):
+    mesh = Mesh(4, 4)
+    power = PowerModel.kim_horowitz()
+    field = tuple(PAPER_HEURISTICS) + tuple(META_HEURISTICS)
+    gaps = {name: [] for name in field}
+    fw_gaps = []
+    milp_checked = 0
+    for seed in range(n_instances):
+        comms = uniform_random_workload(mesh, 5, 300.0, 2000.0, rng=seed)
+        prob = RoutingProblem(mesh, power, comms)
+        opt = optimal_single_path(prob)
+        if not opt.feasible:
+            continue
+        if seed < 3:  # cross-check a few against the MILP
+            m = milp_single_path(prob)
+            assert abs(m.power - opt.power) < 1e-6
+            milp_checked += 1
+        fw = frank_wolfe_relaxation(prob, max_iter=200)
+        fw_gaps.append(opt.power / max(fw.lower_bound, 1e-12))
+        for name in field:
+            res = get_heuristic(name).solve(prob)
+            if res.valid:
+                gaps[name].append(res.power / opt.power)
+    return field, gaps, fw_gaps, milp_checked
+
+
+def test_optimality_gap(benchmark):
+    n = max(8, bench_trials() // 2)
+    field, gaps, fw_gaps, milp_checked = benchmark.pedantic(
+        _run, args=(n,), rounds=1, iterations=1
+    )
+    rows = []
+    for name in field:
+        g = gaps[name]
+        rows.append(
+            [
+                name,
+                len(g),
+                f"{np.mean(g):.3f}" if g else "-",
+                f"{np.max(g):.3f}" if g else "-",
+            ]
+        )
+    text = (
+        "Heuristic power / exact 1-MP optimum (4x4, 5 comms, "
+        f"{n} instances; MILP cross-checked on {milp_checked})\n"
+        + format_table(["heuristic", "solved", "mean gap", "max gap"], rows)
+        + f"\nexact optimum / FW certified bound: mean "
+        f"{np.mean(fw_gaps):.2f} (static + discretisation headroom)"
+    )
+    save_result("optimality_gap", text)
+    for name in field:
+        assert all(g >= 1 - 1e-9 for g in gaps[name])  # optimum really is one
+    # on small instances the strong heuristics stay within ~15% of optimal
+    assert np.mean(gaps["PR"]) < 1.25
+    assert np.mean(gaps["XYI"]) < 1.15
+    # the metaheuristics should essentially close the gap at 4x4 scale
+    assert np.mean(gaps["SA"]) < 1.05

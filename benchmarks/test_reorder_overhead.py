@@ -1,0 +1,101 @@
+"""E-REORD — the cost of splitting: reorder buffers vs split budget.
+
+The paper rejects multi-path routing for its heuristics because
+"reconstructing the message becomes a time-consuming task and may well
+involve complicated buffering policies".  This bench prices that policy:
+the Theorem 1 single-pair scenario is routed with STB at split budgets
+s = 1, 2, 4, 8, each routing is deployed on the flit simulator with
+per-packet tracking, and we report the routing power *next to* the
+receiver-side reorder buffer the split demands.
+
+Measured shape: power falls monotonically with s (the §3.5 hierarchy);
+s = 1 is in-order by construction and s = 2 stays in-order here too (all
+Manhattan paths have equal length, and the even two-way split keeps the
+two queues symmetric) — but from s = 4 the water-filling gives the paths
+*unequal* rates, their DVFS-provisioned links run at unequal headroom,
+and the laggard path inflates the receiver's reorder buffer.  Note the
+buffer is measured over the 8000-cycle window: a persistently slower
+sub-flow grows it with time, which is precisely the "complicated
+buffering policies" the paper warns about — a real deployment would need
+per-flow flow control, not just a fixed buffer.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.multipath import SplitTwoBend
+from repro.noc import FlitSimulator, reorder_stats
+from repro.utils.tables import format_table
+from repro.workloads import single_pair_workload
+
+BUDGETS = (1, 2, 4, 8)
+
+
+def _run():
+    mesh = Mesh(8, 8)
+    pm = PowerModel.kim_horowitz()
+    problem = RoutingProblem(mesh, pm, single_pair_workload(mesh, 1, 3400.0))
+    rows = []
+    for s in BUDGETS:
+        res = SplitTwoBend(s=s).solve(problem)
+        assert res.valid
+        sim = FlitSimulator(
+            res.routing,
+            injection="deterministic",
+            collect_packets=True,
+            packet_flits=4,
+        )
+        rep = sim.run(8000, warmup=800)
+        st = reorder_stats(rep)[0]
+        rows.append(
+            (
+                s,
+                res.routing.num_paths(0),
+                res.power,
+                st.out_of_order_fraction,
+                st.reorder_buffer_packets,
+                st.max_displacement,
+            )
+        )
+    return rows
+
+
+def test_reorder_overhead(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    table = [
+        [
+            str(s),
+            str(paths),
+            f"{power:.1f}",
+            f"{ooo:.3f}",
+            str(buf),
+            str(disp),
+        ]
+        for s, paths, power, ooo, buf, disp in rows
+    ]
+    save_result(
+        "reorder_overhead",
+        "Split budget vs reassembly cost (one 3400 Mb/s pair on 8x8, "
+        "deterministic arrivals, 4-flit packets)\n"
+        + format_table(
+            [
+                "s",
+                "paths used",
+                "power mW",
+                "out-of-order",
+                "reorder buf (pkts)",
+                "max displacement",
+            ],
+            table,
+        ),
+    )
+
+    powers = [r[2] for r in rows]
+    buffers = [r[4] for r in rows]
+    # the trade-off's two monotone arms
+    assert all(b <= a + 1e-9 for a, b in zip(powers, powers[1:])), powers
+    assert buffers[0] == 0  # single path is in-order by construction
+    assert buffers[-1] >= buffers[0]
+    # splitting ever further must eventually pay a real buffer
+    assert max(buffers) >= 1

@@ -1,0 +1,49 @@
+"""E-SUM — the Section 6.4 summary table.
+
+Paper (at 50 000 trials over all experiment families):
+
+* success rates — XY 15%, XYI 46%, PR 50%, BEST 51%;
+* mean power inverse vs XY — XYI 2.44x, PR 2.57x, BEST 2.95x;
+* static power ≈ 1/7 of total;
+* runtimes — XYI 24 ms, PR 38 ms (2011 hardware, compiled code).
+
+This bench reproduces all four rows at a reduced trial count and records
+paper-vs-measured side by side.
+"""
+
+from benchmarks.conftest import bench_trials, save_result
+from repro.experiments import summary_statistics
+from repro.utils.tables import format_table
+
+
+def test_summary_stats(benchmark):
+    trials = max(10 * bench_trials(), 120)
+    s = benchmark.pedantic(
+        summary_statistics,
+        kwargs={"trials": trials, "seed": 64},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        ["success XY", "0.15", f"{s.success_ratio['XY']:.2f}"],
+        ["success XYI", "0.46", f"{s.success_ratio['XYI']:.2f}"],
+        ["success PR", "0.50", f"{s.success_ratio['PR']:.2f}"],
+        ["success BEST", "0.51", f"{s.success_ratio['BEST']:.2f}"],
+        ["inv vs XY: XYI", "2.44", f"{s.inverse_vs_xy['XYI']:.2f}"],
+        ["inv vs XY: PR", "2.57", f"{s.inverse_vs_xy['PR']:.2f}"],
+        ["inv vs XY: BEST", "2.95", f"{s.inverse_vs_xy['BEST']:.2f}"],
+        ["static fraction", "0.143", f"{s.static_fraction:.3f}"],
+        ["runtime XYI (ms)", "24", f"{s.mean_runtime_s['XYI'] * 1e3:.1f}"],
+        ["runtime PR (ms)", "38", f"{s.mean_runtime_s['PR'] * 1e3:.1f}"],
+    ]
+    save_result(
+        "summary_6_4",
+        f"Section 6.4 summary at {trials} trials (paper: 50 000)\n"
+        + format_table(["metric", "paper", "measured"], rows),
+    )
+    # directional pins
+    assert s.success_ratio["XY"] < s.success_ratio["XYI"]
+    assert s.success_ratio["BEST"] >= s.success_ratio["PR"]
+    assert s.success_ratio["BEST"] >= 2 * s.success_ratio["XY"]
+    assert s.inverse_vs_xy["BEST"] >= s.inverse_vs_xy["PR"] - 1e-9
+    assert 0.05 < s.static_fraction < 0.35

@@ -1,0 +1,57 @@
+"""E-THM1 / E-THM2 — the Section 4 separation results, numerically.
+
+* Theorem 1: single source/destination pair on a square chip — the
+  constructed max-MP pattern keeps power ``O(K^α)`` while XY pays
+  ``2(p-1)K^α``; the ratio grows ``Θ(p)``.
+* Lemma 2 (tightness of Theorem 2): the staircase instance where the YX
+  single-path routing beats XY by ``Θ(p^{α-1})``.
+"""
+
+import math
+
+from benchmarks.conftest import save_result
+from repro.theory import lemma2_powers, theorem1_powers
+from repro.utils.tables import format_table
+
+SIZES = (4, 8, 16, 32, 64)
+
+
+def test_theorem1_ratio_growth(benchmark):
+    results = benchmark.pedantic(
+        lambda: [theorem1_powers(p) for p in SIZES], rounds=1, iterations=1
+    )
+    rows = [
+        [p, f"{r['p_xy']:.1f}", f"{r['p_manhattan']:.3f}", f"{r['ratio']:.2f}"]
+        for p, r in zip(SIZES, results)
+    ]
+    save_result(
+        "theorem1_ratio",
+        "Theorem 1: P_XY / P_maxMP on p x p, single pair (alpha = 3)\n"
+        + format_table(["p", "P_XY", "P_maxMP", "ratio"], rows),
+    )
+    ratios = [r["ratio"] for r in results]
+    # Θ(p): each doubling of p roughly doubles the ratio
+    for a, b in zip(ratios, ratios[1:]):
+        assert 1.5 < b / a < 2.5
+    # the constructed power stays bounded (paper: <= 4 K^alpha per half)
+    assert all(r["p_manhattan"] <= 8.0 for r in results)
+
+
+def test_lemma2_ratio_growth(benchmark):
+    sizes = SIZES[:-1]
+    results = benchmark.pedantic(
+        lambda: [lemma2_powers(p) for p in sizes], rounds=1, iterations=1
+    )
+    rows = [
+        [p, f"{r['p_xy']:.0f}", f"{r['p_yx']:.0f}", f"{r['ratio']:.1f}"]
+        for p, r in zip(sizes, results)
+    ]
+    save_result(
+        "lemma2_ratio",
+        "Lemma 2: P_XY / P_YX on the staircase instance (alpha = 3)\n"
+        + format_table(["p", "P_XY", "P_YX", "ratio"], rows),
+    )
+    ratios = [r["ratio"] for r in results]
+    exponent = math.log(ratios[-1] / ratios[0]) / math.log(sizes[-1] / sizes[0])
+    # Θ(p^{α-1}) with α = 3: exponent ≈ 2
+    assert 1.7 < exponent < 2.3

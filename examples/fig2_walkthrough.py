@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Walk through the paper's Figure 2 worked example, exactly.
+
+Two communications from C_{1,1} to C_{2,2} on a 2×2 chip with
+``P_leak = 0, P0 = 1, α = 3, BW = 4``: γ₁ of 1 byte/s and γ₂ of 3 bytes/s.
+
+* XY routes both on the same two links → P = 2 · 4³ = **128**;
+* the best 1-MP routing separates them (XY + YX) → P = 2·(1³+3³) = **56**;
+* the best 2-MP routing splits γ₂ into 1 + 2 and balances both links at
+  load 2 → P = 2·(2³+2³) = **32**.
+
+The script reproduces all three numbers from the library primitives and
+cross-checks the 2-MP optimum against the Frank–Wolfe relaxation.
+
+Run:  python examples/fig2_walkthrough.py
+"""
+
+from repro import Communication, Mesh, PowerModel, Routing, RoutedFlow, RoutingProblem
+from repro.mesh.paths import Path
+from repro.optimal import frank_wolfe_relaxation
+
+
+def main() -> None:
+    mesh = Mesh(2, 2)
+    power = PowerModel.fig2_example()
+    comms = [
+        Communication((0, 0), (1, 1), 1.0),
+        Communication((0, 0), (1, 1), 3.0),
+    ]
+    problem = RoutingProblem(mesh, power, comms)
+
+    xy = Routing.xy(problem)
+    print(f"Figure 2(a)  XY routing:    P = {xy.total_power():.0f}   (paper: 128)")
+
+    one_mp = Routing.from_moves(problem, ["HV", "VH"])
+    print(f"Figure 2(b)  best 1-MP:     P = {one_mp.total_power():.0f}    (paper: 56)")
+
+    two_mp = Routing(
+        problem,
+        [
+            [RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0)],
+            [
+                RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0),
+                RoutedFlow(Path.yx(mesh, (0, 0), (1, 1)), 2.0),
+            ],
+        ],
+    )
+    print(f"Figure 2(c)  best 2-MP:     P = {two_mp.total_power():.0f}    (paper: 32)")
+
+    fw = frank_wolfe_relaxation(problem, max_iter=500)
+    print(
+        f"\nFrank–Wolfe continuous max-MP relaxation: objective = "
+        f"{fw.objective:.3f}, certified lower bound = {fw.lower_bound:.3f}"
+    )
+    print(
+        "The 2-MP routing already achieves the relaxation optimum (perfect "
+        "balance: both ways loaded 2 + 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""What extra search time buys: SA / GA / TABU vs the paper's heuristics.
+
+The paper argues for cheap constructive heuristics (24–38 ms) and leaves
+"how far from optimal?" open.  This script takes one constrained instance
+and runs the whole field — the paper's five heuristics, the BEST
+composite, and the three metaheuristic extensions at increasing budgets —
+printing power, validity and runtime so the time/quality trade-off is
+visible on one screen.
+
+Run:  python examples/metaheuristics_study.py [n_comms] [seed]
+"""
+
+import sys
+
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import (
+    PAPER_HEURISTICS,
+    GeneticRouting,
+    SimulatedAnnealing,
+    TabuRouting,
+    get_heuristic,
+)
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+
+def main(n_comms: int = 28, seed: int = 11) -> None:
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    comms = uniform_random_workload(mesh, n_comms, 100.0, 2500.0, rng=seed)
+    problem = RoutingProblem(mesh, power, comms)
+    print(
+        f"{n_comms} communications, total {problem.total_rate:.0f} Mb/s "
+        f"on 8x8 (seed {seed})\n"
+    )
+
+    field = [(name, get_heuristic(name)) for name in PAPER_HEURISTICS]
+    field += [
+        ("SA 2k", SimulatedAnnealing(iterations=2000, seed=1)),
+        ("SA 8k", SimulatedAnnealing(iterations=8000, seed=1)),
+        ("SA 8k from XYI", SimulatedAnnealing(iterations=8000, init="XYI", seed=1)),
+        ("GA 40 gen", GeneticRouting(population=24, generations=40, seed=1)),
+        ("TABU 300", TabuRouting(iterations=300, seed=1)),
+    ]
+
+    rows = []
+    best_power = float("inf")
+    for label, heuristic in field:
+        res = heuristic.solve(problem)
+        if res.valid:
+            best_power = min(best_power, res.power)
+        rows.append(
+            [
+                label,
+                "yes" if res.valid else "NO",
+                f"{res.power:.1f}" if res.valid else "-",
+                f"{res.runtime_s * 1e3:.0f}",
+            ]
+        )
+    # annotate distance from the field's best
+    for row in rows:
+        row.append(
+            f"+{(float(row[2]) / best_power - 1) * 100:.1f}%"
+            if row[2] != "-"
+            else "-"
+        )
+    print(
+        format_table(
+            ["heuristic", "valid", "power mW", "ms", "vs field best"], rows
+        )
+    )
+    print(
+        "\nReading: the paper's heuristics answer in tens of ms; the "
+        "metaheuristics spend ~10x\nthat to land within a few percent of "
+        "the field's best — on constrained instances like\nthis one, PR's "
+        "constructive spread is remarkably hard to beat at any budget."
+    )
+
+
+if __name__ == "__main__":
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 28,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 11,
+    )

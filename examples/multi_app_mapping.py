@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""System-level scenario: several applications mapped on one CMP.
+
+The paper's motivating setting (Section 1): "several parallel applications
+executing on the CMP, and each of them has been mapped onto a set of
+nodes".  We place three applications on an 8×8 chip —
+
+* a 6-stage video-style streaming pipeline,
+* a 4×4 halo-exchange stencil solver,
+* a fork–join analytics job with 7 workers —
+
+extract the resulting system-level communication set, and compare XY
+against the best Manhattan heuristics, including the failure behaviour as
+link bandwidth tightens.
+
+Run:  python examples/multi_app_mapping.py [seed]
+"""
+
+import sys
+
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import PAPER_HEURISTICS, get_heuristic
+from repro.utils.tables import format_table
+from repro.workloads import (
+    fork_join_app,
+    map_applications,
+    pipeline_app,
+    random_placement,
+    row_major_placement,
+    stencil_app,
+)
+
+
+def main(seed: int = 7) -> None:
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+
+    pipeline = pipeline_app(stages=6, rate=900.0, name="video-pipeline")
+    stencil = stencil_app(rows=4, cols=4, rate=350.0, name="cfd-stencil")
+    analytics = fork_join_app(
+        workers=7, scatter_rate=500.0, gather_rate=250.0, name="analytics"
+    )
+
+    # the pipeline gets a contiguous block; the stencil a square block;
+    # the analytics job is scattered wherever cores remain
+    placements = [
+        row_major_placement(mesh, pipeline.num_tasks, origin=0),
+        [(2 + r, 2 + c) for r in range(4) for c in range(4)],
+    ]
+    used = set(placements[0]) | set(placements[1])
+    placements.append(
+        random_placement(mesh, analytics.num_tasks, rng=seed, exclude=sorted(used))
+    )
+
+    comms = map_applications([pipeline, stencil, analytics], placements)
+    problem = RoutingProblem(mesh, power, comms)
+    print(
+        f"{len(comms)} communications from 3 applications, "
+        f"total demand {problem.total_rate:.0f} Mb/s\n"
+    )
+
+    rows = []
+    for name in PAPER_HEURISTICS:
+        res = get_heuristic(name).solve(problem)
+        rows.append(
+            [
+                name,
+                "yes" if res.valid else "NO",
+                f"{res.power:.1f}" if res.valid else "-",
+                res.report.active_links,
+                f"{res.report.max_load:.0f}",
+            ]
+        )
+    print(
+        format_table(
+            ["heuristic", "valid", "power mW", "active links", "max load Mb/s"],
+            rows,
+        )
+    )
+
+    # tighten the platform: drop all but the lowest frequency, forcing the
+    # routers to spread every flow below 1 Gb/s per link
+    tight = power.with_frequencies((1000.0,))
+    tight_problem = RoutingProblem(mesh, tight, comms)
+    print("\nSame workload with only the 1 Gb/s link frequency available:")
+    rows = []
+    tight_results = {}
+    for name in PAPER_HEURISTICS:
+        res = get_heuristic(name).solve(tight_problem)
+        tight_results[name] = res
+        rows.append(
+            [
+                name,
+                "yes" if res.valid else "NO",
+                f"{res.power:.1f}" if res.valid else "-",
+                f"{res.report.max_load:.0f}",
+            ]
+        )
+    print(format_table(["heuristic", "valid", "power mW", "max load"], rows))
+    if not tight_results["XY"].valid and any(
+        r.valid for n, r in tight_results.items() if n != "XY"
+    ):
+        print(
+            "\nThe paper's headline in miniature: XY saturates a link while "
+            "Manhattan heuristics still find valid routings."
+        )
+    else:
+        print(
+            "\nManhattan heuristics keep the maximum link load at the "
+            "lowest frequency step, where XY has to clock links up."
+        )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:2]]
+    main(*args)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: route a random workload on an 8×8 CMP and compare heuristics.
+
+Builds the paper's simulation platform (8×8 mesh, Kim–Horowitz discrete
+link frequencies), draws a random communication set, runs the XY baseline
+and all five Manhattan heuristics, and prints a comparison table: validity,
+total power, the static/dynamic breakdown and runtime.
+
+Run:  python examples/quickstart.py [num_comms] [seed]
+"""
+
+import sys
+
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.heuristics import PAPER_HEURISTICS, BestOf, get_heuristic
+from repro.utils.tables import format_table
+from repro.workloads import uniform_random_workload
+
+
+def main(num_comms: int = 30, seed: int = 42) -> None:
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    comms = uniform_random_workload(mesh, num_comms, 100.0, 2500.0, rng=seed)
+    problem = RoutingProblem(mesh, power, comms)
+
+    print(
+        f"Routing {problem.num_comms} communications "
+        f"(total demand {problem.total_rate:.0f} Mb/s) on an "
+        f"{mesh.p}x{mesh.q} CMP\n"
+    )
+
+    rows = []
+    for name in PAPER_HEURISTICS:
+        res = get_heuristic(name).solve(problem)
+        rep = res.report
+        rows.append(
+            [
+                name,
+                "yes" if res.valid else "NO",
+                f"{res.power:.1f}" if res.valid else "-",
+                f"{rep.static_power:.1f}",
+                f"{rep.dynamic_power:.1f}",
+                rep.active_links,
+                f"{res.runtime_s * 1e3:.1f}",
+            ]
+        )
+    best = BestOf().solve(problem)
+    rows.append(
+        [
+            "BEST",
+            "yes" if best.valid else "NO",
+            f"{best.power:.1f}" if best.valid else "-",
+            f"{best.report.static_power:.1f}",
+            f"{best.report.dynamic_power:.1f}",
+            best.report.active_links,
+            f"{best.runtime_s * 1e3:.1f}",
+        ]
+    )
+    print(
+        format_table(
+            ["heuristic", "valid", "power mW", "static", "dynamic", "links", "ms"],
+            rows,
+        )
+    )
+    if best.valid:
+        xy = get_heuristic("XY").solve(problem)
+        if xy.valid:
+            print(
+                f"\nBEST consumes {xy.power / best.power:.2f}x less power "
+                "than XY on this instance."
+            )
+        else:
+            print("\nXY found no valid routing; Manhattan routing did.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,74 @@
+"""repro — Power-aware Manhattan routing on chip multiprocessors.
+
+A complete reproduction of Benoit, Melhem, Renaud-Goud & Robert,
+*Power-aware Manhattan routing on chip multiprocessors* (INRIA RR-7752 /
+IPDPS 2012).
+
+Package map
+-----------
+``repro.mesh``
+    The CMP platform: 2-D mesh topology, diagonal geometry, Manhattan
+    paths and per-communication routing DAGs.
+``repro.core``
+    Power model (continuous/discrete frequencies), communications,
+    routings (single- and multi-path), validity and power evaluation.
+``repro.heuristics``
+    XY baseline and the paper's five 1-MP heuristics (SG, IG, TB, XYI,
+    PR), plus the virtual BEST.
+``repro.theory``
+    Section 4: path counting, diagonal lower bounds, the Theorem 1 /
+    Lemma 2 worst-case constructions, the Theorem 3 NP-reduction gadget.
+``repro.optimal``
+    Exact 1-MP solvers (branch & bound, MILP) and the Frank–Wolfe
+    continuous max-MP relaxation with certified lower bounds.
+``repro.workloads``
+    Random/length-targeted workloads of Section 6, classic NoC patterns,
+    task-graph applications mapped onto the chip.
+``repro.experiments``
+    The Section 6 Monte-Carlo harness: one entry point per figure panel
+    and the §6.4 summary statistics.
+``repro.noc``
+    Flit-level wormhole simulator and channel-dependency-graph deadlock
+    analysis — the deployment assumptions the paper delegates to [5]/[3].
+
+Quickstart
+----------
+>>> from repro import Mesh, PowerModel, RoutingProblem
+>>> from repro.workloads import uniform_random_workload
+>>> from repro.heuristics import BestOf
+>>> mesh = Mesh(8, 8)
+>>> comms = uniform_random_workload(mesh, 20, 100.0, 2500.0, rng=42)
+>>> problem = RoutingProblem(mesh, PowerModel.kim_horowitz(), comms)
+>>> result = BestOf().solve(problem)
+>>> result.valid
+True
+"""
+
+from repro.core import (
+    Communication,
+    PowerModel,
+    Routing,
+    RoutedFlow,
+    RoutingProblem,
+    RoutingReport,
+    RoutingRule,
+    evaluate_routing,
+)
+from repro.mesh import CommDag, Mesh, Path
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mesh",
+    "Path",
+    "CommDag",
+    "PowerModel",
+    "Communication",
+    "RoutingProblem",
+    "Routing",
+    "RoutedFlow",
+    "RoutingReport",
+    "RoutingRule",
+    "evaluate_routing",
+    "__version__",
+]

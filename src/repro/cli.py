@@ -1,0 +1,466 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``generate``  draw a workload (random / length-targeted / pattern) to CSV
+``route``     route a workload with one heuristic (or BEST/ALL) and report
+``figures``   regenerate paper figure panels (fig7a..fig9c, summary)
+``theory``    print the Theorem 1 / Lemma 2 separation tables
+``simulate``  run a saved routing on the flit-level NoC simulator
+
+Every command is a thin shell over the library API; ``main(argv)`` returns
+a process exit code so the CLI is unit-testable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro import Mesh, PowerModel, RoutingProblem
+from repro.utils.validation import ReproError
+
+
+def _parse_mesh(text: str) -> Mesh:
+    try:
+        p, q = text.lower().split("x")
+        return Mesh(int(p), int(q))
+    except (ValueError, AttributeError):
+        raise ReproError(f"mesh must look like '8x8', got {text!r}") from None
+
+
+def _parse_model(name: str) -> PowerModel:
+    models = {
+        "kim-horowitz": PowerModel.kim_horowitz,
+        "continuous": PowerModel.continuous_kim_horowitz,
+        "fig2": PowerModel.fig2_example,
+    }
+    if name not in models:
+        raise ReproError(
+            f"unknown power model {name!r}; choose from {sorted(models)}"
+        )
+    return models[name]()
+
+
+# ----------------------------------------------------------------------
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.io import workload_to_csv
+    from repro.workloads import (
+        hotspot_pattern,
+        length_targeted_workload,
+        transpose_pattern,
+        uniform_random_workload,
+    )
+
+    mesh = _parse_mesh(args.mesh)
+    if args.kind == "random":
+        comms = uniform_random_workload(
+            mesh, args.n, args.rate_min, args.rate_max, rng=args.seed
+        )
+    elif args.kind == "length":
+        comms = length_targeted_workload(
+            mesh, args.n, args.length, args.rate_min, args.rate_max,
+            rng=args.seed,
+        )
+    elif args.kind == "transpose":
+        comms = transpose_pattern(mesh, args.rate_max)
+    elif args.kind == "hotspot":
+        comms = hotspot_pattern(mesh, args.rate_max, rng=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown workload kind {args.kind!r}")
+    text = workload_to_csv(comms, args.out)
+    if args.out:
+        print(f"wrote {len(comms)} communications to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    from repro.heuristics import PAPER_HEURISTICS, BestOf, get_heuristic
+    from repro.io import save_routing, workload_from_csv
+    from repro.utils.tables import format_table
+
+    mesh = _parse_mesh(args.mesh)
+    power = _parse_model(args.model)
+    comms = workload_from_csv(args.workload)
+    problem = RoutingProblem(mesh, power, comms)
+
+    names: Sequence[str]
+    if args.heuristic == "ALL":
+        names = PAPER_HEURISTICS
+    elif args.heuristic == "BEST":
+        names = ()
+    else:
+        names = (args.heuristic,)
+
+    rows = []
+    best_result = None
+    if args.heuristic == "BEST":
+        best_result = BestOf().solve(problem)
+        rows.append(
+            [
+                "BEST",
+                "yes" if best_result.valid else "NO",
+                f"{best_result.power:.2f}" if best_result.valid else "-",
+                f"{best_result.runtime_s * 1e3:.1f}",
+            ]
+        )
+    else:
+        for name in names:
+            res = get_heuristic(name).solve(problem)
+            rows.append(
+                [
+                    name,
+                    "yes" if res.valid else "NO",
+                    f"{res.power:.2f}" if res.valid else "-",
+                    f"{res.runtime_s * 1e3:.1f}",
+                ]
+            )
+            if best_result is None or (
+                res.valid
+                and (not best_result.valid or res.power < best_result.power)
+            ):
+                best_result = res
+    print(format_table(["heuristic", "valid", "power", "ms"], rows))
+
+    assert best_result is not None
+    if args.show_map:
+        from repro.viz import load_legend, render_loads
+
+        print()
+        print(render_loads(mesh, best_result.routing.link_loads(), power=power))
+        print(load_legend())
+    if args.out:
+        save_routing(best_result.routing, args.out)
+        print(f"routing saved to {args.out}")
+    if args.svg:
+        from repro.viz import mesh_heatmap_svg, save_svg
+
+        save_svg(
+            args.svg,
+            mesh_heatmap_svg(
+                mesh,
+                best_result.routing.link_loads(),
+                power,
+                title=f"{best_result.name} link loads",
+            ),
+        )
+        print(f"heat map saved to {args.svg}")
+    return 0 if best_result.valid else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import os
+
+    if args.trials:
+        os.environ["REPRO_TRIALS"] = str(args.trials)
+    from repro.experiments import figures, sweep_to_text
+
+    if args.panel == "summary":
+        s = figures.summary_statistics()
+        for name, ratio in s.success_ratio.items():
+            print(f"success {name:>5s}: {ratio:.2f}")
+        print(f"static fraction: {s.static_fraction:.3f}")
+        return 0
+    fn = getattr(figures, args.panel, None)
+    if fn is None:
+        raise ReproError(f"unknown panel {args.panel!r}")
+    sweep = fn()
+    print(sweep_to_text(sweep))
+    if args.svg_dir:
+        import pathlib
+
+        from repro.viz import save_svg, sweep_to_svg
+
+        out_dir = pathlib.Path(args.svg_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for metric in ("norm_power_inverse", "failure_ratio"):
+            path = out_dir / f"{args.panel}_{metric}.svg"
+            save_svg(path, sweep_to_svg(sweep, metric))
+            print(f"chart saved to {path}")
+    return 0
+
+
+def _cmd_theory(args: argparse.Namespace) -> int:
+    from repro.theory import lemma2_powers, theorem1_powers
+    from repro.utils.tables import format_table
+
+    sizes = args.sizes or [4, 8, 16, 32]
+    rows1 = []
+    rows2 = []
+    for p in sizes:
+        if p % 2 == 0:
+            r = theorem1_powers(p)
+            rows1.append([p, f"{r['p_xy']:.1f}", f"{r['p_manhattan']:.3f}",
+                          f"{r['ratio']:.2f}"])
+        r = lemma2_powers(p)
+        rows2.append([p, f"{r['p_xy']:.0f}", f"{r['p_yx']:.0f}",
+                      f"{r['ratio']:.1f}"])
+    print("Theorem 1 (single pair, max-MP construction):")
+    print(format_table(["p", "P_XY", "P_maxMP", "ratio"], rows1))
+    print("\nLemma 2 (staircase, YX vs XY):")
+    print(format_table(["p", "P_XY", "P_YX", "ratio"], rows2))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.io import load_routing
+    from repro.noc import latency_sweep, saturation_fraction
+    from repro.utils.tables import format_table
+
+    routing = load_routing(args.routing)
+    fractions = [float(f) for f in args.fractions.split(",")]
+    points = latency_sweep(
+        routing,
+        fractions,
+        cycles=args.cycles,
+        warmup=args.cycles // 5,
+        injection=args.injection,
+        seed=args.seed,
+    )
+    rows = [
+        [
+            f"{pt.fraction:.2f}",
+            f"{pt.mean_latency:.1f}" if pt.mean_latency < 1e12 else "-",
+            f"{pt.delivered_ratio:.2f}",
+            f"{pt.max_link_utilization:.2f}",
+            "DEADLOCK" if pt.deadlocked else ("ok" if pt.stable else "sat"),
+        ]
+        for pt in points
+    ]
+    print(
+        format_table(
+            ["fraction", "latency", "delivered", "max util", "state"], rows
+        )
+    )
+    sat = saturation_fraction(points)
+    print(f"saturation fraction: {sat:.2f}" if sat != float("inf")
+          else "no saturation inside the sweep")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.heuristics import PAPER_HEURISTICS, get_heuristic
+    from repro.utils.tables import format_table
+    from repro.workloads import (
+        annealed_placement,
+        bandwidth_aware_placement,
+        map_applications,
+        published_app,
+        region_split,
+    )
+
+    mesh = _parse_mesh(args.mesh)
+    power = _parse_model(args.model)
+    apps = [published_app(n, scale=args.scale) for n in args.apps.split(",")]
+    regions = region_split(mesh, [a.num_tasks for a in apps])
+    placements = []
+    for app, region in zip(apps, regions):
+        if args.mapping == "annealed":
+            placements.append(
+                annealed_placement(
+                    mesh, app, region=region, iterations=2000, seed=args.seed
+                )
+            )
+        elif args.mapping == "greedy":
+            placements.append(
+                bandwidth_aware_placement(
+                    mesh, app, region=region, rng=args.seed
+                )
+            )
+        else:  # row-major
+            placements.append(list(region[: app.num_tasks]))
+    comms = map_applications(apps, placements)
+    problem = RoutingProblem(mesh, power, comms)
+    print(
+        f"{', '.join(a.name for a in apps)}: {len(comms)} communications, "
+        f"total {problem.total_rate:.0f} Mb/s ({args.mapping} mapping)"
+    )
+    rows = []
+    for name in PAPER_HEURISTICS:
+        res = get_heuristic(name).solve(problem)
+        rows.append(
+            [
+                name,
+                "yes" if res.valid else "NO",
+                f"{res.power:.1f}" if res.valid else "-",
+                f"{res.runtime_s * 1e3:.1f}",
+            ]
+        )
+    print(format_table(["heuristic", "valid", "power mW", "ms"], rows))
+    return 0
+
+
+def _cmd_open_problem(args: argparse.Namespace) -> int:
+    from repro.core.problem import Communication
+    from repro.optimal import same_endpoint_gap
+    from repro.utils.tables import format_table
+
+    mesh = _parse_mesh(args.mesh)
+    power = PowerModel.dynamic_only(alpha=args.alpha, bandwidth=float("inf"))
+    rates = [float(r) for r in args.rates.split(",")]
+    problem = RoutingProblem(
+        mesh,
+        power,
+        [
+            Communication((0, 0), (mesh.p - 1, mesh.q - 1), r)
+            for r in rates
+        ],
+    )
+    gap = same_endpoint_gap(problem)
+    rows = [
+        ["XY", f"{gap.xy_power:.4g}"],
+        ["optimal 1-MP (exact DP)", f"{gap.single_path_power:.4g}"],
+        ["max-MP upper (flow LP)", f"{gap.flow_upper:.4g}"],
+        ["max-MP lower (certified)", f"{gap.flow_lower:.4g}"],
+        ["ideal-spread bound", f"{gap.ideal_bound:.4g}"],
+    ]
+    print(
+        f"shared-endpoint ladder on {mesh.p}x{mesh.q}, rates {rates}, "
+        f"alpha={args.alpha} (dynamic power only)"
+    )
+    print(format_table(["routing", "power"], rows))
+    print(
+        f"XY / optimal-1MP = {gap.xy_vs_single:.2f};  "
+        f"optimal-1MP / maxMP = {gap.single_vs_multi:.3f}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io import load_routing
+    from repro.noc import FlitSimulator, direction_class_vc, is_deadlock_free
+
+    routing = load_routing(args.routing)
+    free = is_deadlock_free(routing, direction_class_vc)
+    print(f"deadlock-free under direction-class VCs: {free}")
+    sim = FlitSimulator(
+        routing,
+        num_vcs=4,
+        buffer_flits=args.buffer_flits,
+        packet_flits=args.packet_flits,
+    )
+    rep = sim.run(args.cycles, warmup=args.cycles // 10)
+    ach = [f.achieved_fraction for f in rep.flows]
+    print(
+        f"delivered {rep.total_delivered_flits} flits over {args.cycles} "
+        f"cycles; throughput achieved: min {min(ach):.2f} mean "
+        f"{sum(ach) / len(ach):.2f}"
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-aware Manhattan routing on chip multiprocessors",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="draw a workload to CSV")
+    g.add_argument("--mesh", default="8x8")
+    g.add_argument(
+        "--kind", choices=("random", "length", "transpose", "hotspot"),
+        default="random",
+    )
+    g.add_argument("--n", type=int, default=20)
+    g.add_argument("--length", type=int, default=6)
+    g.add_argument("--rate-min", type=float, default=100.0)
+    g.add_argument("--rate-max", type=float, default=2500.0)
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("--out", default=None)
+    g.set_defaults(func=_cmd_generate)
+
+    r = sub.add_parser("route", help="route a CSV workload")
+    r.add_argument("workload", help="workload CSV path")
+    r.add_argument("--mesh", default="8x8")
+    r.add_argument("--model", default="kim-horowitz")
+    r.add_argument("--heuristic", default="ALL",
+                   help="XY|SG|IG|TB|XYI|PR|YX|BEST|ALL")
+    r.add_argument("--out", default=None, help="save best routing JSON here")
+    r.add_argument("--show-map", action="store_true")
+    r.add_argument(
+        "--svg", default=None, help="save an SVG link-load heat map here"
+    )
+    r.set_defaults(func=_cmd_route)
+
+    f = sub.add_parser("figures", help="regenerate paper figures")
+    f.add_argument("panel", help="fig7a..fig9c or 'summary'")
+    f.add_argument("--trials", type=int, default=None)
+    f.add_argument(
+        "--svg-dir",
+        default=None,
+        help="also render the sweep to SVG charts in this directory",
+    )
+    f.set_defaults(func=_cmd_figures)
+
+    t = sub.add_parser("theory", help="Theorem 1 / Lemma 2 tables")
+    t.add_argument("--sizes", type=int, nargs="*", default=None)
+    t.set_defaults(func=_cmd_theory)
+
+    s = sub.add_parser("simulate", help="flit-simulate a saved routing")
+    s.add_argument("routing", help="routing JSON path")
+    s.add_argument("--cycles", type=int, default=20000)
+    s.add_argument("--buffer-flits", type=int, default=4)
+    s.add_argument("--packet-flits", type=int, default=8)
+    s.set_defaults(func=_cmd_simulate)
+
+    l = sub.add_parser(
+        "latency", help="load-latency sweep of a saved routing"
+    )
+    l.add_argument("routing", help="routing JSON path")
+    l.add_argument("--fractions", default="0.2,0.5,0.8,1.0,1.5,2.0")
+    l.add_argument("--cycles", type=int, default=4000)
+    l.add_argument(
+        "--injection",
+        choices=("deterministic", "bernoulli", "burst"),
+        default="bernoulli",
+    )
+    l.add_argument("--seed", type=int, default=0)
+    l.set_defaults(func=_cmd_latency)
+
+    a = sub.add_parser(
+        "apps", help="route the published multimedia task graphs"
+    )
+    a.add_argument("--apps", default="vopd,mpeg4,mwd,pip",
+                   help="comma-separated: vopd,mpeg4,mwd,pip")
+    a.add_argument("--mesh", default="8x8")
+    a.add_argument("--model", default="kim-horowitz")
+    a.add_argument("--scale", type=float, default=3.0,
+                   help="Mb/s per published MB/s")
+    a.add_argument(
+        "--mapping",
+        choices=("annealed", "greedy", "row-major"),
+        default="annealed",
+    )
+    a.add_argument("--seed", type=int, default=0)
+    a.set_defaults(func=_cmd_apps)
+
+    o = sub.add_parser(
+        "open-problem",
+        help="shared-endpoint ladder: XY vs exact 1-MP vs max-MP",
+    )
+    o.add_argument("--mesh", default="8x8")
+    o.add_argument("--rates", default="500,500,500,500",
+                   help="comma-separated Mb/s, all corner-to-corner")
+    o.add_argument("--alpha", type=float, default=2.95)
+    o.set_defaults(func=_cmd_open_problem)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

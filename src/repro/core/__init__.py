@@ -1,0 +1,44 @@
+"""Core problem model: power, communications, routings, evaluation.
+
+This package implements Sections 3.1–3.5 of the paper: the link power model
+(static leakage + frequency-scaled dynamic power), the communication set,
+the routing-rule hierarchy (XY ⊂ 1-MP ⊂ s-MP ⊂ max-MP), validity (no link
+above its bandwidth) and the power objective.
+"""
+
+from repro.core.power import PowerModel, OVERLOAD
+from repro.core.problem import Communication, RoutingProblem
+from repro.core.routing import Routing, RoutedFlow
+from repro.core.evaluate import RoutingReport, evaluate_routing, loads_report
+from repro.core.rules import RoutingRule, complies_with_rule, max_paths_bound
+from repro.core.splitting import even_split, proportional_split, validate_split
+from repro.core.frequency import (
+    FrequencyAssignment,
+    assign_frequencies,
+    geometric_ladder,
+    routing_frequency_plan,
+    uniform_ladder,
+)
+
+__all__ = [
+    "PowerModel",
+    "OVERLOAD",
+    "Communication",
+    "RoutingProblem",
+    "Routing",
+    "RoutedFlow",
+    "RoutingReport",
+    "evaluate_routing",
+    "loads_report",
+    "RoutingRule",
+    "complies_with_rule",
+    "max_paths_bound",
+    "even_split",
+    "proportional_split",
+    "validate_split",
+    "FrequencyAssignment",
+    "assign_frequencies",
+    "routing_frequency_plan",
+    "uniform_ladder",
+    "geometric_ladder",
+]

@@ -1,0 +1,75 @@
+"""Routing evaluation: validity, power breakdown, load statistics.
+
+:func:`evaluate_routing` condenses a :class:`~repro.core.routing.Routing`
+into the :class:`RoutingReport` record the experiment harness aggregates:
+validity, total/static/dynamic power, link activity and load extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.core.routing import Routing
+
+
+@dataclass(frozen=True)
+class RoutingReport:
+    """Summary of one routing attempt.
+
+    ``total_power`` is ``inf`` when the routing is invalid; the power
+    breakdown fields are still reported for the capped loads so invalid
+    routings remain inspectable.
+    """
+
+    valid: bool
+    total_power: float
+    static_power: float
+    dynamic_power: float
+    active_links: int
+    max_load: float
+    mean_active_load: float
+    overloaded_links: int
+
+    @property
+    def power_inverse(self) -> float:
+        """``1 / total_power`` with the paper's convention: 0 on failure."""
+        if not self.valid or self.total_power == 0:
+            return 0.0
+        return 1.0 / self.total_power
+
+    @property
+    def static_fraction(self) -> float:
+        """Share of the (finite) power that is leakage; 0 when inactive."""
+        total = self.static_power + self.dynamic_power
+        return self.static_power / total if total > 0 else 0.0
+
+
+def loads_report(power: PowerModel, loads: np.ndarray) -> RoutingReport:
+    """Build a :class:`RoutingReport` straight from a load vector."""
+    loads = np.asarray(loads, dtype=np.float64)
+    valid = power.is_feasible_load(loads)
+    active = loads > 0
+    overload = int(np.count_nonzero(loads > power.bandwidth * (1 + 1e-9)))
+    capped = np.minimum(loads, power.bandwidth)
+    static = power.static_power(loads)
+    dynamic = power.dynamic_power(capped)
+    total = power.total_power(loads) if valid else float("inf")
+    n_active = int(np.count_nonzero(active))
+    return RoutingReport(
+        valid=valid,
+        total_power=total,
+        static_power=static,
+        dynamic_power=dynamic,
+        active_links=n_active,
+        max_load=float(loads.max(initial=0.0)),
+        mean_active_load=float(loads[active].mean()) if n_active else 0.0,
+        overloaded_links=overload,
+    )
+
+
+def evaluate_routing(routing: Routing) -> RoutingReport:
+    """Evaluate a routing under its problem's power model."""
+    return loads_report(routing.problem.power, routing.link_loads())

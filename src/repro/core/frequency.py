@@ -1,0 +1,157 @@
+"""Link frequency (DVFS) assignment analysis.
+
+The power model quantises loads to frequencies implicitly; this module
+makes the assignment explicit — the artefact a DVFS controller would
+program (per-link frequency level, headroom, utilisation at the chosen
+level) — and quantifies two classic knobs from the related work the paper
+builds on:
+
+* **link shutdown** ([1], [10]): how much leakage the routing's idle links
+  avoid compared with an always-on fabric;
+* **frequency headroom**: how much of the dynamic power is quantisation
+  overhead, i.e. what continuous scaling would save (the paper's [17]
+  DVFS-vs-traffic motivation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.core.routing import Routing
+from repro.utils.validation import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class FrequencyAssignment:
+    """The DVFS programming derived from a routing's loads.
+
+    Attributes
+    ----------
+    frequencies:
+        Per-link assigned frequency (0 = link switched off).
+    utilization:
+        Per-link ``load / frequency`` (0 for idle links): the fraction of
+        the enabled bandwidth actually used.
+    levels:
+        Per-link index into the model's frequency list (−1 = off);
+        all −2 for continuous models, where levels are not meaningful.
+    """
+
+    power: PowerModel
+    loads: np.ndarray
+    frequencies: np.ndarray
+    utilization: np.ndarray
+    levels: np.ndarray
+
+    @property
+    def active_links(self) -> int:
+        """Number of links left powered on."""
+        return int(np.count_nonzero(self.frequencies > 0))
+
+    @property
+    def mean_utilization(self) -> float:
+        """Mean utilisation over the active links (0 if none)."""
+        act = self.frequencies > 0
+        return float(self.utilization[act].mean()) if act.any() else 0.0
+
+    def shutdown_savings(self) -> float:
+        """Leakage avoided by switching idle links off.
+
+        The baseline is an always-on fabric in which every link pays
+        ``p_leak``; the routing's assignment only powers the links it
+        uses.
+        """
+        total_links = self.loads.size
+        return (total_links - self.active_links) * self.power.p_leak
+
+    def quantization_overhead(self) -> float:
+        """Dynamic power paid for rounding loads up to discrete levels.
+
+        Zero for continuous models; otherwise the difference between the
+        dynamic power at the assigned frequencies and at the exact loads.
+        """
+        discrete_dyn = self.power.dynamic_power(self.loads)
+        cont = self.power.with_frequencies(None)
+        continuous_dyn = cont.dynamic_power(np.minimum(self.loads, cont.bandwidth))
+        return max(0.0, discrete_dyn - continuous_dyn)
+
+    def headroom(self) -> np.ndarray:
+        """Per-link spare bandwidth at the assigned frequency."""
+        return np.where(
+            self.frequencies > 0, self.frequencies - self.loads, 0.0
+        )
+
+
+def assign_frequencies(
+    power: PowerModel, loads: np.ndarray
+) -> FrequencyAssignment:
+    """Derive the DVFS assignment for a feasible load vector.
+
+    Raises
+    ------
+    InvalidParameterError
+        If some load exceeds the bandwidth (no frequency can serve it).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if not power.is_feasible_load(loads):
+        raise InvalidParameterError(
+            "cannot assign frequencies: some link exceeds the bandwidth"
+        )
+    freqs = power.quantize(loads)
+    util = np.where(freqs > 0, loads / np.maximum(freqs, 1e-300), 0.0)
+    if power.is_discrete:
+        table = np.asarray(power.frequencies, dtype=np.float64)
+        levels = np.searchsorted(table, freqs, side="left")
+        levels = np.where(freqs > 0, levels, -1)
+    else:
+        levels = np.full(loads.shape, -2, dtype=np.int64)
+    return FrequencyAssignment(
+        power=power,
+        loads=loads,
+        frequencies=freqs,
+        utilization=util,
+        levels=levels.astype(np.int64),
+    )
+
+
+def routing_frequency_plan(routing: Routing) -> FrequencyAssignment:
+    """Convenience wrapper: the DVFS plan of a (valid) routing."""
+    return assign_frequencies(routing.problem.power, routing.link_loads())
+
+
+# ----------------------------------------------------------------------
+# frequency ladders (DVFS granularity ablation)
+# ----------------------------------------------------------------------
+def uniform_ladder(levels: int, bandwidth: float) -> Tuple[float, ...]:
+    """``levels`` evenly spaced frequencies ending at ``bandwidth``.
+
+    ``uniform_ladder(1, bw)`` is the no-DVFS fabric (full speed or off);
+    more levels approximate continuous scaling from above.
+    """
+    if levels < 1:
+        raise InvalidParameterError(f"levels must be >= 1, got {levels}")
+    if bandwidth <= 0:
+        raise InvalidParameterError(f"bandwidth must be > 0, got {bandwidth}")
+    return tuple(bandwidth * k / levels for k in range(1, levels + 1))
+
+
+def geometric_ladder(
+    levels: int, bandwidth: float, *, ratio: float = 2.0
+) -> Tuple[float, ...]:
+    """``levels`` frequencies descending from ``bandwidth`` by ``ratio``.
+
+    Geometric ladders resolve the low-load region much more finely than
+    uniform ones at equal level count — the shape real voltage/frequency
+    tables lean toward.
+    """
+    if levels < 1:
+        raise InvalidParameterError(f"levels must be >= 1, got {levels}")
+    if bandwidth <= 0:
+        raise InvalidParameterError(f"bandwidth must be > 0, got {bandwidth}")
+    if ratio <= 1.0:
+        raise InvalidParameterError(f"ratio must be > 1, got {ratio}")
+    return tuple(bandwidth / ratio ** (levels - 1 - k) for k in range(levels))

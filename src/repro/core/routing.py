@@ -1,0 +1,195 @@
+"""Routing solutions: per-communication path/flow assignments.
+
+A :class:`Routing` maps every communication of a problem to one or more
+:class:`RoutedFlow` entries — a Manhattan :class:`~repro.mesh.paths.Path`
+plus the fraction of the communication's rate sent along it.  A single-path
+(1-MP or XY) routing has exactly one flow of full rate per communication;
+an s-MP routing has up to ``s``.
+
+The class enforces the paper's structural rules at construction time: each
+flow's path must join the communication's endpoints (hence is automatically
+a shortest path), rates must be positive and sum to the communication's
+rate.  *Validity* in the paper's sense — no link loaded above ``BW`` — is a
+property of the induced loads, checked by :meth:`Routing.is_valid`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+#: relative tolerance for "flow rates sum to the communication rate"
+_RATE_RTOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RoutedFlow:
+    """One path of a (possibly split) communication with its rate share."""
+
+    path: Path
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.rate > 0:
+            raise InvalidParameterError(
+                f"flow rate must be > 0, got {self.rate!r}"
+            )
+
+
+class Routing:
+    """A complete routing of all communications of a problem.
+
+    Parameters
+    ----------
+    problem:
+        The instance being routed.
+    flows:
+        ``flows[i]`` is the list of :class:`RoutedFlow` for communication
+        ``i``.  Every path must join ``comms[i].src`` to ``comms[i].snk``
+        and the rates must sum to ``comms[i].rate``.
+    """
+
+    __slots__ = ("problem", "flows", "_loads")
+
+    def __init__(self, problem: RoutingProblem, flows: Sequence[Sequence[RoutedFlow]]):
+        flows = [list(fl) for fl in flows]
+        if len(flows) != problem.num_comms:
+            raise InvalidParameterError(
+                f"got flows for {len(flows)} communications, "
+                f"expected {problem.num_comms}"
+            )
+        for i, (comm, fl) in enumerate(zip(problem.comms, flows)):
+            if not fl:
+                raise InvalidParameterError(f"communication {i} has no flow")
+            total = 0.0
+            for f in fl:
+                if not isinstance(f, RoutedFlow):
+                    raise InvalidParameterError(
+                        f"flows[{i}] must contain RoutedFlow, got {type(f)}"
+                    )
+                if f.path.src != comm.src or f.path.snk != comm.snk:
+                    raise InvalidParameterError(
+                        f"flow path {f.path!r} does not join the endpoints of "
+                        f"communication {i} ({comm.src}->{comm.snk})"
+                    )
+                if f.path.mesh != problem.mesh:
+                    raise InvalidParameterError(
+                        f"flow path of communication {i} built on a different mesh"
+                    )
+                total += f.rate
+            if not np.isclose(total, comm.rate, rtol=_RATE_RTOL, atol=0.0):
+                raise InvalidParameterError(
+                    f"flow rates of communication {i} sum to {total}, "
+                    f"expected {comm.rate}"
+                )
+        self.problem = problem
+        self.flows = flows
+        self._loads: np.ndarray | None = None
+
+    # constructors -------------------------------------------------------
+    @classmethod
+    def single_path(cls, problem: RoutingProblem, paths: Sequence[Path]) -> "Routing":
+        """Build a 1-MP routing: one full-rate path per communication."""
+        if len(paths) != problem.num_comms:
+            raise InvalidParameterError(
+                f"got {len(paths)} paths, expected {problem.num_comms}"
+            )
+        return cls(
+            problem,
+            [
+                [RoutedFlow(path, comm.rate)]
+                for comm, path in zip(problem.comms, paths)
+            ],
+        )
+
+    @classmethod
+    def xy(cls, problem: RoutingProblem) -> "Routing":
+        """The XY routing of the whole problem."""
+        return cls.single_path(
+            problem,
+            [Path.xy(problem.mesh, c.src, c.snk) for c in problem.comms],
+        )
+
+    @classmethod
+    def from_moves(
+        cls, problem: RoutingProblem, moves: Sequence[str]
+    ) -> "Routing":
+        """Build a 1-MP routing from one move string per communication."""
+        paths = [
+            Path(problem.mesh, c.src, c.snk, m)
+            for c, m in zip(problem.comms, moves)
+        ]
+        return cls.single_path(problem, paths)
+
+    # structure ------------------------------------------------------------
+    def num_paths(self, i: int) -> int:
+        """Number of paths used by communication ``i``."""
+        return len(self.flows[i])
+
+    @property
+    def max_split(self) -> int:
+        """Largest number of paths used by any communication."""
+        return max(len(fl) for fl in self.flows) if self.flows else 0
+
+    @property
+    def is_single_path(self) -> bool:
+        """True when every communication uses exactly one path (1-MP)."""
+        return self.max_split <= 1
+
+    def paths(self, i: int) -> List[Path]:
+        """The paths of communication ``i``."""
+        return [f.path for f in self.flows[i]]
+
+    # loads & power --------------------------------------------------------
+    def link_loads(self) -> np.ndarray:
+        """Aggregate traffic per link id (cached; read-only)."""
+        if self._loads is None:
+            loads = np.zeros(self.problem.mesh.num_links, dtype=np.float64)
+            for fl in self.flows:
+                for f in fl:
+                    np.add.at(loads, f.path.link_ids, f.rate)
+            loads.setflags(write=False)
+            self._loads = loads
+        return self._loads
+
+    def is_valid(self) -> bool:
+        """Paper validity: no link above the model's bandwidth."""
+        return self.problem.power.is_feasible_load(self.link_loads())
+
+    def total_power(self) -> float:
+        """Objective value; ``inf`` when the routing is invalid."""
+        return self.problem.power.total_power(self.link_loads())
+
+    def comms_through(self, lid: int) -> List[int]:
+        """Indices of communications with at least one flow using ``lid``."""
+        out = []
+        for i, fl in enumerate(self.flows):
+            if any(f.path.uses_link(lid) for f in fl):
+                out.append(i)
+        return out
+
+    def as_tables(self) -> Dict[int, List]:
+        """Deployment view: ``{comm index: [(rate, [core, ...]), ...]}``.
+
+        For every communication, each flow's rate and its ordered core hop
+        list.  This is what a table-driven NoC deployment (and our
+        flit-level simulator) consumes.
+        """
+        tables = {}
+        for i, fl in enumerate(self.flows):
+            tables[i] = [
+                (f.rate, [tuple(c) for c in f.path.cores()]) for f in fl
+            ]
+        return tables
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Routing({self.problem.num_comms} comms, "
+            f"max_split={self.max_split})"
+        )

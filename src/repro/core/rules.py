@@ -1,0 +1,66 @@
+"""The routing-rule hierarchy of Section 3.3.
+
+``XY ⊂ 1-MP ⊂ s-MP ⊂ max-MP``: XY fixes the single path; 1-MP allows any
+single Manhattan path; s-MP allows splitting a communication over up to
+``s`` Manhattan paths; max-MP removes the bound (which Lemma 1 caps at the
+number of distinct Manhattan paths anyway).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.mesh.moves import xy_moves
+from repro.utils.validation import InvalidParameterError
+
+
+class RoutingRule(enum.Enum):
+    """Which family of routings a solution is allowed to use."""
+
+    XY = "xy"
+    SINGLE_PATH = "1-mp"
+    S_PATHS = "s-mp"
+    MAX_PATHS = "max-mp"
+
+
+def max_paths_bound(problem: RoutingProblem) -> int:
+    """Upper bound on useful splits for any communication of the problem.
+
+    By Lemma 1 a communication with displacement ``(Δu, Δv)`` has
+    ``C(Δu+Δv, Δu)`` distinct Manhattan paths, so no max-MP routing ever
+    needs more parts than the largest such count.
+    """
+    if problem.num_comms == 0:
+        return 0
+    return max(c.path_count() for c in problem.comms)
+
+
+def complies_with_rule(
+    routing: Routing, rule: RoutingRule, *, s: int | None = None
+) -> bool:
+    """Check a routing against a rule of the hierarchy.
+
+    For ``S_PATHS`` the bound ``s`` must be provided.  Path-shape
+    constraints (Manhattan, endpoint-joining) are already enforced by
+    :class:`~repro.core.routing.Routing` itself; this predicate checks the
+    per-rule extras: the XY shape for ``XY``, split-cardinality bounds for
+    the others.
+    """
+    if rule is RoutingRule.XY:
+        for comm, fl in zip(routing.problem.comms, routing.flows):
+            if len(fl) != 1 or fl[0].path.moves != xy_moves(comm.src, comm.snk):
+                return False
+        return True
+    if rule is RoutingRule.SINGLE_PATH:
+        return routing.is_single_path
+    if rule is RoutingRule.S_PATHS:
+        if s is None or s < 1:
+            raise InvalidParameterError(
+                f"rule S_PATHS requires a split bound s >= 1, got {s!r}"
+            )
+        return routing.max_split <= s
+    if rule is RoutingRule.MAX_PATHS:
+        return True
+    raise InvalidParameterError(f"unknown routing rule {rule!r}")

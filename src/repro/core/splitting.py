@@ -1,0 +1,60 @@
+"""Rate-splitting helpers for s-MP routings (Section 3.3).
+
+An s-MP routing may split a communication ``γᵢ`` into up to ``s`` parts
+``γᵢ,₁ … γᵢ,ₛ'`` sharing its endpoints with ``Σ δᵢ,ⱼ = δᵢ``.  These helpers
+produce and validate such splits; :class:`~repro.core.routing.Routing`
+enforces the sum rule at construction time as well.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.validation import InvalidParameterError, check_positive
+
+
+def validate_split(rate: float, parts: Sequence[float], *, s: int | None = None) -> None:
+    """Check that ``parts`` is a legal splitting of ``rate``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If any part is non-positive, the parts don't sum to ``rate``, or
+        (when ``s`` is given) there are more than ``s`` parts.
+    """
+    check_positive("rate", rate)
+    if len(parts) == 0:
+        raise InvalidParameterError("a split must have at least one part")
+    if s is not None and len(parts) > s:
+        raise InvalidParameterError(
+            f"split into {len(parts)} parts exceeds the s-MP limit s={s}"
+        )
+    arr = np.asarray(parts, dtype=np.float64)
+    if np.any(arr <= 0):
+        raise InvalidParameterError(f"split parts must be > 0, got {list(parts)}")
+    if not np.isclose(arr.sum(), rate, rtol=1e-9, atol=0.0):
+        raise InvalidParameterError(
+            f"split parts sum to {arr.sum()}, expected {rate}"
+        )
+
+
+def even_split(rate: float, k: int) -> List[float]:
+    """Split ``rate`` into ``k`` equal parts."""
+    check_positive("rate", rate)
+    if k < 1:
+        raise InvalidParameterError(f"number of parts must be >= 1, got {k}")
+    return [rate / k] * k
+
+
+def proportional_split(rate: float, weights: Sequence[float]) -> List[float]:
+    """Split ``rate`` proportionally to positive ``weights``."""
+    check_positive("rate", rate)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.size == 0 or np.any(w <= 0):
+        raise InvalidParameterError(
+            f"weights must be non-empty and > 0, got {list(weights)}"
+        )
+    parts = rate * w / w.sum()
+    return [float(x) for x in parts]

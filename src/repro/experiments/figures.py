@@ -1,0 +1,189 @@
+"""Ready-made entry points for every figure panel and the §6.4 summary.
+
+``fig7a() .. fig9c()`` run the corresponding sweep with the paper's
+parameters; :func:`summary_statistics` reproduces the Section 6.4 averages
+("XY succeeds only 15% of the times, while XYI and PR succeed respectively
+46% and 50% ...") by sampling instances across the union of the Figure
+7/8/9 distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.core.problem import RoutingProblem
+from repro.experiments.config import (
+    default_trials,
+    fig7_config,
+    fig8_config,
+    fig9_config,
+)
+from repro.experiments.runner import SweepResult, best_of_results, run_sweep
+from repro.heuristics.base import get_heuristic
+from repro.heuristics.best import PAPER_HEURISTICS
+from repro.mesh.topology import Mesh
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import InvalidParameterError
+from repro.workloads.length_targeted import length_targeted_workload
+from repro.workloads.random_uniform import (
+    fixed_weight_workload,
+    uniform_random_workload,
+)
+
+
+def fig7a(**kw) -> SweepResult:
+    """Figure 7(a): small communications, sweep over their number."""
+    return run_sweep(fig7_config("a", **kw))
+
+
+def fig7b(**kw) -> SweepResult:
+    """Figure 7(b): mixed communications, sweep over their number."""
+    return run_sweep(fig7_config("b", **kw))
+
+
+def fig7c(**kw) -> SweepResult:
+    """Figure 7(c): big communications, sweep over their number."""
+    return run_sweep(fig7_config("c", **kw))
+
+
+def fig8a(**kw) -> SweepResult:
+    """Figure 8(a): 10 communications, sweep over their common weight."""
+    return run_sweep(fig8_config("a", **kw))
+
+
+def fig8b(**kw) -> SweepResult:
+    """Figure 8(b): 20 communications, sweep over their common weight."""
+    return run_sweep(fig8_config("b", **kw))
+
+
+def fig8c(**kw) -> SweepResult:
+    """Figure 8(c): 40 communications, sweep over their common weight."""
+    return run_sweep(fig8_config("c", **kw))
+
+
+def fig9a(**kw) -> SweepResult:
+    """Figure 9(a): 100 small communications, sweep over target length."""
+    return run_sweep(fig9_config("a", **kw))
+
+
+def fig9b(**kw) -> SweepResult:
+    """Figure 9(b): 25 mixed communications, sweep over target length."""
+    return run_sweep(fig9_config("b", **kw))
+
+
+def fig9c(**kw) -> SweepResult:
+    """Figure 9(c): 12 big communications, sweep over target length."""
+    return run_sweep(fig9_config("c", **kw))
+
+
+# ----------------------------------------------------------------------
+# Section 6.4 summary
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SummaryStats:
+    """The §6.4 headline numbers over a mixture of all experiment families.
+
+    ``success_ratio[h]`` reproduces "XY succeeds only 15% of the times,
+    while XYI and PR succeed respectively 46% and 50%" (BEST: 51%);
+    ``inverse_vs_xy[h]`` reproduces "the absolute inverse of power ... is
+    2.44 (resp. 2.57) times higher in XYI (resp. PR) than in XY, and even
+    2.95 times higher in BEST"; ``static_fraction`` reproduces "static
+    power accounts for 1/7-th of the total power"; ``mean_runtime_s[h]``
+    corresponds to the reported 24 ms (XYI) / 38 ms (PR).
+    """
+
+    trials: int
+    success_ratio: Dict[str, float]
+    inverse_vs_xy: Dict[str, float]
+    static_fraction: float
+    mean_runtime_s: Dict[str, float]
+
+
+def _summary_instance_factories():
+    """One workload factory per experiment family of Section 6."""
+    fams = []
+    for lo, hi, ns in (
+        (100.0, 1500.0, range(10, 141, 10)),
+        (100.0, 2500.0, range(5, 71, 5)),
+        (2500.0, 3500.0, range(2, 31, 2)),
+    ):
+        for n in ns:
+            fams.append(
+                lambda mesh, rng, n=n, lo=lo, hi=hi: uniform_random_workload(
+                    mesh, n, lo, hi, rng=rng
+                )
+            )
+    for n, ws in ((10, range(200, 3501, 300)), (20, range(200, 3501, 300)), (40, range(200, 1801, 200))):
+        for w in ws:
+            fams.append(
+                lambda mesh, rng, n=n, w=w: fixed_weight_workload(
+                    mesh, n, float(w), rng=rng
+                )
+            )
+    for n, lo, hi in ((100, 200.0, 800.0), (25, 100.0, 3500.0), (12, 2700.0, 3300.0)):
+        for L in range(2, 15):
+            fams.append(
+                lambda mesh, rng, n=n, lo=lo, hi=hi, L=L: length_targeted_workload(
+                    mesh, n, L, lo, hi, rng=rng
+                )
+            )
+    return fams
+
+
+def summary_statistics(
+    trials: Optional[int] = None,
+    seed: int = 64,
+    heuristic_names: Sequence[str] = PAPER_HEURISTICS,
+) -> SummaryStats:
+    """Reproduce the §6.4 averages over a mixture of all instance families.
+
+    Each trial draws a uniformly random experiment family (a Figure 7/8/9
+    sweep point) and then an instance from it — the closest tractable
+    analogue of the paper's "averaging over all the experiments".
+    """
+    trials = trials if trials is not None else 10 * default_trials()
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    heuristics = [get_heuristic(n) for n in heuristic_names]
+    names = [h.name for h in heuristics] + ["BEST"]
+    fams = _summary_instance_factories()
+
+    succ = {n: 0 for n in names}
+    inv = {n: 0.0 for n in names}
+    runtime = {n: 0.0 for n in names}
+    static_sum = 0.0
+    static_cnt = 0
+
+    for rng in spawn_rngs(seed, trials):
+        fam = fams[int(rng.integers(len(fams)))]
+        problem = RoutingProblem(mesh, power, fam(mesh, rng))
+        results = [h.solve(problem) for h in heuristics]
+        best = best_of_results(results)
+        for res in results:
+            succ[res.name] += int(res.valid)
+            inv[res.name] += res.power_inverse
+            runtime[res.name] += res.runtime_s
+        succ["BEST"] += int(best.valid)
+        inv["BEST"] += best.power_inverse
+        runtime["BEST"] += best.runtime_s
+        if best.valid:
+            static_sum += best.report.static_fraction
+            static_cnt += 1
+
+    xy_inv = inv.get("XY", 0.0)
+    inverse_vs_xy = {
+        n: (inv[n] / xy_inv if xy_inv > 0 else float("inf")) for n in names
+    }
+    return SummaryStats(
+        trials=trials,
+        success_ratio={n: succ[n] / trials for n in names},
+        inverse_vs_xy=inverse_vs_xy,
+        static_fraction=(static_sum / static_cnt if static_cnt else 0.0),
+        mean_runtime_s={n: runtime[n] / trials for n in names},
+    )

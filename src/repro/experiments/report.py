@@ -1,0 +1,45 @@
+"""Text and CSV rendering of sweep results.
+
+The bench harness prints these tables (one row per x value, one column per
+heuristic) so that every reproduced figure has a diffable text form, and
+EXPERIMENTS.md can quote the rows verbatim.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Sequence
+
+from repro.experiments.runner import BEST_KEY, SweepResult
+from repro.utils.tables import format_series
+
+#: metrics worth printing, in presentation order
+DEFAULT_METRICS = ("norm_power_inverse", "failure_ratio")
+
+
+def sweep_to_text(
+    result: SweepResult, metrics: Sequence[str] = DEFAULT_METRICS
+) -> str:
+    """Render a sweep as one table per metric."""
+    blocks = []
+    for metric in metrics:
+        series = result.series(metric)
+        blocks.append(
+            f"== {result.name} :: {metric} ==\n"
+            + format_series(result.x_label, result.x_values, series)
+        )
+    return "\n\n".join(blocks)
+
+
+def sweep_to_csv(result: SweepResult, metrics: Sequence[str] = DEFAULT_METRICS) -> str:
+    """Render a sweep as CSV (long format: metric, heuristic, x, value)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["sweep", "metric", "heuristic", result.x_label, "value"])
+    for metric in metrics:
+        series = result.series(metric)
+        for name in list(result.heuristics) + [BEST_KEY]:
+            for x, v in zip(result.x_values, series[name]):
+                writer.writerow([result.name, metric, name, x, f"{v:.6f}"])
+    return buf.getvalue()

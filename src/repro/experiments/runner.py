@@ -1,0 +1,178 @@
+"""Monte-Carlo sweep runner and the paper's aggregation conventions.
+
+For every trial, all competing heuristics are run on the same instance and
+the virtual BEST result is formed.  Aggregates per sweep point follow
+Section 6:
+
+* **failure ratio** — fraction of instances where the heuristic found no
+  valid routing (BEST fails iff all fail);
+* **normalised power inverse** — per instance, ``(1/P_h) / (1/P_BEST)``
+  with the 0-on-failure convention, averaged over the instances where BEST
+  succeeded (when BEST itself fails the normalisation is undefined and the
+  instance contributes to failure ratios only);
+* **mean power inverse** — the raw ``1/P`` average (0 on failure) behind
+  the Section 6.4 "times higher than XY" ratios;
+* **mean runtime** and **mean static fraction** for the summary claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.experiments.config import SweepConfig, SweepPoint, WorkloadFactory
+from repro.heuristics.base import HeuristicResult, get_heuristic
+from repro.heuristics.best import best_of_results
+from repro.mesh.topology import Mesh
+from repro.core.power import PowerModel
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import InvalidParameterError
+
+#: series key used for the virtual best heuristic
+BEST_KEY = "BEST"
+
+
+@dataclass(frozen=True)
+class HeuristicPointStats:
+    """Aggregates of one heuristic at one sweep point."""
+
+    name: str
+    trials: int
+    successes: int
+    norm_power_inverse: float
+    mean_power_inverse: float
+    mean_runtime_s: float
+    mean_static_fraction: float
+
+    @property
+    def failure_ratio(self) -> float:
+        return 1.0 - self.successes / self.trials
+
+    @property
+    def success_ratio(self) -> float:
+        return self.successes / self.trials
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """All heuristics' aggregates at one sweep point."""
+
+    x: float
+    stats: Dict[str, HeuristicPointStats]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A completed sweep: config echo plus one PointResult per x value."""
+
+    name: str
+    x_label: str
+    heuristics: Tuple[str, ...]
+    points: Tuple[PointResult, ...]
+
+    @property
+    def x_values(self) -> List[float]:
+        return [p.x for p in self.points]
+
+    def series(self, metric: str) -> Dict[str, List[float]]:
+        """Extract ``{heuristic: [value per x]}`` for a metric attribute."""
+        out: Dict[str, List[float]] = {}
+        for name in list(self.heuristics) + [BEST_KEY]:
+            out[name] = [
+                getattr(p.stats[name], metric) for p in self.points
+            ]
+        return out
+
+
+def run_point(
+    mesh: Mesh,
+    power: PowerModel,
+    workload: WorkloadFactory,
+    trials: int,
+    seed: int,
+    heuristic_names: Sequence[str],
+    x: float = 0.0,
+) -> PointResult:
+    """Run ``trials`` independent instances of one sweep point."""
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if not heuristic_names:
+        raise InvalidParameterError("need at least one heuristic name")
+    heuristics = [get_heuristic(n) for n in heuristic_names]
+    names = [h.name for h in heuristics] + [BEST_KEY]
+
+    succ = {n: 0 for n in names}
+    norm_inv = {n: 0.0 for n in names}
+    raw_inv = {n: 0.0 for n in names}
+    runtime = {n: 0.0 for n in names}
+    static_frac = {n: 0.0 for n in names}
+    static_cnt = {n: 0 for n in names}
+    best_valid_trials = 0
+
+    for rng in spawn_rngs(seed, trials):
+        comms = workload(mesh, rng)
+        problem = RoutingProblem(mesh, power, comms)
+        results: List[HeuristicResult] = [h.solve(problem) for h in heuristics]
+        best = best_of_results(results)
+        everything = results + [
+            HeuristicResult(BEST_KEY, best.routing, best.report, best.runtime_s)
+        ]
+        best_ok = best.valid
+        if best_ok:
+            best_valid_trials += 1
+        for res in everything:
+            n = res.name
+            runtime[n] += res.runtime_s
+            raw_inv[n] += res.power_inverse
+            if res.valid:
+                succ[n] += 1
+                static_frac[n] += res.report.static_fraction
+                static_cnt[n] += 1
+            if best_ok:
+                norm_inv[n] += res.power_inverse / best.power_inverse
+
+    stats = {}
+    for n in names:
+        stats[n] = HeuristicPointStats(
+            name=n,
+            trials=trials,
+            successes=succ[n],
+            norm_power_inverse=(
+                norm_inv[n] / best_valid_trials if best_valid_trials else 0.0
+            ),
+            mean_power_inverse=raw_inv[n] / trials,
+            mean_runtime_s=runtime[n] / trials,
+            mean_static_fraction=(
+                static_frac[n] / static_cnt[n] if static_cnt[n] else 0.0
+            ),
+        )
+    return PointResult(x=x, stats=stats)
+
+
+def run_sweep(config: SweepConfig) -> SweepResult:
+    """Run every point of a sweep configuration."""
+    mesh = config.mesh()
+    power = config.power_factory()
+    points = []
+    for k, point in enumerate(config.points):
+        points.append(
+            run_point(
+                mesh,
+                power,
+                point.workload,
+                trials=config.trials,
+                # decorrelate points while keeping the sweep reproducible
+                seed=config.seed * 1_000_003 + k,
+                heuristic_names=config.heuristics,
+                x=point.x,
+            )
+        )
+    return SweepResult(
+        name=config.name,
+        x_label=config.x_label,
+        heuristics=tuple(config.heuristics),
+        points=tuple(points),
+    )

@@ -1,0 +1,183 @@
+"""SA — simulated annealing over the single-path Manhattan routing space.
+
+An extension beyond the paper's five heuristics (Section 5): the paper's
+local-descent improver (XYI) stops at the first local optimum of its
+corner-relocation neighbourhood; annealing explores the same kind of
+neighbourhood — corner flips plus occasional whole-path resamples — but
+accepts uphill moves with the Metropolis rule, escaping the local optima
+where XYI stalls on constrained instances.
+
+Cost function: the *graded* total power
+(:meth:`repro.core.power.PowerModel.total_power_graded`), so the chain
+first repairs bandwidth violations (any overloaded link dominates every
+feasible configuration and the penalty grows with the excess) and then
+minimises true power.
+
+The initial temperature is self-calibrated: a sample of random moves from
+the initial state sets ``T0`` to the median uphill cost change divided by
+``ln(1/accept0)``, so roughly ``accept0`` of median uphill moves are
+accepted at the start; temperature then decays geometrically to
+``T0 * t_end_frac``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.local_moves import RoutingState, flip_positions, initial_moves
+from repro.mesh.paths import Path
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError
+
+
+@register_heuristic("SA")
+class SimulatedAnnealing(Heuristic):
+    """Metropolis annealing on corner flips and path resamples.
+
+    Parameters
+    ----------
+    iterations:
+        Proposals per chain.
+    restarts:
+        Independent chains (different RNG substreams); best result wins.
+    init:
+        Registered heuristic providing the starting routing ("SG" default:
+        cheap and already load-aware).
+    resample_prob:
+        Probability that a proposal resamples a whole path instead of
+        flipping one corner.
+    accept0:
+        Target initial acceptance ratio of the median uphill move (drives
+        the ``T0`` self-calibration).
+    t_end_frac:
+        Final temperature as a fraction of ``T0``.
+    seed:
+        RNG seed (or a Generator); runs are deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        iterations: int = 6000,
+        restarts: int = 1,
+        init: str = "SG",
+        resample_prob: float = 0.15,
+        accept0: float = 0.5,
+        t_end_frac: float = 1e-4,
+        seed: RngLike = 0,
+    ):
+        if iterations < 1:
+            raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+        if restarts < 1:
+            raise InvalidParameterError(f"restarts must be >= 1, got {restarts}")
+        if not 0.0 <= resample_prob <= 1.0:
+            raise InvalidParameterError(
+                f"resample_prob must lie in [0, 1], got {resample_prob}"
+            )
+        if not 0.0 < accept0 < 1.0:
+            raise InvalidParameterError(f"accept0 must lie in (0, 1), got {accept0}")
+        if not 0.0 < t_end_frac < 1.0:
+            raise InvalidParameterError(
+                f"t_end_frac must lie in (0, 1), got {t_end_frac}"
+            )
+        self.iterations = iterations
+        self.restarts = restarts
+        self.init = init
+        self.resample_prob = resample_prob
+        self.accept0 = accept0
+        self.t_end_frac = t_end_frac
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        start = initial_moves(problem, self.init)
+        state = RoutingState(problem, start)
+        movable = state.mutable_comms()
+        if not movable:
+            return state.paths()
+
+        best_moves = state.snapshot()
+        best_cost = state.cost
+        for _ in range(self.restarts):
+            rng = np.random.default_rng(self._rng.integers(2**63))
+            state.restore(start)
+            moves, cost = self._anneal(state, movable, rng)
+            if cost < best_cost:
+                best_cost, best_moves = cost, moves
+        return RoutingState(problem, best_moves).paths()
+
+    # ------------------------------------------------------------------
+    def _anneal(
+        self,
+        state: RoutingState,
+        movable: List[int],
+        rng: np.random.Generator,
+    ) -> tuple[List[str], float]:
+        """One chain; returns the best-seen snapshot and its cost."""
+        t0 = self._calibrate_t0(state, movable, rng)
+        cooling = self.t_end_frac ** (1.0 / max(1, self.iterations - 1))
+        temp = t0
+        best_moves = state.snapshot()
+        best_cost = state.cost
+        n_mov = len(movable)
+        for _ in range(self.iterations):
+            ci = movable[int(rng.integers(n_mov))]
+            if rng.random() < self.resample_prob:
+                dag = state.problem.dag(ci)
+                new_mv = dag.random_moves(rng)
+                if new_mv == "".join(state.moves[ci]):
+                    temp *= cooling
+                    continue
+                new_links, deltas, dcost = state.resample_delta(ci, new_mv)
+                if dcost <= 0 or rng.random() < math.exp(
+                    -min(dcost / max(temp, 1e-300), 700.0)
+                ):
+                    state.apply_resample(ci, new_mv, new_links, deltas, dcost)
+            else:
+                pos = flip_positions(state.moves[ci])
+                if not pos:  # straight-line path of a flippable comm
+                    temp *= cooling
+                    continue
+                j = pos[int(rng.integers(len(pos)))]
+                deltas, dcost = state.flip_delta(ci, j)
+                if dcost <= 0 or rng.random() < math.exp(
+                    -min(dcost / max(temp, 1e-300), 700.0)
+                ):
+                    state.apply_flip(ci, j, deltas, dcost)
+            if state.cost < best_cost:
+                best_cost = state.cost
+                best_moves = state.snapshot()
+            temp *= cooling
+        return best_moves, best_cost
+
+    # ------------------------------------------------------------------
+    def _calibrate_t0(
+        self,
+        state: RoutingState,
+        movable: List[int],
+        rng: np.random.Generator,
+        samples: int = 48,
+    ) -> float:
+        """Median uphill |Δcost| of random corner flips → starting temperature."""
+        ups: List[float] = []
+        n_mov = len(movable)
+        for _ in range(samples):
+            ci = movable[int(rng.integers(n_mov))]
+            pos = flip_positions(state.moves[ci])
+            if not pos:
+                continue
+            j = pos[int(rng.integers(len(pos)))]
+            _, dcost = state.flip_delta(ci, j)
+            if dcost > 0:
+                ups.append(dcost)
+        if not ups:
+            # the initial state is a strict local minimum of the sampled
+            # neighbourhood; a tiny temperature keeps the chain near it
+            return max(abs(state.cost), 1.0) * 1e-9
+        med = float(np.median(ups))
+        return med / math.log(1.0 / self.accept0)

@@ -1,0 +1,176 @@
+"""Heuristic interface, result record, registry and shared load helpers.
+
+Every heuristic consumes a :class:`~repro.core.problem.RoutingProblem` and
+produces a :class:`HeuristicResult`: the constructed
+:class:`~repro.core.routing.Routing` together with its evaluation and wall
+time.  Heuristics never raise on infeasible instances — they return their
+best attempt and the report flags it invalid, matching the paper's
+"failure" bookkeeping.
+
+Heuristic-internal comparisons use the power model's *graded* link power
+(:meth:`repro.core.power.PowerModel.link_power_graded`) so that overloaded
+links are repaired with priority; final reported power always uses the
+strict model.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.evaluate import RoutingReport, evaluate_routing
+from repro.core.power import PowerModel
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class HeuristicResult:
+    """Outcome of one heuristic run on one instance."""
+
+    name: str
+    routing: Routing
+    report: RoutingReport
+    runtime_s: float
+
+    @property
+    def valid(self) -> bool:
+        """Paper validity: no link loaded above bandwidth."""
+        return self.report.valid
+
+    @property
+    def power(self) -> float:
+        """Total power (``inf`` when invalid)."""
+        return self.report.total_power
+
+    @property
+    def power_inverse(self) -> float:
+        """``1/power`` with the paper's 0-on-failure convention."""
+        return self.report.power_inverse
+
+
+class Heuristic(abc.ABC):
+    """Base class: implement :meth:`_route`, inherit timing/evaluation."""
+
+    #: short display name ("XY", "SG", ...); subclasses must override
+    name: str = "?"
+
+    def solve(self, problem: RoutingProblem) -> HeuristicResult:
+        """Route ``problem`` and return the evaluated result."""
+        if problem.num_comms == 0:
+            raise InvalidParameterError(
+                f"{self.name}: cannot route an empty communication set"
+            )
+        t0 = time.perf_counter()
+        paths = self._route(problem)
+        elapsed = time.perf_counter() - t0
+        routing = Routing.single_path(problem, paths)
+        return HeuristicResult(
+            name=self.name,
+            routing=routing,
+            report=evaluate_routing(routing),
+            runtime_s=elapsed,
+        )
+
+    @abc.abstractmethod
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        """Produce one Manhattan path per communication, in problem order."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Callable[[], Heuristic]] = {}
+
+
+def register_heuristic(name: str) -> Callable:
+    """Class decorator registering a zero-argument heuristic factory."""
+
+    def deco(cls):
+        if name in _REGISTRY:
+            raise InvalidParameterError(f"heuristic {name!r} already registered")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def get_heuristic(name: str) -> Heuristic:
+    """Instantiate a registered heuristic by name (case-sensitive)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown heuristic {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_heuristics() -> List[str]:
+    """Names of all registered heuristics."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# shared load-vector helpers
+# ----------------------------------------------------------------------
+def graded_power_delta(
+    power: PowerModel, loads: np.ndarray, deltas: Mapping[int, float]
+) -> float:
+    """Graded-power change if each link ``lid`` gained ``deltas[lid]`` load.
+
+    Only the affected links are evaluated, so this is O(|deltas|) — the
+    delta-evaluation primitive of TB and XYI.
+    """
+    if not deltas:
+        return 0.0
+    lids = np.fromiter(deltas.keys(), dtype=np.int64, count=len(deltas))
+    dl = np.fromiter(deltas.values(), dtype=np.float64, count=len(deltas))
+    old = loads[lids]
+    new = old + dl
+    if new.min() < -1e-9:
+        raise InvalidParameterError("load delta would drive a link negative")
+    new = np.maximum(new, 0.0)
+    # one fused evaluation over [old | new] halves the numpy call overhead
+    both = power.link_power_graded(np.concatenate([old, new]))
+    k = old.size
+    return float(both[k:].sum() - both[:k].sum())
+
+
+def path_swap_deltas(
+    old_links: Sequence[int], new_links: Sequence[int], rate: float
+) -> Dict[int, float]:
+    """Net per-link load change when a flow moves from one path to another."""
+    deltas: Dict[int, float] = {}
+    for lid in old_links:
+        deltas[lid] = deltas.get(lid, 0.0) - rate
+    for lid in new_links:
+        d = deltas.get(lid, 0.0) + rate
+        if d == 0.0 and lid in deltas:
+            del deltas[lid]
+        else:
+            deltas[lid] = d
+    return {lid: d for lid, d in deltas.items() if d != 0.0}
+
+
+def apply_deltas(loads: np.ndarray, deltas: Mapping[int, float]) -> None:
+    """In-place application of a per-link load-change mapping."""
+    for lid, d in deltas.items():
+        loads[lid] += d
+        if loads[lid] < 0:
+            # numerical dust from float accumulation; clamp to zero
+            if loads[lid] < -1e-6:
+                raise InvalidParameterError(
+                    f"link {lid} driven to negative load {loads[lid]}"
+                )
+            loads[lid] = 0.0

@@ -1,0 +1,77 @@
+"""BEST — the virtual best-of-all meta-heuristic (Section 6).
+
+The paper evaluates "the BEST heuristic as the best heuristic among all six
+ones on the given problem instance": run XY, SG, IG, TB, XYI and PR, keep
+the valid routing with the lowest power.  BEST fails only when all of them
+fail.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, HeuristicResult, get_heuristic
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+#: the paper's six competitors, in presentation order
+PAPER_HEURISTICS = ("XY", "SG", "IG", "TB", "XYI", "PR")
+
+
+def best_of_results(results: Sequence[HeuristicResult]) -> HeuristicResult:
+    """Pick the winner among per-heuristic results on one instance.
+
+    Valid routings beat invalid ones; among valid routings, lower power
+    wins; among invalid ones, the first is kept (its report already flags
+    the failure).  The returned result keeps the winning heuristic's name
+    suffixed into ``BEST[name]`` for traceability.
+    """
+    if not results:
+        raise InvalidParameterError("best_of_results needs at least one result")
+    winner = min(
+        results,
+        key=lambda r: (not r.valid, r.power if r.valid else 0.0),
+    )
+    return HeuristicResult(
+        name=f"BEST[{winner.name}]",
+        routing=winner.routing,
+        report=winner.report,
+        runtime_s=sum(r.runtime_s for r in results),
+    )
+
+
+class BestOf(Heuristic):
+    """Run a set of heuristics and keep the best valid routing.
+
+    Parameters
+    ----------
+    names:
+        Heuristic registry names to compete; defaults to the paper's six.
+    """
+
+    name = "BEST"
+
+    def __init__(self, names: Optional[Sequence[str]] = None):
+        self.names = tuple(names) if names is not None else PAPER_HEURISTICS
+        if not self.names:
+            raise InvalidParameterError("BestOf needs at least one heuristic name")
+        self._members = [get_heuristic(n) for n in self.names]
+
+    def solve(self, problem: RoutingProblem) -> HeuristicResult:
+        results = [h.solve(problem) for h in self._members]
+        best = best_of_results(results)
+        return HeuristicResult(
+            name="BEST",
+            routing=best.routing,
+            report=best.report,
+            runtime_s=best.runtime_s,
+        )
+
+    def solve_all(self, problem: RoutingProblem) -> List[HeuristicResult]:
+        """Per-member results (the experiment runner aggregates these)."""
+        return [h.solve(problem) for h in self._members]
+
+    def _route(self, problem: RoutingProblem) -> List[Path]:  # pragma: no cover
+        # BestOf overrides solve(); the abstract hook is never used.
+        raise NotImplementedError("BestOf overrides solve() directly")

@@ -1,0 +1,188 @@
+"""GA — genetic search over single-path Manhattan routings.
+
+The paper's related work (Shin [18], CODES+ISSS'04) applies genetic
+algorithms to the sibling problem of assigning link speeds for a mapped
+task graph; this module brings the same machinery to the routing problem
+itself, as a reference stochastic-search baseline next to the paper's
+constructive heuristics.
+
+Representation: one individual = one move string per communication (the
+complete 1-MP routing).  Fitness = graded total power (lower is better),
+evaluated from scratch per individual with a single ``np.add.at`` load
+accumulation.  Variation: uniform per-communication crossover plus
+per-communication mutation (corner flip or uniform path resample).
+Selection: size-``k`` tournaments with elitism.
+
+The initial population is seeded with the routings of cheap registered
+heuristics (XY, YX, SG by default) so the GA starts no worse than its
+seeds and the comparison against the paper's heuristics is conservative.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.local_moves import flip_positions, initial_moves
+from repro.mesh.moves import moves_to_links
+from repro.mesh.paths import Path
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError
+
+Genome = Tuple[str, ...]
+
+
+@register_heuristic("GA")
+class GeneticRouting(Heuristic):
+    """Tournament-selection GA with heuristic-seeded initial population.
+
+    Parameters
+    ----------
+    population:
+        Individuals per generation (>= 4).
+    generations:
+        Evolution steps after initialisation.
+    tournament:
+        Tournament size for parent selection.
+    crossover_prob:
+        Probability that a child mixes two parents (else clone of one).
+    mutation_prob:
+        Per-communication mutation probability in each child.
+    elite:
+        Individuals copied unchanged into the next generation.
+    seeds:
+        Registered heuristic names whose routings seed the population.
+    seed:
+        RNG seed (or Generator); deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        population: int = 32,
+        generations: int = 60,
+        tournament: int = 3,
+        crossover_prob: float = 0.9,
+        mutation_prob: float = 0.2,
+        elite: int = 2,
+        seeds: Sequence[str] = ("XY", "YX", "SG"),
+        seed: RngLike = 0,
+    ):
+        if population < 4:
+            raise InvalidParameterError(f"population must be >= 4, got {population}")
+        if generations < 1:
+            raise InvalidParameterError(
+                f"generations must be >= 1, got {generations}"
+            )
+        if not 2 <= tournament <= population:
+            raise InvalidParameterError(
+                f"tournament must lie in [2, population], got {tournament}"
+            )
+        if not 0.0 <= crossover_prob <= 1.0:
+            raise InvalidParameterError(
+                f"crossover_prob must lie in [0, 1], got {crossover_prob}"
+            )
+        if not 0.0 <= mutation_prob <= 1.0:
+            raise InvalidParameterError(
+                f"mutation_prob must lie in [0, 1], got {mutation_prob}"
+            )
+        if not 0 <= elite < population:
+            raise InvalidParameterError(
+                f"elite must lie in [0, population), got {elite}"
+            )
+        self.population = population
+        self.generations = generations
+        self.tournament = tournament
+        self.crossover_prob = crossover_prob
+        self.mutation_prob = mutation_prob
+        self.elite = elite
+        self.seeds = tuple(seeds)
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        rng = np.random.default_rng(self._rng.integers(2**63))
+        pop = self._initial_population(problem, rng)
+        fitness = np.array([self._fitness(problem, g) for g in pop])
+
+        for _ in range(self.generations):
+            order = np.argsort(fitness)
+            next_pop: List[Genome] = [pop[i] for i in order[: self.elite]]
+            while len(next_pop) < self.population:
+                a = self._tournament_pick(fitness, rng)
+                if rng.random() < self.crossover_prob:
+                    b = self._tournament_pick(fitness, rng)
+                    child = self._crossover(pop[a], pop[b], rng)
+                else:
+                    child = pop[a]
+                child = self._mutate(problem, child, rng)
+                next_pop.append(child)
+            pop = next_pop
+            fitness = np.array([self._fitness(problem, g) for g in pop])
+
+        best = pop[int(np.argmin(fitness))]
+        return [
+            Path(problem.mesh, c.src, c.snk, mv)
+            for c, mv in zip(problem.comms, best)
+        ]
+
+    # ------------------------------------------------------------------
+    def _initial_population(
+        self, problem: RoutingProblem, rng: np.random.Generator
+    ) -> List[Genome]:
+        pop: List[Genome] = []
+        for name in self.seeds:
+            if len(pop) >= self.population:
+                break
+            pop.append(tuple(initial_moves(problem, name)))
+        while len(pop) < self.population:
+            genome = tuple(
+                problem.dag(i).random_moves(rng) for i in range(problem.num_comms)
+            )
+            pop.append(genome)
+        return pop
+
+    def _fitness(self, problem: RoutingProblem, genome: Genome) -> float:
+        """Graded total power of the genome's routing."""
+        mesh = problem.mesh
+        loads = np.zeros(mesh.num_links, dtype=np.float64)
+        for comm, mv in zip(problem.comms, genome):
+            lids = np.asarray(
+                moves_to_links(mesh, comm.src, comm.snk, mv), dtype=np.int64
+            )
+            np.add.at(loads, lids, comm.rate)
+        return problem.power.total_power_graded(loads)
+
+    def _tournament_pick(self, fitness: np.ndarray, rng: np.random.Generator) -> int:
+        contenders = rng.integers(len(fitness), size=self.tournament)
+        return int(contenders[np.argmin(fitness[contenders])])
+
+    @staticmethod
+    def _crossover(a: Genome, b: Genome, rng: np.random.Generator) -> Genome:
+        """Uniform per-communication exchange (paths are never spliced)."""
+        mask = rng.random(len(a)) < 0.5
+        return tuple(x if m else y for x, y, m in zip(a, b, mask))
+
+    def _mutate(
+        self, problem: RoutingProblem, genome: Genome, rng: np.random.Generator
+    ) -> Genome:
+        out = list(genome)
+        for i in range(len(out)):
+            if rng.random() >= self.mutation_prob:
+                continue
+            comm = problem.comms[i]
+            if comm.delta_u == 0 or comm.delta_v == 0:
+                continue  # unique Manhattan path; nothing to mutate
+            if rng.random() < 0.5:
+                out[i] = problem.dag(i).random_moves(rng)
+            else:
+                mv = list(out[i])
+                pos = flip_positions(mv)
+                if pos:
+                    j = pos[int(rng.integers(len(pos)))]
+                    mv[j], mv[j + 1] = mv[j + 1], mv[j]
+                    out[i] = "".join(mv)
+        return tuple(out)

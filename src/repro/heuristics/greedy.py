@@ -1,0 +1,89 @@
+"""SG — the simple greedy heuristic (Section 5.1).
+
+Communications are processed by decreasing weight.  Each path is built hop
+by hop from the source: among the (at most two) Manhattan-feasible next
+links, take the least loaded one; on a tie, take the link whose head core
+is closest to the straight diagonal from the source to the sink.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.ordering import DEFAULT_ORDERING
+from repro.mesh.moves import MOVE_H, MOVE_V
+from repro.mesh.paths import Path
+
+Coord = Tuple[int, int]
+
+
+def diagonal_offset(src: Coord, snk: Coord, core: Coord) -> float:
+    """Unnormalised distance of ``core`` from the straight line src→snk.
+
+    The absolute value of the cross product of (snk − src) and
+    (core − src); proportional to the perpendicular distance, which is all
+    a comparison needs.
+    """
+    du, dv = snk[0] - src[0], snk[1] - src[1]
+    cu, cv = core[0] - src[0], core[1] - src[1]
+    return abs(du * cv - dv * cu)
+
+
+@register_heuristic("SG")
+class SimpleGreedy(Heuristic):
+    """Least-loaded-next-link greedy with diagonal tie-breaking.
+
+    Parameters
+    ----------
+    ordering:
+        Communication processing order; the paper's default is decreasing
+        weight (see :mod:`repro.heuristics.ordering`).
+    """
+
+    def __init__(self, ordering: str = DEFAULT_ORDERING):
+        self.ordering = ordering
+
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        mesh = problem.mesh
+        loads = np.zeros(mesh.num_links, dtype=np.float64)
+        paths: List[Path | None] = [None] * problem.num_comms
+        for i in problem.order_by(self.ordering):
+            comm = problem.comms[i]
+            dag = problem.dag(i)
+            su, sv = dag.su, dag.sv
+            (u, v), snk = comm.src, comm.snk
+            moves: List[str] = []
+            while (u, v) != snk:
+                cands = []  # (move, lid, next core)
+                if u != snk[0]:
+                    nxt = (u + su, v)
+                    cands.append((MOVE_V, mesh.link_between((u, v), nxt), nxt))
+                if v != snk[1]:
+                    nxt = (u, v + sv)
+                    cands.append((MOVE_H, mesh.link_between((u, v), nxt), nxt))
+                if len(cands) == 1:
+                    move, lid, nxt = cands[0]
+                else:
+                    (mv, lv, cv_), (mh, lh, ch_) = cands
+                    if loads[lv] < loads[lh]:
+                        move, lid, nxt = mv, lv, cv_
+                    elif loads[lh] < loads[lv]:
+                        move, lid, nxt = mh, lh, ch_
+                    else:
+                        # tie: head core closest to the src->snk diagonal;
+                        # a residual tie prefers the horizontal link (XY-like)
+                        dv_off = diagonal_offset(comm.src, snk, cv_)
+                        dh_off = diagonal_offset(comm.src, snk, ch_)
+                        if dv_off < dh_off:
+                            move, lid, nxt = mv, lv, cv_
+                        else:
+                            move, lid, nxt = mh, lh, ch_
+                loads[lid] += comm.rate
+                moves.append(move)
+                u, v = nxt
+            paths[i] = Path(mesh, comm.src, comm.snk, "".join(moves))
+        return paths  # type: ignore[return-value]

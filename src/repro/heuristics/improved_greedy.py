@@ -1,0 +1,147 @@
+"""IG — the improved greedy heuristic (Section 5.2).
+
+Every communication is first *virtually pre-routed* as if it could be
+spread evenly over all the links between consecutive diagonals of its
+rectangle (the ideal distribution of Figure 3).  Communications are then
+processed by decreasing weight: the communication's own pre-routing is
+removed from the link loads, and a unique route is grown from the source;
+at each step the candidate next link is scored by a lower bound on the
+power to reach the sink through it — the power of the candidate link plus,
+for every remaining band between the candidate's head and the sink, the
+power of the least-loaded reachable band link if the communication were
+added to it.  The candidate with the smaller bound wins; ties fall back to
+SG's closest-to-the-diagonal rule.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.greedy import diagonal_offset
+from repro.heuristics.ordering import DEFAULT_ORDERING
+from repro.mesh.moves import MOVE_H, MOVE_V
+from repro.mesh.paths import CommDag, Path
+
+
+class _BandIndex:
+    """Vectorised view of a CommDag's bands for fast sub-rectangle minima."""
+
+    __slots__ = ("lids", "xs", "ys")
+
+    def __init__(self, dag: CommDag):
+        self.lids: List[np.ndarray] = []
+        self.xs: List[np.ndarray] = []
+        self.ys: List[np.ndarray] = []
+        for band in dag.bands():
+            lids = np.asarray(band, dtype=np.int64)
+            xs = np.empty(len(band), dtype=np.int64)
+            ys = np.empty(len(band), dtype=np.int64)
+            for j, lid in enumerate(band):
+                x, y, _kind = dag.edge_tail(lid)
+                xs[j], ys[j] = x, y
+            self.lids.append(lids)
+            self.xs.append(xs)
+            self.ys.append(ys)
+
+    def min_load_after(self, loads: np.ndarray, t: int, x0: int, y0: int) -> float:
+        """Least load among band-``t`` links reachable from node ``(x0, y0)``.
+
+        Reachable means the link's tail has progressed at least ``(x0, y0)``
+        in both coordinates.
+        """
+        mask = (self.xs[t] >= x0) & (self.ys[t] >= y0)
+        return float(loads[self.lids[t][mask]].min())
+
+
+@register_heuristic("IG")
+class ImprovedGreedy(Heuristic):
+    """Pre-routed greedy with band-minimum lower-bound look-ahead."""
+
+    def __init__(self, ordering: str = DEFAULT_ORDERING):
+        self.ordering = ordering
+
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        mesh = problem.mesh
+        power = problem.power
+        n = problem.num_comms
+        loads = np.zeros(mesh.num_links, dtype=np.float64)
+
+        # virtual pre-routing: δ_i / |band| on every band link (Figure 3)
+        pre_bands: List[List[np.ndarray]] = []
+        pre_shares: List[List[float]] = []
+        for i in range(n):
+            dag = problem.dag(i)
+            bands = [np.asarray(b, dtype=np.int64) for b in dag.bands()]
+            share = [problem.comms[i].rate / len(b) for b in bands]
+            for b, s in zip(bands, share):
+                loads[b] += s
+            pre_bands.append(bands)
+            pre_shares.append(share)
+
+        scratch = np.empty(1, dtype=np.float64)
+
+        def link_power_after(load: float, rate: float) -> float:
+            scratch[0] = load + rate
+            return float(power.link_power_graded(scratch)[0])
+
+        paths: List[Path | None] = [None] * n
+        for i in problem.order_by(self.ordering):
+            comm = problem.comms[i]
+            dag = problem.dag(i)
+            index = _BandIndex(dag)
+            # remove this communication's own pre-routing (clamping the
+            # numerical dust that uniform shares can leave behind)
+            for b, s in zip(pre_bands[i], pre_shares[i]):
+                loads[b] = np.maximum(loads[b] - s, 0.0)
+            rate = comm.rate
+            du, dv = dag.du, dag.dv
+            x = y = 0
+            moves: List[str] = []
+            while (x, y) != (du, dv):
+                cands = []  # (move, lid, x', y')
+                if x < du:
+                    cands.append((MOVE_V, dag.edge(x, y, MOVE_V), x + 1, y))
+                if y < dv:
+                    cands.append((MOVE_H, dag.edge(x, y, MOVE_H), x, y + 1))
+                if len(cands) == 1:
+                    move, lid, x2, y2 = cands[0]
+                else:
+                    scored = []
+                    for move, lid, x2, y2 in cands:
+                        bound = link_power_after(loads[lid], rate)
+                        for t in range(x2 + y2, du + dv):
+                            m = index.min_load_after(loads, t, x2, y2)
+                            bound += link_power_after(m, rate)
+                        scored.append((bound, move, lid, x2, y2))
+                    b_v, b_h = scored[0][0], scored[1][0]
+                    if b_v < b_h:
+                        _, move, lid, x2, y2 = scored[0]
+                    elif b_h < b_v:
+                        _, move, lid, x2, y2 = scored[1]
+                    else:
+                        # tie: same rule as SG — head closest to the diagonal,
+                        # residual tie preferring the horizontal hop
+                        offs = []
+                        for _, mv, ld, xx, yy in scored:
+                            head = dag.node_core(xx, yy)
+                            offs.append(
+                                (
+                                    diagonal_offset(comm.src, comm.snk, head),
+                                    1 if mv == MOVE_V else 0,
+                                    mv,
+                                    ld,
+                                    xx,
+                                    yy,
+                                )
+                            )
+                        offs.sort(key=lambda z: (z[0], z[1]))
+                        _, _, move, lid, x2, y2 = offs[0]
+                loads[lid] += rate
+                moves.append(move)
+                x, y = x2, y2
+            paths[i] = Path(mesh, comm.src, comm.snk, "".join(moves))
+        return paths  # type: ignore[return-value]

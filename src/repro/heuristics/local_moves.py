@@ -1,0 +1,254 @@
+"""Mutable 1-MP routing state with O(changed-links) cost updates.
+
+The local-search metaheuristics (:mod:`repro.heuristics.annealing`,
+:mod:`repro.heuristics.tabu`) explore the space of single-path Manhattan
+routings through two elementary moves:
+
+* **corner flip** — swap two adjacent, distinct moves ``…HV… ↔ …VH…`` of
+  one communication's move string.  Adjacent transpositions generate every
+  permutation of the H/V multiset, so corner flips alone connect the whole
+  Manhattan path space of a communication; each flip replaces exactly two
+  links of the path, giving an O(1)-sized load delta.
+* **path resample** — replace one communication's path by a uniformly
+  random Manhattan path (an O(length) delta).
+
+:class:`RoutingState` owns the link-load vector and the graded total power
+(:meth:`repro.core.power.PowerModel.total_power_graded`), and keeps both
+consistent under moves via delta evaluation — the inner-loop primitive that
+makes thousands of annealing steps per second feasible in pure Python.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.heuristics.base import graded_power_delta, path_swap_deltas
+from repro.mesh.moves import MOVE_V
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+Coord = Tuple[int, int]
+
+
+def flip_positions(moves: Sequence[str]) -> List[int]:
+    """Indices ``j`` where ``moves[j] != moves[j+1]`` (flippable corners)."""
+    return [j for j in range(len(moves) - 1) if moves[j] != moves[j + 1]]
+
+
+class RoutingState:
+    """A complete 1-MP routing under local-move mutation.
+
+    Parameters
+    ----------
+    problem:
+        The routing problem; one path per communication is maintained.
+    moves_list:
+        Initial move string per communication, in problem order.
+
+    Attributes
+    ----------
+    loads:
+        Link-load vector (Mb/s per link id), always consistent with the
+        current paths.
+    cost:
+        Graded total power of ``loads`` (strict power when feasible; the
+        graded overload penalty otherwise), maintained incrementally.
+    """
+
+    __slots__ = ("problem", "mesh", "power", "moves", "links", "loads", "cost")
+
+    def __init__(self, problem: RoutingProblem, moves_list: Sequence[str]):
+        if len(moves_list) != problem.num_comms:
+            raise InvalidParameterError(
+                f"expected {problem.num_comms} move strings, got {len(moves_list)}"
+            )
+        self.problem = problem
+        self.mesh = problem.mesh
+        self.power = problem.power
+        self.moves: List[List[str]] = []
+        self.links: List[List[int]] = []
+        self.loads = np.zeros(self.mesh.num_links, dtype=np.float64)
+        for i, mv in enumerate(moves_list):
+            comm = problem.comms[i]
+            path = Path(self.mesh, comm.src, comm.snk, mv)
+            self.moves.append(list(mv))
+            lids = [int(x) for x in path.link_ids]
+            self.links.append(lids)
+            for lid in lids:
+                self.loads[lid] += comm.rate
+        self.cost = self.power.total_power_graded(self.loads)
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def _core_at(self, ci: int, j: int) -> Coord:
+        """Core reached after the first ``j`` moves of communication ``ci``."""
+        comm = self.problem.comms[ci]
+        dag = self.problem.dag(ci)
+        x = y = 0
+        mv = self.moves[ci]
+        for m in mv[:j]:
+            if m == MOVE_V:
+                x += 1
+            else:
+                y += 1
+        return (comm.src[0] + dag.su * x, comm.src[1] + dag.sv * y)
+
+    def _step(self, ci: int, core: Coord, move: str) -> Coord:
+        dag = self.problem.dag(ci)
+        if move == MOVE_V:
+            return (core[0] + dag.su, core[1])
+        return (core[0], core[1] + dag.sv)
+
+    # ------------------------------------------------------------------
+    # corner flips
+    # ------------------------------------------------------------------
+    def flip_links(self, ci: int, j: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Old and new link pairs for the corner flip ``(ci, j)``.
+
+        Returns ``((old_j, old_j1), (new_j, new_j1))``.  Raises when the
+        two moves are equal (nothing to flip).
+        """
+        mv = self.moves[ci]
+        if not 0 <= j < len(mv) - 1:
+            raise InvalidParameterError(
+                f"flip position {j} out of range for a {len(mv)}-hop path"
+            )
+        if mv[j] == mv[j + 1]:
+            raise InvalidParameterError(
+                f"moves {j} and {j + 1} of communication {ci} are both "
+                f"{mv[j]!r}; corner flips need distinct moves"
+            )
+        c0 = self._core_at(ci, j)
+        mid_new = self._step(ci, c0, mv[j + 1])
+        end = self._step(ci, self._step(ci, c0, mv[j]), mv[j + 1])
+        new_j = self.mesh.link_between(c0, mid_new)
+        new_j1 = self.mesh.link_between(mid_new, end)
+        return (self.links[ci][j], self.links[ci][j + 1]), (new_j, new_j1)
+
+    def flip_delta(self, ci: int, j: int) -> Tuple[Dict[int, float], float]:
+        """Load deltas and graded-cost change of corner flip ``(ci, j)``."""
+        (o1, o2), (n1, n2) = self.flip_links(ci, j)
+        rate = self.problem.comms[ci].rate
+        deltas = path_swap_deltas((o1, o2), (n1, n2), rate)
+        return deltas, graded_power_delta(self.power, self.loads, deltas)
+
+    def apply_flip(self, ci: int, j: int, deltas: Dict[int, float], dcost: float) -> None:
+        """Commit a corner flip whose delta was already evaluated."""
+        (_, _), (n1, n2) = self.flip_links(ci, j)
+        mv = self.moves[ci]
+        mv[j], mv[j + 1] = mv[j + 1], mv[j]
+        self.links[ci][j] = n1
+        self.links[ci][j + 1] = n2
+        for lid, d in deltas.items():
+            self.loads[lid] += d
+            if self.loads[lid] < 0:
+                self.loads[lid] = 0.0
+        self.cost += dcost
+
+    # ------------------------------------------------------------------
+    # full-path resamples
+    # ------------------------------------------------------------------
+    def resample_delta(
+        self, ci: int, new_moves: str
+    ) -> Tuple[List[int], Dict[int, float], float]:
+        """Deltas and cost change if ``ci`` switched to ``new_moves``."""
+        comm = self.problem.comms[ci]
+        path = Path(self.mesh, comm.src, comm.snk, new_moves)
+        new_links = [int(x) for x in path.link_ids]
+        deltas = path_swap_deltas(self.links[ci], new_links, comm.rate)
+        return new_links, deltas, graded_power_delta(self.power, self.loads, deltas)
+
+    def apply_resample(
+        self,
+        ci: int,
+        new_moves: str,
+        new_links: List[int],
+        deltas: Dict[int, float],
+        dcost: float,
+    ) -> None:
+        """Commit a path resample whose delta was already evaluated."""
+        self.moves[ci] = list(new_moves)
+        self.links[ci] = list(new_links)
+        for lid, d in deltas.items():
+            self.loads[lid] += d
+            if self.loads[lid] < 0:
+                self.loads[lid] = 0.0
+        self.cost += dcost
+
+    # ------------------------------------------------------------------
+    # export / bookkeeping
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[str]:
+        """Current move strings (copy), one per communication."""
+        return ["".join(mv) for mv in self.moves]
+
+    def restore(self, snapshot: Sequence[str]) -> None:
+        """Reset to a previously captured snapshot (full rebuild)."""
+        self.__init__(self.problem, snapshot)
+
+    def recompute_cost(self) -> float:
+        """From-scratch graded cost (drift check; also resyncs ``cost``)."""
+        self.cost = self.power.total_power_graded(self.loads)
+        return self.cost
+
+    def paths(self) -> List[Path]:
+        """Materialise the current state as validated :class:`Path` objects."""
+        out = []
+        for i, comm in enumerate(self.problem.comms):
+            out.append(Path(self.mesh, comm.src, comm.snk, "".join(self.moves[i])))
+        return out
+
+    def to_routing(self) -> Routing:
+        """Materialise the current state as a single-path routing."""
+        return Routing.single_path(self.problem, self.paths())
+
+    def mutable_comms(self) -> List[int]:
+        """Communications with more than one Manhattan path (flippable)."""
+        return [
+            i
+            for i, comm in enumerate(self.problem.comms)
+            if comm.delta_u > 0 and comm.delta_v > 0
+        ]
+
+    def comms_using(self, lid: int) -> List[int]:
+        """Communications whose current path crosses link ``lid``."""
+        return [ci for ci, lids in enumerate(self.links) if lid in lids]
+
+    def most_loaded_links(self, k: int = 1) -> List[int]:
+        """The ``k`` most loaded link ids, heaviest first (ties arbitrary)."""
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        k = min(k, int(np.count_nonzero(self.loads)))
+        if k == 0:
+            return []
+        idx = np.argpartition(self.loads, -k)[-k:]
+        return [int(i) for i in idx[np.argsort(self.loads[idx])[::-1]]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingState({self.problem.num_comms} comms, "
+            f"cost={self.cost:.6g})"
+        )
+
+
+def initial_moves(problem: RoutingProblem, init: str) -> List[str]:
+    """Move strings of the named registered heuristic's solution.
+
+    ``init`` may be any registered heuristic name ("XY", "SG", "TB", ...);
+    the heuristic is run on ``problem`` and its (single-path) routing is
+    converted to move strings.
+    """
+    from repro.heuristics.base import get_heuristic  # local import: registry
+
+    result = get_heuristic(init).solve(problem)
+    routing = result.routing
+    if not routing.is_single_path:
+        raise InvalidParameterError(
+            f"init heuristic {init!r} produced a split routing"
+        )
+    return [routing.paths(i)[0].moves for i in range(problem.num_comms)]

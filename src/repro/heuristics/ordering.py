@@ -1,0 +1,24 @@
+"""Communication-processing orders for greedy heuristics.
+
+The paper sorts communications by decreasing weight (rate) and reports that
+alternatives — decreasing length, decreasing weight/length density — were
+tried and found worse.  The orderings are exposed here so the ablation
+bench (``benchmarks/test_ablation_ordering.py``) can reproduce that claim.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.problem import RoutingProblem
+
+#: orderings understood by :meth:`RoutingProblem.order_by`
+ORDERINGS = ("weight", "length", "density", "input")
+
+#: the paper's default
+DEFAULT_ORDERING = "weight"
+
+
+def processing_order(problem: RoutingProblem, key: str = DEFAULT_ORDERING) -> List[int]:
+    """Indices of the communications in processing order (see ORDERINGS)."""
+    return problem.order_by(key)

@@ -1,0 +1,162 @@
+"""TABU — tabu search over single-path Manhattan routings.
+
+A best-improvement local search with short-term memory: each iteration
+scores a candidate neighbourhood (corner flips of the communications that
+cross the currently hottest links, plus a random exploration slice),
+commits the best non-tabu move even when it is uphill, and forbids undoing
+it for ``tenure`` iterations.  The aspiration criterion overrides the tabu
+status of any move that would improve on the best routing seen so far.
+
+Like the paper's XYI this is an *improver*: it starts from a registered
+heuristic's routing (SG by default; pass ``init="XYI"`` to refine the
+paper's best improver further), and the tabu memory lets it traverse the
+plateaus and shallow local optima where plain descent stops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.heuristics.local_moves import RoutingState, flip_positions, initial_moves
+from repro.mesh.paths import Path
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError
+
+#: a candidate move: ("flip", ci, j) — resamples are handled separately
+Move = Tuple[int, int]
+
+
+@register_heuristic("TABU")
+class TabuRouting(Heuristic):
+    """Hot-link-guided tabu search with aspiration.
+
+    Parameters
+    ----------
+    iterations:
+        Committed moves (each evaluates up to ``neighborhood`` candidates).
+    tenure:
+        Iterations during which the inverse of a committed flip is tabu.
+    neighborhood:
+        Candidate-move budget per iteration.
+    hot_links:
+        Number of most-loaded links whose crossing communications are
+        prioritised when building the candidate set.
+    init:
+        Registered heuristic providing the starting routing.
+    seed:
+        RNG seed (or Generator); deterministic given the seed.
+    """
+
+    def __init__(
+        self,
+        *,
+        iterations: int = 300,
+        tenure: int = 12,
+        neighborhood: int = 48,
+        hot_links: int = 4,
+        init: str = "SG",
+        seed: RngLike = 0,
+    ):
+        if iterations < 1:
+            raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+        if tenure < 1:
+            raise InvalidParameterError(f"tenure must be >= 1, got {tenure}")
+        if neighborhood < 1:
+            raise InvalidParameterError(
+                f"neighborhood must be >= 1, got {neighborhood}"
+            )
+        if hot_links < 1:
+            raise InvalidParameterError(f"hot_links must be >= 1, got {hot_links}")
+        self.iterations = iterations
+        self.tenure = tenure
+        self.neighborhood = neighborhood
+        self.hot_links = hot_links
+        self.init = init
+        self._rng = ensure_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _route(self, problem: RoutingProblem) -> List[Path]:
+        rng = np.random.default_rng(self._rng.integers(2**63))
+        state = RoutingState(problem, initial_moves(problem, self.init))
+        movable = state.mutable_comms()
+        if not movable:
+            return state.paths()
+
+        best_moves = state.snapshot()
+        best_cost = state.cost
+        tabu: Dict[Tuple[int, str], int] = {}  # (ci, move-string) -> expiry
+
+        for it in range(self.iterations):
+            chosen = self._best_candidate(state, movable, tabu, best_cost, it, rng)
+            if chosen is None:
+                break  # no admissible move in the sampled neighbourhood
+            ci, j, deltas, dcost = chosen
+            # forbid returning to the pre-move path of ci
+            tabu[(ci, "".join(state.moves[ci]))] = it + self.tenure
+            state.apply_flip(ci, j, deltas, dcost)
+            if state.cost < best_cost:
+                best_cost = state.cost
+                best_moves = state.snapshot()
+            if len(tabu) > 4 * self.tenure * len(movable):
+                tabu = {k: v for k, v in tabu.items() if v > it}
+
+        return RoutingState(problem, best_moves).paths()
+
+    # ------------------------------------------------------------------
+    def _best_candidate(
+        self,
+        state: RoutingState,
+        movable: List[int],
+        tabu: Dict[Tuple[int, str], int],
+        best_cost: float,
+        it: int,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[int, int, Dict[int, float], float]]:
+        """Lowest-Δcost admissible flip among hot-link and random candidates."""
+        cands: List[Move] = []
+        seen = set()
+
+        def add(ci: int, j: int) -> None:
+            if (ci, j) not in seen:
+                seen.add((ci, j))
+                cands.append((ci, j))
+
+        # flips touching the hottest links first
+        for lid in state.most_loaded_links(self.hot_links):
+            for ci in state.comms_using(lid):
+                mv = state.moves[ci]
+                k = state.links[ci].index(lid)
+                for j in (k - 1, k):
+                    if 0 <= j < len(mv) - 1 and mv[j] != mv[j + 1]:
+                        add(ci, j)
+                if len(cands) >= self.neighborhood:
+                    break
+            if len(cands) >= self.neighborhood:
+                break
+
+        # random exploration slice
+        n_mov = len(movable)
+        attempts = 0
+        while len(cands) < self.neighborhood and attempts < 4 * self.neighborhood:
+            attempts += 1
+            ci = movable[int(rng.integers(n_mov))]
+            pos = flip_positions(state.moves[ci])
+            if pos:
+                add(ci, pos[int(rng.integers(len(pos)))])
+
+        best: Optional[Tuple[int, int, Dict[int, float], float]] = None
+        for ci, j in cands:
+            deltas, dcost = state.flip_delta(ci, j)
+            # the flip's destination path for ci
+            mv = state.moves[ci]
+            dest = "".join(mv[:j] + [mv[j + 1], mv[j]] + mv[j + 2 :])
+            is_tabu = tabu.get((ci, dest), -1) > it
+            if is_tabu and state.cost + dcost >= best_cost:
+                continue  # tabu and no aspiration
+            if best is None or dcost < best[3]:
+                best = (ci, j, deltas, dcost)
+        return best

@@ -1,0 +1,67 @@
+"""CSV round-trip for workloads (one communication per row).
+
+Columns: ``src_u, src_v, snk_u, snk_v, rate`` — the minimal spreadsheet
+representation of a communication set.  Loading validates through the
+:class:`~repro.core.problem.Communication` constructor.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import List, Sequence, Union
+
+from repro.core.problem import Communication
+from repro.utils.validation import InvalidParameterError
+
+PathLike = Union[str, pathlib.Path]
+
+HEADER = ["src_u", "src_v", "snk_u", "snk_v", "rate"]
+
+
+def workload_to_csv(comms: Sequence[Communication], path: PathLike | None = None) -> str:
+    """Render a workload as CSV text (and optionally write it to ``path``)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(HEADER)
+    for c in comms:
+        writer.writerow([c.src[0], c.src[1], c.snk[0], c.snk[1], c.rate])
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def workload_from_csv(source: PathLike | str) -> List[Communication]:
+    """Parse a workload from CSV text or a CSV file path."""
+    text: str
+    p = pathlib.Path(str(source))
+    if "\n" not in str(source) and p.is_file():
+        text = p.read_text()
+    else:
+        text = str(source)
+    reader = csv.reader(io.StringIO(text))
+    rows = [r for r in reader if r and any(cell.strip() for cell in r)]
+    if not rows:
+        raise InvalidParameterError("empty workload CSV")
+    if [h.strip() for h in rows[0]] != HEADER:
+        raise InvalidParameterError(
+            f"workload CSV header must be {','.join(HEADER)}, "
+            f"got {','.join(rows[0])}"
+        )
+    comms = []
+    for ln, row in enumerate(rows[1:], start=2):
+        if len(row) != 5:
+            raise InvalidParameterError(
+                f"workload CSV line {ln}: expected 5 cells, got {len(row)}"
+            )
+        try:
+            su, sv, du, dv = (int(x) for x in row[:4])
+            rate = float(row[4])
+        except ValueError as exc:
+            raise InvalidParameterError(
+                f"workload CSV line {ln}: {exc}"
+            ) from None
+        comms.append(Communication((su, sv), (du, dv), rate))
+    return comms

@@ -1,0 +1,139 @@
+"""JSON round-trip for problems and routings.
+
+The schema is versioned (``"format": "repro/problem@1"`` etc.) and
+deliberately explicit: meshes by shape, power models by their parameters,
+communications by endpoints and rate, routings by per-flow move strings —
+everything needed to rebuild the objects through their validating
+constructors (loading runs the same checks as building by hand).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.core.power import PowerModel
+from repro.core.problem import Communication, RoutingProblem
+from repro.core.routing import RoutedFlow, Routing
+from repro.mesh.paths import Path
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError
+
+PathLike = Union[str, pathlib.Path]
+
+PROBLEM_FORMAT = "repro/problem@1"
+ROUTING_FORMAT = "repro/routing@1"
+
+
+def _power_to_dict(p: PowerModel) -> Dict[str, Any]:
+    return {
+        "p_leak": p.p_leak,
+        "p0": p.p0,
+        "alpha": p.alpha,
+        "bandwidth": p.bandwidth,
+        "frequencies": list(p.frequencies) if p.frequencies else None,
+        "freq_unit": p.freq_unit,
+    }
+
+
+def _power_from_dict(d: Dict[str, Any]) -> PowerModel:
+    freqs = d.get("frequencies")
+    return PowerModel(
+        p_leak=float(d["p_leak"]),
+        p0=float(d["p0"]),
+        alpha=float(d["alpha"]),
+        bandwidth=float(d["bandwidth"]),
+        frequencies=tuple(freqs) if freqs else None,
+        freq_unit=float(d.get("freq_unit", 1.0)),
+    )
+
+
+def problem_to_dict(problem: RoutingProblem) -> Dict[str, Any]:
+    """Serialisable representation of a routing problem."""
+    return {
+        "format": PROBLEM_FORMAT,
+        "mesh": {"p": problem.mesh.p, "q": problem.mesh.q},
+        "power": _power_to_dict(problem.power),
+        "comms": [
+            {"src": list(c.src), "snk": list(c.snk), "rate": c.rate}
+            for c in problem.comms
+        ],
+    }
+
+
+def problem_from_dict(d: Dict[str, Any]) -> RoutingProblem:
+    """Rebuild a problem (re-validating every field)."""
+    if d.get("format") != PROBLEM_FORMAT:
+        raise InvalidParameterError(
+            f"expected format {PROBLEM_FORMAT!r}, got {d.get('format')!r}"
+        )
+    mesh = Mesh(int(d["mesh"]["p"]), int(d["mesh"]["q"]))
+    power = _power_from_dict(d["power"])
+    comms = [
+        Communication(tuple(c["src"]), tuple(c["snk"]), float(c["rate"]))
+        for c in d["comms"]
+    ]
+    return RoutingProblem(mesh, power, comms)
+
+
+def routing_to_dict(routing: Routing) -> Dict[str, Any]:
+    """Serialisable representation of a routing (with its problem)."""
+    return {
+        "format": ROUTING_FORMAT,
+        "problem": problem_to_dict(routing.problem),
+        "flows": [
+            [{"moves": f.path.moves, "rate": f.rate} for f in fl]
+            for fl in routing.flows
+        ],
+    }
+
+
+def routing_from_dict(d: Dict[str, Any]) -> Routing:
+    """Rebuild a routing; paths are re-validated against the problem."""
+    if d.get("format") != ROUTING_FORMAT:
+        raise InvalidParameterError(
+            f"expected format {ROUTING_FORMAT!r}, got {d.get('format')!r}"
+        )
+    problem = problem_from_dict(d["problem"])
+    flows = []
+    for comm, fl in zip(problem.comms, d["flows"]):
+        flows.append(
+            [
+                RoutedFlow(
+                    Path(problem.mesh, comm.src, comm.snk, f["moves"]),
+                    float(f["rate"]),
+                )
+                for f in fl
+            ]
+        )
+    if len(d["flows"]) != problem.num_comms:
+        raise InvalidParameterError(
+            f"routing has {len(d['flows'])} flow lists for "
+            f"{problem.num_comms} communications"
+        )
+    return Routing(problem, flows)
+
+
+def save_problem(problem: RoutingProblem, path: PathLike) -> None:
+    """Write a problem to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(problem_to_dict(problem), indent=2) + "\n"
+    )
+
+
+def load_problem(path: PathLike) -> RoutingProblem:
+    """Read a problem from a JSON file."""
+    return problem_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def save_routing(routing: Routing, path: PathLike) -> None:
+    """Write a routing (and its problem) to a JSON file."""
+    pathlib.Path(path).write_text(
+        json.dumps(routing_to_dict(routing), indent=2) + "\n"
+    )
+
+
+def load_routing(path: PathLike) -> Routing:
+    """Read a routing from a JSON file."""
+    return routing_from_dict(json.loads(pathlib.Path(path).read_text()))

@@ -1,0 +1,133 @@
+"""Diagonal geometry of Section 3.3.
+
+The paper indexes, for each of the four movement *directions* ``d``, a family
+of anti-diagonals ``D(d)_k`` such that every Manhattan path of a
+communication with direction ``d`` crosses exactly one link from ``D(d)_k``
+to ``D(d)_{k+1}`` per hop.  This module provides the direction of a
+communication, the (0-indexed) diagonal index of a core, the cores of a
+diagonal, and the *band* of mesh links between two consecutive diagonals —
+the load-balancing unit used by the IG and PR heuristics and by the
+theoretical lower bounds.
+
+Direction numbering follows the paper:
+
+====  =================================  ==========
+``d``  source/sink relation               unit steps
+====  =================================  ==========
+1      ``u_src <= u_snk, v_src <= v_snk``  ``(+1, +1)``
+2      ``u_src <= u_snk, v_src >  v_snk``  ``(+1, -1)``
+3      ``u_src >  u_snk, v_src >  v_snk``  ``(-1, -1)``
+4      ``u_src >  u_snk, v_src <= v_snk``  ``(-1, +1)``
+====  =================================  ==========
+
+Diagonal indices are 0-based here: core ``(u, v)`` lies on ``D(d)_k`` with
+``k = a + b`` where ``(a, b)`` are the distances already travelled along the
+direction's axes.  The paper's 1-based index is ``k + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError
+
+Coord = Tuple[int, int]
+
+#: unit steps (su, sv) per paper direction d
+_STEPS = {1: (1, 1), 2: (1, -1), 3: (-1, -1), 4: (-1, 1)}
+
+
+def direction_steps(d: int) -> Tuple[int, int]:
+    """Vertical/horizontal unit steps ``(su, sv)`` of direction ``d``."""
+    try:
+        return _STEPS[d]
+    except KeyError:
+        raise InvalidParameterError(f"direction must be 1..4, got {d!r}") from None
+
+
+def direction_of(src: Coord, snk: Coord) -> int:
+    """Paper direction ``d`` of a communication from ``src`` to ``snk``.
+
+    Ties follow the paper's conventions: a non-decreasing coordinate counts
+    as moving in the positive direction (so a purely horizontal eastward
+    communication has ``d = 1``).
+
+    Raises
+    ------
+    InvalidParameterError
+        If ``src == snk`` (a communication must move).
+    """
+    (us, vs), (ud, vd) = src, snk
+    if src == snk:
+        raise InvalidParameterError(f"src and snk coincide at {src}")
+    if us <= ud:
+        return 1 if vs <= vd else 2
+    return 4 if vs <= vd else 3
+
+
+def diag_index(mesh: Mesh, d: int, u: int, v: int) -> int:
+    """0-based index ``k`` of the diagonal ``D(d)_k`` containing ``(u, v)``.
+
+    Ranges over ``0 .. p + q - 2``; the paper's 1-based ``k`` is this plus 1.
+    """
+    mesh.check_core(u, v)
+    su, sv = direction_steps(d)
+    a = u if su > 0 else mesh.p - 1 - u
+    b = v if sv > 0 else mesh.q - 1 - v
+    return a + b
+
+
+def diagonal_cores(mesh: Mesh, d: int, k: int) -> List[Coord]:
+    """All cores on diagonal ``D(d)_k`` (0-based ``k``)."""
+    if not 0 <= k <= mesh.p + mesh.q - 2:
+        raise InvalidParameterError(
+            f"diagonal index {k} out of range [0, {mesh.p + mesh.q - 2}]"
+        )
+    su, sv = direction_steps(d)
+    out: List[Coord] = []
+    for a in range(min(k, mesh.p - 1) + 1):
+        b = k - a
+        if b < 0 or b > mesh.q - 1:
+            continue
+        u = a if su > 0 else mesh.p - 1 - a
+        v = b if sv > 0 else mesh.q - 1 - b
+        out.append((u, v))
+    return out
+
+
+def band_links_full(mesh: Mesh, d: int, k: int) -> List[int]:
+    """Ids of every mesh link from ``D(d)_k`` to ``D(d)_{k+1}``.
+
+    This is the *whole-chip* band used by the theoretical lower bound
+    (Theorems 1 and 2): the ideal load-balancing would spread the traffic
+    crossing diagonal ``k`` over all these links.  Per-communication bands
+    (restricted to the communication's rectangle) live on
+    :class:`repro.mesh.paths.CommDag`.
+    """
+    su, sv = direction_steps(d)
+    out: List[int] = []
+    for (u, v) in diagonal_cores(mesh, d, k):
+        u2 = u + su
+        if 0 <= u2 < mesh.p:
+            out.append(mesh.link_between((u, v), (u2, v)))
+        v2 = v + sv
+        if 0 <= v2 < mesh.q:
+            out.append(mesh.link_between((u, v), (u, v2)))
+    return out
+
+
+def band_link_count(mesh: Mesh, d: int, k: int) -> int:
+    """Number of links from ``D(d)_k`` to ``D(d)_{k+1}`` (fast count).
+
+    Equals ``len(band_links_full(mesh, d, k))`` but computed in O(diagonal)
+    without materialising link ids.
+    """
+    su, sv = direction_steps(d)
+    n = 0
+    for (u, v) in diagonal_cores(mesh, d, k):
+        if 0 <= u + su < mesh.p:
+            n += 1
+        if 0 <= v + sv < mesh.q:
+            n += 1
+    return n

@@ -1,0 +1,297 @@
+"""Mesh topology with dense link ids and vectorised link metadata.
+
+The CMP platform of the paper (Section 3.1): ``p × q`` homogeneous cores on
+a rectangular grid, with a pair of unidirectional links between each pair of
+vertically or horizontally adjacent cores.
+
+Link ids are dense integers laid out orientation-major so that the load of
+every link in the chip fits in one flat ``numpy`` vector:
+
+* ``E`` links ``(u, v) -> (u, v+1)`` occupy ids ``[0, p*(q-1))``,
+* ``W`` links ``(u, v) -> (u, v-1)`` occupy the next ``p*(q-1)`` ids,
+* ``S`` links ``(u, v) -> (u+1, v)`` the next ``(p-1)*q`` ids,
+* ``N`` links ``(u, v) -> (u-1, v)`` the last ``(p-1)*q`` ids.
+
+All id arithmetic is O(1); the reverse mapping and per-link coordinate
+arrays are precomputed once per mesh.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.validation import InvalidParameterError
+
+Coord = Tuple[int, int]
+
+
+class Orientation(enum.Enum):
+    """Direction a unidirectional link points to, in grid terms."""
+
+    EAST = "E"  #: column + 1
+    WEST = "W"  #: column - 1
+    SOUTH = "S"  #: row + 1
+    NORTH = "N"  #: row - 1
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self in (Orientation.EAST, Orientation.WEST)
+
+
+class Mesh:
+    """A ``p × q`` mesh CMP with two unidirectional links per adjacency.
+
+    Parameters
+    ----------
+    p:
+        Number of rows (``u`` coordinate runs over ``0..p-1``).
+    q:
+        Number of columns (``v`` coordinate runs over ``0..q-1``).
+
+    Notes
+    -----
+    The mesh is immutable.  Two meshes with equal ``(p, q)`` compare equal
+    and hash equally, so meshes can key caches.
+    """
+
+    __slots__ = (
+        "p",
+        "q",
+        "num_cores",
+        "num_links",
+        "_ne",
+        "_ns",
+        "_tail_u",
+        "_tail_v",
+        "_head_u",
+        "_head_v",
+        "_horizontal_mask",
+    )
+
+    def __init__(self, p: int, q: int):
+        if not (isinstance(p, (int, np.integer)) and isinstance(q, (int, np.integer))):
+            raise InvalidParameterError(f"p and q must be integers, got {p!r}, {q!r}")
+        if p < 1 or q < 1:
+            raise InvalidParameterError(f"mesh dimensions must be >= 1, got {p}x{q}")
+        self.p = int(p)
+        self.q = int(q)
+        self.num_cores = self.p * self.q
+        self._ne = self.p * (self.q - 1)  # count of E (also of W) links
+        self._ns = (self.p - 1) * self.q  # count of S (also of N) links
+        self.num_links = 2 * (self._ne + self._ns)
+        self._build_link_arrays()
+
+    def _build_link_arrays(self) -> None:
+        """Precompute tail/head coordinates and orientation per link id."""
+        n = self.num_links
+        tail_u = np.empty(n, dtype=np.int64)
+        tail_v = np.empty(n, dtype=np.int64)
+        head_u = np.empty(n, dtype=np.int64)
+        head_v = np.empty(n, dtype=np.int64)
+        horiz = np.zeros(n, dtype=bool)
+        for lid in range(n):
+            (u, v), (u2, v2) = self._endpoints_slow(lid)
+            tail_u[lid], tail_v[lid] = u, v
+            head_u[lid], head_v[lid] = u2, v2
+            horiz[lid] = u == u2
+        for arr in (tail_u, tail_v, head_u, head_v, horiz):
+            arr.setflags(write=False)
+        self._tail_u, self._tail_v = tail_u, tail_v
+        self._head_u, self._head_v = head_u, head_v
+        self._horizontal_mask = horiz
+
+    # ------------------------------------------------------------------
+    # core indexing
+    # ------------------------------------------------------------------
+    def core_index(self, u: int, v: int) -> int:
+        """Dense core id (row-major)."""
+        self.check_core(u, v)
+        return u * self.q + v
+
+    def core_coords(self, idx: int) -> Coord:
+        """Inverse of :meth:`core_index`."""
+        if not 0 <= idx < self.num_cores:
+            raise InvalidParameterError(
+                f"core index {idx} out of range [0, {self.num_cores})"
+            )
+        return divmod(idx, self.q)
+
+    def check_core(self, u: int, v: int) -> None:
+        """Raise :class:`InvalidParameterError` unless ``(u, v)`` is on-grid."""
+        if not (0 <= u < self.p and 0 <= v < self.q):
+            raise InvalidParameterError(
+                f"core ({u}, {v}) outside {self.p}x{self.q} mesh"
+            )
+
+    def cores(self) -> Iterator[Coord]:
+        """Iterate over all core coordinates in row-major order."""
+        for u in range(self.p):
+            for v in range(self.q):
+                yield (u, v)
+
+    def succ(self, u: int, v: int) -> List[Coord]:
+        """Neighbouring cores reachable by one outgoing link (paper's succ)."""
+        self.check_core(u, v)
+        out: List[Coord] = []
+        if v + 1 < self.q:
+            out.append((u, v + 1))
+        if v - 1 >= 0:
+            out.append((u, v - 1))
+        if u + 1 < self.p:
+            out.append((u + 1, v))
+        if u - 1 >= 0:
+            out.append((u - 1, v))
+        return out
+
+    # ------------------------------------------------------------------
+    # link indexing
+    # ------------------------------------------------------------------
+    def link_east(self, u: int, v: int) -> int:
+        """Id of link ``(u, v) -> (u, v+1)``."""
+        self.check_core(u, v)
+        if v + 1 >= self.q:
+            raise InvalidParameterError(f"no east link from ({u}, {v})")
+        return u * (self.q - 1) + v
+
+    def link_west(self, u: int, v: int) -> int:
+        """Id of link ``(u, v) -> (u, v-1)``."""
+        self.check_core(u, v)
+        if v - 1 < 0:
+            raise InvalidParameterError(f"no west link from ({u}, {v})")
+        return self._ne + u * (self.q - 1) + (v - 1)
+
+    def link_south(self, u: int, v: int) -> int:
+        """Id of link ``(u, v) -> (u+1, v)``."""
+        self.check_core(u, v)
+        if u + 1 >= self.p:
+            raise InvalidParameterError(f"no south link from ({u}, {v})")
+        return 2 * self._ne + u * self.q + v
+
+    def link_north(self, u: int, v: int) -> int:
+        """Id of link ``(u, v) -> (u-1, v)``."""
+        self.check_core(u, v)
+        if u - 1 < 0:
+            raise InvalidParameterError(f"no north link from ({u}, {v})")
+        return 2 * self._ne + self._ns + (u - 1) * self.q + v
+
+    def link_between(self, tail: Coord, head: Coord) -> int:
+        """Id of the directed link from ``tail`` to ``head``.
+
+        Raises
+        ------
+        InvalidParameterError
+            If the two cores are not adjacent on the grid.
+        """
+        (u, v), (u2, v2) = tail, head
+        du, dv = u2 - u, v2 - v
+        if (du, dv) == (0, 1):
+            return self.link_east(u, v)
+        if (du, dv) == (0, -1):
+            return self.link_west(u, v)
+        if (du, dv) == (1, 0):
+            return self.link_south(u, v)
+        if (du, dv) == (-1, 0):
+            return self.link_north(u, v)
+        raise InvalidParameterError(f"cores {tail} and {head} are not adjacent")
+
+    def _endpoints_slow(self, lid: int) -> Tuple[Coord, Coord]:
+        """Decode a link id into ``(tail, head)`` without the cached arrays."""
+        if not 0 <= lid < self.num_links:
+            raise InvalidParameterError(
+                f"link id {lid} out of range [0, {self.num_links})"
+            )
+        if lid < self._ne:  # E
+            u, v = divmod(lid, self.q - 1)
+            return (u, v), (u, v + 1)
+        lid2 = lid - self._ne
+        if lid2 < self._ne:  # W
+            u, vm1 = divmod(lid2, self.q - 1)
+            return (u, vm1 + 1), (u, vm1)
+        lid3 = lid2 - self._ne
+        if lid3 < self._ns:  # S
+            u, v = divmod(lid3, self.q)
+            return (u, v), (u + 1, v)
+        lid4 = lid3 - self._ns  # N
+        um1, v = divmod(lid4, self.q)
+        return (um1 + 1, v), (um1, v)
+
+    def link_endpoints(self, lid: int) -> Tuple[Coord, Coord]:
+        """``(tail, head)`` coordinates of link ``lid``."""
+        if not 0 <= lid < self.num_links:
+            raise InvalidParameterError(
+                f"link id {lid} out of range [0, {self.num_links})"
+            )
+        return (
+            (int(self._tail_u[lid]), int(self._tail_v[lid])),
+            (int(self._head_u[lid]), int(self._head_v[lid])),
+        )
+
+    def link_orientation(self, lid: int) -> Orientation:
+        """Which way link ``lid`` points."""
+        (u, v), (u2, v2) = self.link_endpoints(lid)
+        if u2 == u:
+            return Orientation.EAST if v2 > v else Orientation.WEST
+        return Orientation.SOUTH if u2 > u else Orientation.NORTH
+
+    def is_horizontal(self, lid: int) -> bool:
+        """True for E/W links, False for S/N links."""
+        if not 0 <= lid < self.num_links:
+            raise InvalidParameterError(
+                f"link id {lid} out of range [0, {self.num_links})"
+            )
+        return bool(self._horizontal_mask[lid])
+
+    def opposite(self, lid: int) -> int:
+        """Id of the link in the opposite direction between the same cores."""
+        tail, head = self.link_endpoints(lid)
+        return self.link_between(head, tail)
+
+    def link_str(self, lid: int) -> str:
+        """Human-readable rendering, e.g. ``'(0,1)->(0,2)'``."""
+        (u, v), (u2, v2) = self.link_endpoints(lid)
+        return f"({u},{v})->({u2},{v2})"
+
+    def links(self) -> Iterator[int]:
+        """Iterate over all link ids."""
+        return iter(range(self.num_links))
+
+    # vectorised metadata -------------------------------------------------
+    @property
+    def tail_u(self) -> np.ndarray:
+        """Row of every link's tail core (read-only view)."""
+        return self._tail_u
+
+    @property
+    def tail_v(self) -> np.ndarray:
+        """Column of every link's tail core (read-only view)."""
+        return self._tail_v
+
+    @property
+    def head_u(self) -> np.ndarray:
+        """Row of every link's head core (read-only view)."""
+        return self._head_u
+
+    @property
+    def head_v(self) -> np.ndarray:
+        """Column of every link's head core (read-only view)."""
+        return self._head_v
+
+    @property
+    def horizontal_mask(self) -> np.ndarray:
+        """Boolean vector: True where the link is E or W."""
+        return self._horizontal_mask
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Mesh(p={self.p}, q={self.q})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Mesh) and (self.p, self.q) == (other.p, other.q)
+
+    def __hash__(self) -> int:
+        return hash(("Mesh", self.p, self.q))

@@ -1,0 +1,37 @@
+"""Multi-path (s-MP) routing heuristics — the paper's sketched future work.
+
+The conclusion of the paper: "it may be interesting to design multi-path
+heuristics, since these may allow for an even better load-balance of
+communications throughout the CMP".  This package provides three:
+
+* :class:`~repro.multipath.split_two_bend.SplitTwoBend` — a direct s-MP
+  generalisation of the TB heuristic: each communication is water-filled
+  over its cheapest two-bend paths, at most ``s`` of them;
+* :class:`~repro.multipath.fw_rounding.FrankWolfeRounding` — solve the
+  continuous max-MP relaxation with Frank–Wolfe, keep each
+  communication's ``s`` heaviest paths, and locally repair any bandwidth
+  violation the trimming introduced;
+* :class:`~repro.multipath.adaptive_split.AdaptiveSplitRepair` — start
+  from a single-path heuristic and split *only* the communications whose
+  links are overloaded, addressing the paper's reassembly-overhead
+  concern by paying for splits exactly where congestion demands them.
+
+Both return ordinary :class:`~repro.core.routing.Routing` objects (with
+``max_split <= s``), evaluated under the same validity/power rules as the
+single-path heuristics, so the benches can quantify exactly how much
+splitting buys over 1-MP — including on the pigeonhole instances where no
+single-path routing exists at all.
+"""
+
+from repro.multipath.base import MultiPathHeuristic, MultiPathResult
+from repro.multipath.split_two_bend import SplitTwoBend
+from repro.multipath.fw_rounding import FrankWolfeRounding
+from repro.multipath.adaptive_split import AdaptiveSplitRepair
+
+__all__ = [
+    "MultiPathHeuristic",
+    "MultiPathResult",
+    "SplitTwoBend",
+    "FrankWolfeRounding",
+    "AdaptiveSplitRepair",
+]

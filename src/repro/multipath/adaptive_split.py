@@ -1,0 +1,189 @@
+"""ASR — adaptive split repair: split only where single paths fail.
+
+The paper restricts its heuristics to single paths "because of the
+overhead incurred by routing a given communication across several paths",
+yet its conclusion asks for multi-path heuristics because splitting may
+be the only way to route a constrained instance.  This heuristic takes
+the practical middle ground:
+
+1. run a (configurable) single-path heuristic;
+2. while some link is overloaded, take the largest communication crossing
+   the most overloaded link and *split it once*: move the rate fraction
+   that repairs the overload onto its best alternative two-bend path
+   (evaluated under graded power), within the per-communication budget
+   of ``s`` paths;
+3. stop when the routing is valid, no overloaded link has a splittable
+   communication left, or the split budget is exhausted everywhere.
+
+Most communications therefore keep one path (no reassembly overhead);
+splitting is paid only by the few flows whose congestion demands it —
+and the result records exactly how many.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import RoutedFlow, Routing
+from repro.heuristics.base import get_heuristic
+from repro.mesh.moves import two_bend_moves
+from repro.mesh.paths import Path
+from repro.multipath.base import MultiPathHeuristic
+from repro.utils.validation import InvalidParameterError
+
+
+class AdaptiveSplitRepair(MultiPathHeuristic):
+    """Split-on-demand repair of a single-path routing.
+
+    Parameters
+    ----------
+    s:
+        Split budget per communication (>= 2 for any repair to happen).
+    init:
+        Registered single-path heuristic providing the starting routing
+        ("XYI" default: the best unconstrained heuristic of the paper).
+    max_repairs:
+        Hard cap on split operations (defends against pathological
+        instances; generous by default).
+    """
+
+    name = "ASR"
+
+    def __init__(self, s: int = 2, init: str = "XYI", max_repairs: int = 256):
+        super().__init__(s)
+        if max_repairs < 1:
+            raise InvalidParameterError(
+                f"max_repairs must be >= 1, got {max_repairs}"
+            )
+        self.init = init
+        self.max_repairs = max_repairs
+
+    # ------------------------------------------------------------------
+    def _route(self, problem: RoutingProblem) -> Routing:
+        mesh = problem.mesh
+        power = problem.power
+        start = get_heuristic(self.init).solve(problem).routing
+        flows: List[List[RoutedFlow]] = [
+            list(fl) for fl in start.flows
+        ]
+        loads = start.link_loads().copy()
+        bw = power.bandwidth
+
+        for _ in range(self.max_repairs):
+            over = loads - bw
+            lid = int(np.argmax(over))
+            if over[lid] <= bw * 1e-12:
+                break  # valid
+            repaired = self._repair_link(problem, flows, loads, lid)
+            if not repaired:
+                # try the next most overloaded links before giving up
+                order = np.argsort(loads)[::-1]
+                for cand in order:
+                    cand = int(cand)
+                    if loads[cand] <= bw * (1 + 1e-12):
+                        break
+                    if cand != lid and self._repair_link(
+                        problem, flows, loads, cand
+                    ):
+                        repaired = True
+                        break
+                if not repaired:
+                    break  # no overloaded link is repairable
+        return Routing(problem, flows)
+
+    # ------------------------------------------------------------------
+    def _repair_link(
+        self,
+        problem: RoutingProblem,
+        flows: List[List[RoutedFlow]],
+        loads: np.ndarray,
+        lid: int,
+    ) -> bool:
+        """Split one flow off ``lid``; returns True when progress was made."""
+        mesh = problem.mesh
+        power = problem.power
+        bw = power.bandwidth
+        excess = loads[lid] - bw
+
+        # candidate flows over this link, largest rate first, that still
+        # have split budget and at least one alternative two-bend path
+        cands: List[Tuple[float, int, int]] = []  # (rate, comm, flow idx)
+        for i, fl in enumerate(flows):
+            if len(fl) >= self.s:
+                continue
+            for j, f in enumerate(fl):
+                if f.path.uses_link(lid):
+                    cands.append((f.rate, i, j))
+        cands.sort(reverse=True)
+
+        for rate, i, j in cands:
+            flow = flows[i][j]
+            alt = self._best_alternative(
+                problem, loads, flow.path, lid, rate, excess
+            )
+            if alt is None:
+                continue
+            new_path, moved = alt
+            # commit: shrink (or remove) the old flow, add the new one
+            for l in flow.path.link_ids:
+                loads[l] -= moved
+            for l in new_path.link_ids:
+                loads[l] += moved
+            remaining = flow.rate - moved
+            if remaining > bw * 1e-12:
+                flows[i][j] = RoutedFlow(path=flow.path, rate=remaining)
+                flows[i].append(RoutedFlow(path=new_path, rate=moved))
+            else:
+                flows[i][j] = RoutedFlow(path=new_path, rate=flow.rate)
+            return True
+        return False
+
+    def _best_alternative(
+        self,
+        problem: RoutingProblem,
+        loads: np.ndarray,
+        path: Path,
+        lid: int,
+        rate: float,
+        excess: float,
+    ) -> Optional[Tuple[Path, float]]:
+        """Cheapest two-bend detour avoiding ``lid`` and how much to move.
+
+        Moves the smaller of (the flow's rate) and (the excess plus a 5%
+        margin), but only onto a path whose own links keep enough room —
+        a detour that creates a new overload is rejected.
+        """
+        mesh = problem.mesh
+        power = problem.power
+        bw = power.bandwidth
+        src, snk = path.src, path.snk
+        want = min(rate, excess * 1.05 + bw * 1e-9)
+        if want <= 0:
+            return None
+
+        best: Optional[Tuple[float, float, Path, float]] = None
+        for moves in two_bend_moves(src, snk):
+            cand = Path(mesh, src, snk, moves)
+            if cand.uses_link(lid) or cand.moves == path.moves:
+                continue
+            # the candidate can absorb only its own headroom; a partial
+            # move still makes progress (later repairs continue)
+            avail = float(bw - loads[cand.link_ids].max())
+            moved = min(want, avail)
+            if moved <= bw * 1e-9:
+                continue  # no room at all on this detour
+            new_loads = loads[cand.link_ids] + moved
+            cost = float(
+                np.sum(power.link_power_graded(new_loads))
+                - np.sum(power.link_power_graded(loads[cand.link_ids]))
+            )
+            # prefer candidates that relieve more, then cheaper ones
+            key = (-moved, cost)
+            if best is None or key < (best[0], best[1]):
+                best = (-moved, cost, cand, moved)
+        if best is None:
+            return None
+        return best[2], best[3]

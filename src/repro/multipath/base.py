@@ -1,0 +1,80 @@
+"""Interface shared by the s-MP heuristics.
+
+Mirrors :mod:`repro.heuristics.base` but produces (possibly) split
+routings; the split bound ``s`` is a constructor parameter so one instance
+corresponds to one point of the XY ⊂ 1-MP ⊂ s-MP hierarchy.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass
+
+from repro.core.evaluate import RoutingReport, evaluate_routing
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.utils.validation import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class MultiPathResult:
+    """Outcome of one s-MP heuristic run."""
+
+    name: str
+    s: int
+    routing: Routing
+    report: RoutingReport
+    runtime_s: float
+
+    @property
+    def valid(self) -> bool:
+        return self.report.valid
+
+    @property
+    def power(self) -> float:
+        return self.report.total_power
+
+    @property
+    def power_inverse(self) -> float:
+        return self.report.power_inverse
+
+
+class MultiPathHeuristic(abc.ABC):
+    """Base class: implement :meth:`_route`, inherit timing/evaluation."""
+
+    name: str = "?"
+
+    def __init__(self, s: int = 2):
+        if s < 1:
+            raise InvalidParameterError(f"split bound s must be >= 1, got {s}")
+        self.s = int(s)
+
+    def solve(self, problem: RoutingProblem) -> MultiPathResult:
+        """Route ``problem`` with at most ``s`` paths per communication."""
+        if problem.num_comms == 0:
+            raise InvalidParameterError(
+                f"{self.name}: cannot route an empty communication set"
+            )
+        t0 = time.perf_counter()
+        routing = self._route(problem)
+        elapsed = time.perf_counter() - t0
+        if routing.max_split > self.s:
+            raise AssertionError(
+                f"{self.name} produced {routing.max_split} paths for one "
+                f"communication, exceeding s={self.s}"
+            )
+        return MultiPathResult(
+            name=self.name,
+            s=self.s,
+            routing=routing,
+            report=evaluate_routing(routing),
+            runtime_s=elapsed,
+        )
+
+    @abc.abstractmethod
+    def _route(self, problem: RoutingProblem) -> Routing:
+        """Produce the s-MP routing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(s={self.s})"

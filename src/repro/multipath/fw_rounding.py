@@ -1,0 +1,150 @@
+"""FWR — Frank–Wolfe rounding: relax, trim to ``s`` paths, repair.
+
+Solve the continuous max-MP dynamic-power relaxation (whose optimum may
+spread a communication over arbitrarily many paths), keep each
+communication's ``s`` heaviest paths with renormalised rates, and — since
+trimming can concentrate load above ``BW`` — run a local repair loop:
+while some link is overloaded, take the heaviest flow crossing it and move
+rate away, either onto one of its communication's other open paths or
+(if the support has room) onto the cheapest fresh Manhattan path under the
+graded marginal cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import RoutedFlow, Routing
+from repro.mesh.paths import Path
+from repro.multipath.base import MultiPathHeuristic
+from repro.optimal.frank_wolfe import _shortest_moves, frank_wolfe_relaxation
+from repro.utils.validation import InvalidParameterError
+
+
+class FrankWolfeRounding(MultiPathHeuristic):
+    """Trimmed Frank–Wolfe with bandwidth repair.
+
+    Parameters
+    ----------
+    s:
+        Split bound.
+    fw_iterations:
+        Frank–Wolfe iterations for the relaxation phase.
+    repair_steps:
+        Cap on local repair moves.
+    """
+
+    name = "FWR"
+
+    def __init__(self, s: int = 2, fw_iterations: int = 120,
+                 repair_steps: int = 500):
+        super().__init__(s)
+        if fw_iterations < 1:
+            raise InvalidParameterError(
+                f"fw_iterations must be >= 1, got {fw_iterations}"
+            )
+        if repair_steps < 0:
+            raise InvalidParameterError(
+                f"repair_steps must be >= 0, got {repair_steps}"
+            )
+        self.fw_iterations = int(fw_iterations)
+        self.repair_steps = int(repair_steps)
+
+    def _route(self, problem: RoutingProblem) -> Routing:
+        fw = frank_wolfe_relaxation(problem, max_iter=self.fw_iterations)
+        routing = fw.as_routing(max_paths=self.s)
+        return self._repair(problem, routing)
+
+    # ------------------------------------------------------------------
+    def _repair(self, problem: RoutingProblem, routing: Routing) -> Routing:
+        mesh = problem.mesh
+        power = problem.power
+        bw = power.bandwidth
+        # mutable view: per comm, moves -> rate
+        shares: List[Dict[str, float]] = [
+            {f.path.moves: f.rate for f in fl} for fl in routing.flows
+        ]
+        loads = routing.link_loads().copy()
+
+        def links_of(i: int, moves: str) -> np.ndarray:
+            return Path(mesh, problem.comms[i].src, problem.comms[i].snk,
+                        moves).link_ids
+
+        for _ in range(self.repair_steps):
+            worst = int(np.argmax(loads))
+            excess = loads[worst] - bw
+            if excess <= bw * 1e-12:
+                break
+            # the heaviest flow crossing the worst link
+            best = None  # (rate, i, moves)
+            for i, sh in enumerate(shares):
+                for moves, rate in sh.items():
+                    if worst in set(int(x) for x in links_of(i, moves)):
+                        if best is None or rate > best[0]:
+                            best = (rate, i, moves)
+            if best is None:
+                break  # nothing crosses it (stale view) — cannot repair
+            rate, i, moves = best
+            move_amount = min(rate, excess)
+            # candidate targets: the comm's other open paths, plus (if the
+            # support has room) the cheapest fresh path by marginal cost
+            grad = power.p0 * power.alpha * (
+                np.maximum(loads, 0.0) / power.freq_unit
+            ) ** (power.alpha - 1) / power.freq_unit
+            grad[worst] = np.inf  # never route the moved rate back
+            targets = [m for m in shares[i] if m != moves]
+            if len(shares[i]) < self.s:
+                try:
+                    fresh, _ = _shortest_moves(problem.dag(i), grad)
+                except InvalidParameterError:
+                    fresh = None  # every alternative crosses the worst link
+                if fresh is not None and fresh not in shares[i]:
+                    targets.append(fresh)
+            best_t, best_cost = None, np.inf
+            for t in targets:
+                lids = links_of(i, t)
+                if worst in set(int(x) for x in lids):
+                    continue
+                cost = float(grad[lids].sum())
+                if cost < best_cost:
+                    best_t, best_cost = t, cost
+            if best_t is None:
+                # this flow cannot be moved; damp it from consideration by
+                # moving on (other links may still be repairable)
+                loads_sorted = np.argsort(-loads)
+                moved = False
+                for cand in loads_sorted[1:]:
+                    if loads[cand] > bw * (1 + 1e-12):
+                        worst = int(cand)
+                        moved = True
+                        break
+                if not moved:
+                    break
+                continue
+            old_lids = links_of(i, moves)
+            new_lids = links_of(i, best_t)
+            loads[old_lids] -= move_amount
+            loads[new_lids] += move_amount
+            shares[i][best_t] = shares[i].get(best_t, 0.0) + move_amount
+            if rate - move_amount <= problem.comms[i].rate * 1e-12:
+                del shares[i][moves]
+            else:
+                shares[i][moves] = rate - move_amount
+
+        flows = []
+        for i, sh in enumerate(shares):
+            comm = problem.comms[i]
+            total = sum(sh.values())
+            flows.append(
+                [
+                    RoutedFlow(
+                        Path(mesh, comm.src, comm.snk, m),
+                        comm.rate * w / total,
+                    )
+                    for m, w in sorted(sh.items(), key=lambda kv: -kv[1])
+                ]
+            )
+        return Routing(problem, flows)

@@ -1,0 +1,104 @@
+"""Channel-dependency-graph deadlock analysis (Dally–Seitz style).
+
+A routing is deadlock-free under wormhole switching iff the *channel
+dependency graph* — nodes are ``(link, vc)`` buffers, with an edge whenever
+some packet may hold one buffer while requesting the next — is acyclic.
+
+Manhattan paths give a natural resource-ordering scheme: a path of
+direction ``d`` only uses the two link orientations of its quadrant
+(e.g. direction 1 uses only E and S links) and strictly advances the
+diagonal index at every hop — so dependencies *within one direction class*
+can never cycle.  Assigning each direction class its own virtual channel
+(:func:`direction_class_vc`, 4 VCs) therefore guarantees deadlock freedom
+for every Manhattan routing, which the tests verify both via the CDG and
+by running the flit simulator on adversarial instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from repro.core.routing import Routing
+from repro.mesh.diagonals import direction_of
+from repro.utils.validation import InvalidParameterError
+
+#: a CDG node: (link id, virtual channel)
+Channel = Tuple[int, int]
+#: maps (comm index, flow) direction info to a VC id
+VcAssignment = Callable[[int, int], int]
+
+
+def direction_class_vc(comm_index: int, direction: int) -> int:
+    """Resource-ordering VC assignment: one VC per direction class (4 VCs)."""
+    if direction not in (1, 2, 3, 4):
+        raise InvalidParameterError(f"direction must be 1..4, got {direction}")
+    return direction - 1
+
+
+def single_vc(comm_index: int, direction: int) -> int:
+    """Everything on VC 0 — the unprotected baseline."""
+    return 0
+
+
+def build_cdg(
+    routing: Routing, vc_of: VcAssignment = direction_class_vc
+) -> Dict[Channel, Set[Channel]]:
+    """Adjacency sets of the channel dependency graph of ``routing``.
+
+    Each flow contributes, for every pair of consecutive links on its path,
+    a dependency from the earlier ``(link, vc)`` to the later one (the VC
+    is constant along a path under per-flow assignments).
+    """
+    adj: Dict[Channel, Set[Channel]] = {}
+    for i, flows in enumerate(routing.flows):
+        d = direction_of(routing.problem.comms[i].src, routing.problem.comms[i].snk)
+        vc = vc_of(i, d)
+        if vc < 0:
+            raise InvalidParameterError(f"vc assignment returned {vc} < 0")
+        for flow in flows:
+            lids = [int(x) for x in flow.path.link_ids]
+            for a, b in zip(lids, lids[1:]):
+                adj.setdefault((a, vc), set()).add((b, vc))
+                adj.setdefault((b, vc), set())
+    return adj
+
+
+def cdg_cycles(adj: Dict[Channel, Set[Channel]]) -> List[List[Channel]]:
+    """All elementary dependency cycles found by iterative DFS (at most one
+    reported per strongly connected region — enough to witness deadlock).
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[Channel, int] = {v: WHITE for v in adj}
+    cycles: List[List[Channel]] = []
+    for root in adj:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Channel, Iterable[Channel]]] = [(root, iter(adj[root]))]
+        color[root] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    path.append(nxt)
+                    stack.append((nxt, iter(adj[nxt])))
+                    advanced = True
+                    break
+                if color[nxt] == GREY:
+                    # found a back edge: extract the cycle from the path
+                    k = path.index(nxt)
+                    cycles.append(path[k:] + [nxt])
+            if not advanced:
+                stack.pop()
+                path.pop()
+                color[node] = BLACK
+    return cycles
+
+
+def is_deadlock_free(
+    routing: Routing, vc_of: VcAssignment = direction_class_vc
+) -> bool:
+    """True when the routing's CDG under ``vc_of`` is acyclic."""
+    return not cdg_cycles(build_cdg(routing, vc_of))

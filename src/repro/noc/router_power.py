@@ -1,0 +1,156 @@
+"""Router-microarchitecture power on top of the paper's link power.
+
+The paper's objective charges only the *links* (Section 3.1); real
+routers also burn energy in buffers, crossbars and arbiters, and leak
+while powered.  This module adds an Orion-style per-router model so the
+XY-vs-Manhattan comparison can be re-examined under total network power:
+
+* **router dynamic power** — every flit hop reads a buffer, wins an
+  arbitration, crosses a crossbar and is written into the downstream
+  buffer; the per-hop energy coefficient turns traffic (Mb/s) into mW.
+  Because every Manhattan routing of a communication has the *same* hop
+  count (they are all shortest paths), router dynamic power is
+  **routing-invariant** for a fixed communication set — a clean
+  analytical fact the tests pin down.
+* **router static power** — a router leaks while any of its ports is in
+  use.  Manhattan routings spread traffic over more links and routers
+  than XY, so their static share grows; sweeping the leak coefficient
+  locates where XY's concentration advantage offsets its dynamic-power
+  loss (``benchmarks/test_ablation_router_power.py``).
+
+Default coefficients are representative of published 65 nm router power
+breakdowns (buffer ≈ 45 %, crossbar ≈ 30 %, arbitration ≈ 10 % of
+router dynamic power, ~1 mW per Gb/s per hop overall); they are plain
+dataclass fields, so calibrating to another technology is one
+constructor call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.core.routing import Routing
+from repro.utils.validation import InvalidParameterError
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RouterPowerModel:
+    """Per-router energy coefficients (mW per Mb/s, mW per router).
+
+    Parameters
+    ----------
+    e_buffer_write, e_buffer_read, e_crossbar, e_arbiter:
+        Dynamic coefficients in mW per (Mb/s) of traffic taking one hop
+        through a router.
+    p_router_leak:
+        Static power of a powered-on router (mW).  A router is powered on
+        when some flow enters, leaves or traverses it.
+    """
+
+    e_buffer_write: float = 2.25e-4
+    e_buffer_read: float = 2.25e-4
+    e_crossbar: float = 3.0e-4
+    e_arbiter: float = 1.0e-4
+    p_router_leak: float = 8.0
+
+    def __post_init__(self) -> None:
+        for name in ("e_buffer_write", "e_buffer_read", "e_crossbar", "e_arbiter"):
+            if getattr(self, name) < 0:
+                raise InvalidParameterError(
+                    f"{name} must be >= 0, got {getattr(self, name)}"
+                )
+        if self.p_router_leak < 0:
+            raise InvalidParameterError(
+                f"p_router_leak must be >= 0, got {self.p_router_leak}"
+            )
+
+    @property
+    def e_hop(self) -> float:
+        """Total dynamic coefficient of one hop (mW per Mb/s)."""
+        return (
+            self.e_buffer_write
+            + self.e_buffer_read
+            + self.e_crossbar
+            + self.e_arbiter
+        )
+
+    def with_leak(self, p_router_leak: float) -> "RouterPowerModel":
+        """Copy with a different router leakage (the ablation knob)."""
+        return RouterPowerModel(
+            e_buffer_write=self.e_buffer_write,
+            e_buffer_read=self.e_buffer_read,
+            e_crossbar=self.e_crossbar,
+            e_arbiter=self.e_arbiter,
+            p_router_leak=p_router_leak,
+        )
+
+
+def active_routers(routing: Routing) -> Set[Coord]:
+    """Routers powered on by ``routing`` (every core some flow touches)."""
+    active: Set[Coord] = set()
+    for flows in routing.flows:
+        for flow in flows:
+            active.update(flow.path.cores())
+    return active
+
+
+def router_traffic(routing: Routing) -> Dict[Coord, float]:
+    """Traffic through each router in Mb/s (hop-weighted).
+
+    A flow of rate δ on a path with cores ``c0 .. cL`` charges δ to every
+    core: the source injects, intermediate routers forward, the sink
+    ejects — each is one buffer/crossbar transaction of the same width.
+    """
+    traffic: Dict[Coord, float] = {}
+    for flows in routing.flows:
+        for flow in flows:
+            for core in flow.path.cores():
+                traffic[core] = traffic.get(core, 0.0) + flow.rate
+    return traffic
+
+
+@dataclass(frozen=True)
+class NetworkPowerReport:
+    """Link + router power of one routing."""
+
+    link_power: float  #: the paper's objective (leak + dynamic, quantised)
+    router_dynamic: float
+    router_static: float
+    num_active_routers: int
+
+    @property
+    def router_power(self) -> float:
+        return self.router_dynamic + self.router_static
+
+    @property
+    def total(self) -> float:
+        """Whole-network power: paper links + router microarchitecture."""
+        return self.link_power + self.router_power
+
+
+def network_power(
+    routing: Routing, router_model: RouterPowerModel
+) -> NetworkPowerReport:
+    """Evaluate a routing under links-plus-routers power.
+
+    ``link_power`` follows the paper's model exactly (``inf`` when the
+    routing is invalid); router dynamic power charges ``e_hop`` per hop of
+    traffic; router static power charges every active router.
+    """
+    problem = routing.problem
+    link_power = problem.power.total_power(routing.link_loads())
+    dyn = 0.0
+    for flows in routing.flows:
+        for flow in flows:
+            # hops + 1 router transactions: inject, forward x (L-1), eject
+            dyn += flow.rate * (flow.path.length + 1) * router_model.e_hop
+    active = active_routers(routing)
+    return NetworkPowerReport(
+        link_power=float(link_power),
+        router_dynamic=dyn,
+        router_static=router_model.p_router_leak * len(active),
+        num_active_routers=len(active),
+    )

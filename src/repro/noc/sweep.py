@@ -1,0 +1,157 @@
+"""Load–latency sweeps of a provisioned routing.
+
+The classic NoC evaluation: fix a routing (and therefore the DVFS
+frequency of every link, provisioned for the nominal loads), then sweep
+the *offered* traffic from a trickle past the nominal point and record
+packet latency and delivered throughput.  A good routing keeps latency
+flat until offered load approaches what its links were provisioned for;
+saturation shows as latency blow-up and a delivered/offered ratio
+falling below 1.
+
+This quantifies a deployment property the paper's system-level model
+abstracts away: two routings with equal (or similar) *power* can behave
+differently under bursty arrivals because their queueing headroom
+differs.  ``benchmarks/test_noc_latency.py`` uses it to compare XY and
+PR routings of the same instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.routing import Routing
+from repro.noc.simulator import DeadlockError, FlitSimulator, SimulationReport
+from repro.utils.rng import RngLike
+from repro.utils.validation import InvalidParameterError
+
+#: latency reported for a point that deadlocked or delivered nothing
+UNSTABLE = float("inf")
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One point of a load–latency curve."""
+
+    fraction: float  #: offered load as a multiple of the nominal rates
+    injected_flits: int
+    delivered_flits: int
+    mean_latency: float  #: packet-weighted mean latency (cycles); inf if none
+    max_link_utilization: float
+    deadlocked: bool
+
+    @property
+    def delivered_ratio(self) -> float:
+        """Delivered/injected over the measured window (≈1 below saturation)."""
+        if self.injected_flits == 0:
+            return 1.0
+        return self.delivered_flits / self.injected_flits
+
+    @property
+    def stable(self) -> bool:
+        """Heuristic stability flag: most injected traffic got through."""
+        return not self.deadlocked and self.delivered_ratio >= 0.9
+
+
+def _aggregate(report: SimulationReport, fraction: float) -> LatencyPoint:
+    injected = sum(f.injected_flits for f in report.flows)
+    delivered = sum(f.delivered_flits for f in report.flows)
+    pkts = sum(f.delivered_packets for f in report.flows)
+    if pkts:
+        lat = (
+            sum(
+                f.mean_packet_latency * f.delivered_packets
+                for f in report.flows
+                if f.delivered_packets
+            )
+            / pkts
+        )
+    else:
+        lat = UNSTABLE
+    return LatencyPoint(
+        fraction=fraction,
+        injected_flits=injected,
+        delivered_flits=delivered,
+        mean_latency=float(lat),
+        max_link_utilization=float(report.link_utilization.max()),
+        deadlocked=False,
+    )
+
+
+def latency_sweep(
+    routing: Routing,
+    fractions: Sequence[float],
+    *,
+    cycles: int = 4000,
+    warmup: int = 800,
+    injection="bernoulli",
+    packet_flits: int = 8,
+    buffer_flits: int = 4,
+    num_vcs: int = 4,
+    seed: RngLike = 0,
+) -> List[LatencyPoint]:
+    """Run the simulator at each offered-load fraction of ``routing``.
+
+    Link frequencies stay provisioned for the *nominal* loads; only the
+    offered traffic scales.  Deadlocked points (possible only with unsafe
+    VC assignments) are reported with ``deadlocked=True`` rather than
+    raised, so a sweep can document where an unprotected configuration
+    collapses.
+    """
+    if not fractions:
+        raise InvalidParameterError("fractions must be non-empty")
+    points: List[LatencyPoint] = []
+    for frac in fractions:
+        if frac <= 0:
+            raise InvalidParameterError(f"fractions must be > 0, got {frac}")
+        sim = FlitSimulator(
+            routing,
+            injection=injection,
+            rate_scale=frac,
+            packet_flits=packet_flits,
+            buffer_flits=buffer_flits,
+            num_vcs=num_vcs,
+            seed=seed,
+        )
+        try:
+            report = sim.run(cycles, warmup=warmup)
+        except DeadlockError:
+            points.append(
+                LatencyPoint(
+                    fraction=frac,
+                    injected_flits=0,
+                    delivered_flits=0,
+                    mean_latency=UNSTABLE,
+                    max_link_utilization=1.0,
+                    deadlocked=True,
+                )
+            )
+            continue
+        points.append(_aggregate(report, frac))
+    return points
+
+
+def saturation_fraction(
+    points: Sequence[LatencyPoint], *, latency_factor: float = 3.0
+) -> float:
+    """Estimate where the curve saturates.
+
+    The first swept fraction whose point is unstable *or* whose latency
+    exceeds ``latency_factor`` times the lowest-load latency; ``inf`` when
+    the curve never saturates inside the sweep.
+    """
+    if not points:
+        raise InvalidParameterError("points must be non-empty")
+    if latency_factor <= 1.0:
+        raise InvalidParameterError(
+            f"latency_factor must be > 1, got {latency_factor}"
+        )
+    base = points[0].mean_latency
+    for pt in points:
+        if not pt.stable or (
+            np.isfinite(base) and pt.mean_latency > latency_factor * base
+        ):
+            return pt.fraction
+    return float("inf")

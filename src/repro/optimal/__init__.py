@@ -1,0 +1,46 @@
+"""Exact and relaxation solvers — the paper's "future work" baselines.
+
+The paper leaves open "a bound on the optimal solution for single-path
+Manhattan routings (or even compute the optimal solution for small problem
+instances)".  This package provides exactly that:
+
+* :mod:`repro.optimal.exhaustive` — branch-and-bound over the full
+  single-path search space (exact 1-MP optimum on small instances);
+* :mod:`repro.optimal.milp` — mixed-integer formulation of 1-MP with
+  discrete frequencies, solved by SciPy's HiGHS backend;
+* :mod:`repro.optimal.frank_wolfe` — Frank–Wolfe on the continuous
+  max-MP dynamic-power relaxation, with a certified duality-gap lower
+  bound valid for *every* routing rule;
+* :mod:`repro.optimal.same_endpoint` — exact solvers for the
+  shared-source/destination case the conclusion singles out: a band DP
+  for the true 1-MP optimum and an LP-sandwiched convex flow for the
+  max-MP optimum.
+"""
+
+from repro.optimal.exhaustive import OptimalResult, optimal_single_path
+from repro.optimal.frank_wolfe import FrankWolfeResult, frank_wolfe_relaxation
+from repro.optimal.milp import milp_single_path
+from repro.optimal.same_endpoint import (
+    SameEndpointDpResult,
+    SameEndpointFlowResult,
+    SameEndpointGap,
+    flow_to_routing,
+    optimal_same_endpoint_single_path,
+    same_endpoint_flow,
+    same_endpoint_gap,
+)
+
+__all__ = [
+    "OptimalResult",
+    "optimal_single_path",
+    "FrankWolfeResult",
+    "frank_wolfe_relaxation",
+    "milp_single_path",
+    "SameEndpointDpResult",
+    "SameEndpointFlowResult",
+    "SameEndpointGap",
+    "flow_to_routing",
+    "optimal_same_endpoint_single_path",
+    "same_endpoint_flow",
+    "same_endpoint_gap",
+]

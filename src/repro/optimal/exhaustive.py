@@ -1,0 +1,141 @@
+"""Exact 1-MP optimum by branch-and-bound over path choices.
+
+The search assigns one Manhattan path per communication (largest rate
+first), maintaining the link-load vector and the exact partial power
+incrementally.  Two prunings keep it tractable on small instances:
+
+* *feasibility*: a branch whose partial loads already exceed ``BW``
+  cannot recover (loads only grow);
+* *monotonicity*: link power is non-decreasing in load and in the set of
+  active links, so the partial power lower-bounds every completion — a
+  branch at or above the incumbent is cut.
+
+The search space is ``Π C(Δuᵢ+Δvᵢ, Δuᵢ)``; the solver refuses instances
+whose space exceeds ``max_nodes`` up front rather than running forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+#: default cap on the size of the explored path-assignment space
+DEFAULT_MAX_NODES = 5_000_000
+
+
+@dataclass(frozen=True)
+class OptimalResult:
+    """Outcome of an exact search.
+
+    ``routing`` is ``None`` when the instance is proven infeasible for the
+    searched rule (no assignment keeps every link within ``BW``).
+    """
+
+    routing: Optional[Routing]
+    power: float
+    nodes_explored: int
+    proven_infeasible: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.routing is not None
+
+
+def optimal_single_path(
+    problem: RoutingProblem,
+    *,
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> OptimalResult:
+    """Exact minimum-power 1-MP routing of ``problem``.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the path-assignment space exceeds ``max_nodes`` (use the
+        heuristics or :func:`repro.optimal.milp.milp_single_path` instead).
+    """
+    space = 1
+    for c in problem.comms:
+        space *= c.path_count()
+        if space > max_nodes:
+            raise InvalidParameterError(
+                f"1-MP search space exceeds max_nodes={max_nodes}; "
+                "the exhaustive solver is meant for small instances"
+            )
+
+    power = problem.power
+    order = problem.order_by("weight")
+    per_comm: List[List[Tuple[str, np.ndarray]]] = []
+    for i in order:
+        dag = problem.dag(i)
+        cand = [
+            (p.moves, p.link_ids) for p in dag.enumerate_paths()
+        ]
+        per_comm.append(cand)
+    rates = [problem.comms[i].rate for i in order]
+
+    loads = np.zeros(problem.mesh.num_links, dtype=np.float64)
+    best_power = np.inf
+    best_assign: Optional[List[str]] = None
+    assign: List[Optional[str]] = [None] * len(order)
+    nodes = 0
+    bw = power.bandwidth
+
+    def link_power_sum(vals: np.ndarray) -> float:
+        return float(np.sum(power.link_power(vals)))
+
+    def dfs(depth: int, partial_power: float) -> None:
+        nonlocal best_power, best_assign, nodes
+        if partial_power >= best_power:
+            return
+        if depth == len(order):
+            best_power = partial_power
+            best_assign = [m for m in assign]  # type: ignore[misc]
+            return
+        rate = rates[depth]
+        for moves, lids in per_comm[depth]:
+            nodes += 1
+            before = loads[lids]
+            after = before + rate
+            if np.any(after > bw * (1 + 1e-12)):
+                continue
+            delta = link_power_sum(after) - link_power_sum(before)
+            if partial_power + delta >= best_power:
+                continue
+            loads[lids] = after
+            assign[depth] = moves
+            dfs(depth + 1, partial_power + delta)
+            loads[lids] = before
+        assign[depth] = None
+
+    dfs(0, 0.0)
+
+    if best_assign is None:
+        return OptimalResult(
+            routing=None,
+            power=float("inf"),
+            nodes_explored=nodes,
+            proven_infeasible=True,
+        )
+    # map the assignment (in processing order) back to problem order
+    moves_by_comm: List[Optional[str]] = [None] * problem.num_comms
+    for pos, i in enumerate(order):
+        moves_by_comm[i] = best_assign[pos]
+    paths = [
+        Path(problem.mesh, c.src, c.snk, m)  # type: ignore[arg-type]
+        for c, m in zip(problem.comms, moves_by_comm)
+    ]
+    routing = Routing.single_path(problem, paths)
+    return OptimalResult(
+        routing=routing,
+        power=routing.total_power(),
+        nodes_explored=nodes,
+        proven_infeasible=False,
+    )

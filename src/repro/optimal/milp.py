@@ -1,0 +1,169 @@
+"""Exact 1-MP with discrete frequencies as a mixed-integer program.
+
+With a discrete frequency set the per-link power is a step function of its
+load, which linearises exactly: binary ``z[i,j]`` selects path ``j`` for
+communication ``i``; binary ``y[ℓ,m]`` enables frequency level ``m`` on
+link ``ℓ``; the load on ``ℓ`` must fit under the enabled level, and the
+objective charges each enabled level its full (static + dynamic) power.
+
+Solved with :func:`scipy.optimize.milp` (HiGHS).  Path sets are enumerated
+explicitly, so the formulation is for small instances — the same regime as
+the exhaustive solver, against which the tests cross-validate it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.core.problem import RoutingProblem
+from repro.core.routing import Routing
+from repro.mesh.paths import Path
+from repro.optimal.exhaustive import OptimalResult
+from repro.utils.validation import InvalidParameterError
+
+#: default cap on the number of path-selection variables
+DEFAULT_MAX_PATH_VARS = 50_000
+
+
+def milp_single_path(
+    problem: RoutingProblem,
+    *,
+    max_path_vars: int = DEFAULT_MAX_PATH_VARS,
+    time_limit: float | None = None,
+) -> OptimalResult:
+    """Exact minimum-power 1-MP routing via MILP (discrete frequencies only).
+
+    Raises
+    ------
+    InvalidParameterError
+        For continuous-frequency models (the step-function linearisation
+        needs discrete levels) or when path enumeration would exceed
+        ``max_path_vars``.
+    """
+    power = problem.power
+    if not power.is_discrete:
+        raise InvalidParameterError(
+            "milp_single_path needs a discrete frequency set; use "
+            "frank_wolfe_relaxation or optimal_single_path for continuous "
+            "models"
+        )
+    n_path_vars = sum(c.path_count() for c in problem.comms)
+    if n_path_vars > max_path_vars:
+        raise InvalidParameterError(
+            f"{n_path_vars} path variables exceed max_path_vars="
+            f"{max_path_vars}; the MILP formulation targets small instances"
+        )
+
+    mesh = problem.mesh
+    freqs = np.asarray(power.frequencies, dtype=np.float64)
+    n_levels = freqs.size
+    level_cost = power.p_leak + power.p0 * (freqs / power.freq_unit) ** power.alpha
+
+    # enumerate paths; record which links occur at all
+    paths: List[Tuple[int, Path]] = []  # (comm index, path)
+    for i in range(problem.num_comms):
+        for p in problem.dag(i).enumerate_paths():
+            paths.append((i, p))
+    used_links = sorted({int(l) for _, p in paths for l in p.link_ids})
+    link_col = {lid: k for k, lid in enumerate(used_links)}
+    n_links = len(used_links)
+
+    n_z = len(paths)
+    n_y = n_links * n_levels
+    n_vars = n_z + n_y
+
+    def yvar(link_k: int, m: int) -> int:
+        return n_z + link_k * n_levels + m
+
+    c = np.zeros(n_vars)
+    for k in range(n_links):
+        for m in range(n_levels):
+            c[yvar(k, m)] = level_cost[m]
+
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    lo: List[float] = []
+    hi: List[float] = []
+    row = 0
+
+    # one path per communication
+    for i in range(problem.num_comms):
+        for j, (ci, _p) in enumerate(paths):
+            if ci == i:
+                rows.append(row)
+                cols.append(j)
+                vals.append(1.0)
+        lo.append(1.0)
+        hi.append(1.0)
+        row += 1
+
+    # link load fits under the enabled level
+    for k, lid in enumerate(used_links):
+        for j, (ci, p) in enumerate(paths):
+            if lid in set(int(x) for x in p.link_ids):
+                rows.append(row)
+                cols.append(j)
+                vals.append(problem.comms[ci].rate)
+        for m in range(n_levels):
+            rows.append(row)
+            cols.append(yvar(k, m))
+            vals.append(-float(freqs[m]))
+        lo.append(-np.inf)
+        hi.append(0.0)
+        row += 1
+
+    # at most one level per link
+    for k in range(n_links):
+        for m in range(n_levels):
+            rows.append(row)
+            cols.append(yvar(k, m))
+            vals.append(1.0)
+        lo.append(-np.inf)
+        hi.append(1.0)
+        row += 1
+
+    A = sparse.csc_matrix((vals, (rows, cols)), shape=(row, n_vars))
+    constraints = LinearConstraint(A, np.asarray(lo), np.asarray(hi))
+    bounds = Bounds(np.zeros(n_vars), np.ones(n_vars))
+    integrality = np.ones(n_vars)
+
+    options = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    res = milp(
+        c,
+        constraints=constraints,
+        bounds=bounds,
+        integrality=integrality,
+        options=options,
+    )
+
+    if res.status != 0 or res.x is None:
+        # HiGHS status 2 = infeasible; anything else without a solution is
+        # reported as infeasible-for-this-search as well
+        return OptimalResult(
+            routing=None,
+            power=float("inf"),
+            nodes_explored=0,
+            proven_infeasible=(res.status == 2),
+        )
+
+    z = res.x[:n_z]
+    chosen: List[Path | None] = [None] * problem.num_comms
+    for j, (ci, p) in enumerate(paths):
+        if z[j] > 0.5:
+            chosen[ci] = p
+    if any(p is None for p in chosen):
+        raise AssertionError("MILP returned without selecting a path per comm")
+    routing = Routing.single_path(problem, chosen)  # type: ignore[arg-type]
+    return OptimalResult(
+        routing=routing,
+        power=routing.total_power(),
+        nodes_explored=0,
+        proven_infeasible=False,
+    )

@@ -1,0 +1,568 @@
+"""Exact solvers for the shared source/destination case — the paper's
+open problem.
+
+The conclusion of the paper leaves two questions open for workloads in
+which *all communications share one source and one destination* (the
+Theorem 1 scenario):
+
+1. "estimate how much can be gained by a single-path Manhattan routing
+   when all communications share the same source and destination nodes";
+2. "establish a bound on the optimal solution … or even compute the
+   optimal solution for small problem instances".
+
+Both reduce dramatically in the shared-endpoint case:
+
+* the **max-MP optimum** of the dynamic-power relaxation is a
+  *single-commodity* convex min-cost flow on the communication's routing
+  DAG (the coupling between communications disappears because any split
+  of the aggregate flow into per-communication shares is feasible).
+  :func:`same_endpoint_flow` solves it by piecewise-linearising the convex
+  edge cost and calling SciPy's HiGHS LP — chord slopes give an
+  implementable routing and an upper bound, left-derivative slopes give a
+  certified lower bound, so the continuous optimum is *sandwiched*;
+* the **1-MP optimum** admits a band-by-band dynamic program whose state
+  is the multiset of (rate, diagonal-position) pairs —
+  :func:`optimal_same_endpoint_single_path` computes the exact optimal
+  single-path routing (leakage and discrete frequencies included) on
+  instances far beyond the reach of the general branch-and-bound of
+  :mod:`repro.optimal.exhaustive`.
+
+:func:`same_endpoint_gap` bundles XY, the DP 1-MP optimum, the flow
+sandwich and the ideal-spread bound into one record — the quantitative
+answer to open question 1 (see ``benchmarks/test_open_problem.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.core.power import PowerModel
+from repro.core.problem import RoutingProblem
+from repro.core.routing import RoutedFlow, Routing
+from repro.mesh.moves import MOVE_H, MOVE_V
+from repro.mesh.paths import CommDag, Path
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError, check_positive
+
+Coord = Tuple[int, int]
+
+
+def _require_shared_endpoints(problem: RoutingProblem) -> Tuple[Coord, Coord]:
+    """The (src, snk) every communication of ``problem`` must share."""
+    if problem.num_comms == 0:
+        raise InvalidParameterError("empty communication set")
+    src = problem.comms[0].src
+    snk = problem.comms[0].snk
+    for c in problem.comms:
+        if c.src != src or c.snk != snk:
+            raise InvalidParameterError(
+                "same-endpoint solvers need every communication to share one "
+                f"source and destination; found {c.src}->{c.snk} next to "
+                f"{src}->{snk}"
+            )
+    return src, snk
+
+
+# ======================================================================
+# max-MP: single-commodity convex flow, LP-sandwiched
+# ======================================================================
+@dataclass(frozen=True)
+class SameEndpointFlowResult:
+    """Sandwich of the shared-endpoint max-MP dynamic-power optimum.
+
+    Attributes
+    ----------
+    loads:
+        Optimal link loads (per mesh link id) of the chord LP — a feasible
+        max-MP flow.
+    upper_bound:
+        Dynamic power of ``loads`` under the *true* convex cost (any
+        feasible point upper-bounds the optimum).
+    lower_bound:
+        Optimal value of the tangent (left-derivative) LP — a certified
+        lower bound on the continuous optimum.
+    segments:
+        Piecewise-linear segments per link used in both LPs.
+    feasible:
+        False when the total rate cannot cross some diagonal band within
+        the bandwidth (then no max-MP routing exists at all).
+    """
+
+    loads: np.ndarray
+    upper_bound: float
+    lower_bound: float
+    segments: int
+    feasible: bool
+
+    @property
+    def gap(self) -> float:
+        """Relative width of the sandwich (0 = solved to LP precision)."""
+        if not self.feasible or self.upper_bound == 0:
+            return 0.0
+        return (self.upper_bound - self.lower_bound) / self.upper_bound
+
+
+def _dag_lp(
+    dag: CommDag,
+    power: PowerModel,
+    total_rate: float,
+    segments: int,
+    slope_rule: str,
+) -> Tuple[Optional[np.ndarray], float]:
+    """One piecewise-linear flow LP; returns (loads per mesh link, value).
+
+    ``slope_rule`` is ``"chord"`` (over-estimator → feasible loads and an
+    upper bound) or ``"tangent"`` (left-derivative under-estimator → a
+    certified lower bound).  Returns ``(None, inf)`` when infeasible.
+    """
+    edges = dag.all_link_ids()
+    n_edges = len(edges)
+    cap = min(power.bandwidth, total_rate)
+    breaks = np.linspace(0.0, cap, segments + 1)
+    widths = np.diff(breaks)
+
+    unit = power.freq_unit
+    p0, alpha = power.p0, power.alpha
+
+    def cost(x: np.ndarray) -> np.ndarray:
+        return p0 * (x / unit) ** alpha
+
+    def dcost(x: np.ndarray) -> np.ndarray:
+        return p0 * alpha * (x / unit) ** (alpha - 1) / unit
+
+    if slope_rule == "chord":
+        slopes = np.diff(cost(breaks)) / widths
+    elif slope_rule == "tangent":
+        slopes = dcost(breaks[:-1])
+    else:  # pragma: no cover - internal
+        raise InvalidParameterError(f"unknown slope rule {slope_rule!r}")
+
+    # variables: y[e, m] = flow of edge e inside segment m
+    c_vec = np.tile(slopes, n_edges)
+    ub = np.tile(widths, n_edges)
+
+    # conservation rows: one per progress node except the sink
+    node_id: Dict[Coord, int] = {}
+    for x in range(dag.du + 1):
+        for y in range(dag.dv + 1):
+            if (x, y) != (dag.du, dag.dv):
+                node_id[(x, y)] = len(node_id)
+    rows: List[int] = []
+    cols: List[int] = []
+    vals: List[float] = []
+    for e, lid in enumerate(edges):
+        x, y, kind = dag.edge_tail(lid)
+        head = (x + 1, y) if kind == MOVE_V else (x, y + 1)
+        for m in range(segments):
+            col = e * segments + m
+            rows.append(node_id[(x, y)])
+            cols.append(col)
+            vals.append(1.0)  # outflow of the tail
+            if head in node_id:
+                rows.append(node_id[head])
+                cols.append(col)
+                vals.append(-1.0)  # inflow of the head (sink row dropped)
+    a_eq = csr_matrix(
+        (vals, (rows, cols)), shape=(len(node_id), n_edges * segments)
+    )
+    b_eq = np.zeros(len(node_id))
+    b_eq[node_id[(0, 0)]] = total_rate
+
+    res = linprog(
+        c_vec,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=np.column_stack([np.zeros_like(ub), ub]),
+        method="highs",
+    )
+    if res.status == 2:  # infeasible: some band cannot carry the rate
+        return None, float("inf")
+    if not res.success:  # pragma: no cover - solver hiccup
+        raise InvalidParameterError(f"LP solver failed: {res.message}")
+    y = res.x.reshape(n_edges, segments)
+    edge_loads = y.sum(axis=1)
+    loads = np.zeros(dag.mesh.num_links, dtype=np.float64)
+    for e, lid in enumerate(edges):
+        loads[lid] = edge_loads[e]
+    return loads, float(res.fun)
+
+
+def same_endpoint_flow(
+    mesh: Mesh,
+    src: Coord,
+    snk: Coord,
+    total_rate: float,
+    power: PowerModel,
+    *,
+    segments: int = 32,
+) -> SameEndpointFlowResult:
+    """Sandwich the shared-endpoint max-MP dynamic-power optimum.
+
+    Solves two piecewise-linear LPs on the routing DAG of ``src → snk``
+    (see module docstring).  The sandwich certifies the *continuous
+    dynamic-power relaxation* — the Section 4 model (``P_leak = 0``,
+    continuous frequencies); leakage and frequency quantisation of a
+    concrete routing can be evaluated afterwards on the returned loads.
+    """
+    check_positive("total_rate", total_rate)
+    if segments < 2:
+        raise InvalidParameterError(f"segments must be >= 2, got {segments}")
+    dag = CommDag(mesh, src, snk)
+    loads, _ = _dag_lp(dag, power, total_rate, segments, "chord")
+    if loads is None:
+        return SameEndpointFlowResult(
+            loads=np.zeros(mesh.num_links),
+            upper_bound=float("inf"),
+            lower_bound=float("inf"),
+            segments=segments,
+            feasible=False,
+        )
+    upper = float(power.p0 * np.sum((loads / power.freq_unit) ** power.alpha))
+    _, lower = _dag_lp(dag, power, total_rate, segments, "tangent")
+    # numerical guard: the sandwich must be ordered
+    lower = min(lower, upper)
+    return SameEndpointFlowResult(
+        loads=loads,
+        upper_bound=upper,
+        lower_bound=lower,
+        segments=segments,
+        feasible=True,
+    )
+
+
+def flow_to_routing(
+    problem: RoutingProblem, loads: np.ndarray
+) -> Routing:
+    """Materialise shared-endpoint link loads as a max-MP :class:`Routing`.
+
+    Decomposes the flow into at most ``#edges`` source→sink paths, then
+    deals path capacity out to the communications first-fit (any split is
+    feasible because every communication shares the endpoints).
+    """
+    src, snk = _require_shared_endpoints(problem)
+    mesh = problem.mesh
+    dag = CommDag(mesh, src, snk)
+    residual = {lid: float(loads[lid]) for lid in dag.all_link_ids()}
+    total = float(sum(c.rate for c in problem.comms))
+    eps = 1e-9 * max(total, 1.0)
+
+    # flow decomposition on the DAG
+    pieces: List[Tuple[Path, float]] = []
+    remaining = total
+    while remaining > eps:
+        moves: List[str] = []
+        lids: List[int] = []
+        x = y = 0
+        bottleneck = remaining
+        while (x, y) != (dag.du, dag.dv):
+            picked = None
+            for kind in (MOVE_V, MOVE_H):
+                if (kind == MOVE_V and x < dag.du) or (
+                    kind == MOVE_H and y < dag.dv
+                ):
+                    lid = dag.edge(x, y, kind)
+                    if residual.get(lid, 0.0) > eps:
+                        picked = (kind, lid)
+                        break
+            if picked is None:  # pragma: no cover - conservation guarantees
+                raise InvalidParameterError(
+                    "flow decomposition stuck: loads violate conservation"
+                )
+            kind, lid = picked
+            moves.append(kind)
+            lids.append(lid)
+            bottleneck = min(bottleneck, residual[lid])
+            x, y = (x + 1, y) if kind == MOVE_V else (x, y + 1)
+        for lid in lids:
+            residual[lid] -= bottleneck
+        pieces.append((Path(mesh, src, snk, "".join(moves)), bottleneck))
+        remaining -= bottleneck
+
+    # first-fit allocation of path capacity to communications
+    flows: List[List[RoutedFlow]] = []
+    k = 0
+    path, avail = pieces[0]
+    for comm in problem.comms:
+        need = comm.rate
+        mine: List[RoutedFlow] = []
+        while need > eps:
+            take = min(need, avail)
+            if take > eps:
+                mine.append(RoutedFlow(path=path, rate=take))
+                need -= take
+                avail -= take
+            if avail <= eps and k + 1 < len(pieces):
+                k += 1
+                path, avail = pieces[k]
+            elif avail <= eps:
+                break
+        if need > eps:
+            # rounding dust: pin the remainder on the last used path
+            mine.append(RoutedFlow(path=path, rate=need))
+        flows.append(mine)
+    return Routing(problem, flows)
+
+
+# ======================================================================
+# 1-MP: exact band DP over (rate, position) multisets
+# ======================================================================
+@dataclass(frozen=True)
+class SameEndpointDpResult:
+    """Exact shared-endpoint 1-MP optimum."""
+
+    routing: Routing
+    power: float
+    explored_states: int
+
+    @property
+    def feasible(self) -> bool:
+        return np.isfinite(self.power)
+
+
+#: a DP state: sorted tuple of ((rate, x), count) group entries
+_State = Tuple[Tuple[Tuple[float, int], int], ...]
+
+
+def _group_choices(
+    count: int, can_v: bool, can_h: bool
+) -> List[int]:
+    """How many of ``count`` identical communications may move vertically."""
+    if can_v and can_h:
+        return list(range(count + 1))
+    if can_v:
+        return [count]
+    if can_h:
+        return [0]
+    return []  # pragma: no cover - unreachable inside the rectangle
+
+
+def optimal_same_endpoint_single_path(
+    problem: RoutingProblem,
+    *,
+    max_states: int = 500_000,
+) -> SameEndpointDpResult:
+    """Exact optimal 1-MP routing when all communications share endpoints.
+
+    Dynamic program over the diagonals of the routing DAG: after ``t``
+    hops every communication sits on diagonal ``t``; the state is the
+    multiset of ``(rate, position)`` pairs (communications of equal rate
+    are interchangeable, which collapses the state space), and a
+    transition chooses, per group, how many members advance vertically.
+    Band powers are exact under the full model — leakage and discrete
+    frequencies included — because distinct bands use distinct links.
+
+    Parameters
+    ----------
+    max_states:
+        Safety cap on the total number of expanded states; raises
+        :class:`InvalidParameterError` beyond it (the instance is too
+        large for the DP — fall back to heuristics).
+    """
+    src, snk = _require_shared_endpoints(problem)
+    mesh = problem.mesh
+    power = problem.power
+    dag = CommDag(mesh, src, snk)
+    du, dv = dag.du, dag.dv
+    length = dag.length
+
+    rates = sorted((c.rate for c in problem.comms), reverse=True)
+    start: _State = tuple(
+        ((rate, 0), sum(1 for r in rates if r == rate))
+        for rate in sorted(set(rates), reverse=True)
+    )
+
+    # forward DP with parent pointers
+    frontier: Dict[_State, float] = {start: 0.0}
+    parents: List[Dict[_State, Tuple[_State, Dict[Tuple[float, int], int]]]] = []
+    explored = 0
+    for t in range(length):
+        nxt: Dict[_State, float] = {}
+        back: Dict[_State, Tuple[_State, Dict[Tuple[float, int], int]]] = {}
+        for state, acc in frontier.items():
+            explored += 1
+            if explored > max_states:
+                raise InvalidParameterError(
+                    f"same-endpoint DP exceeded {max_states} states; "
+                    "reduce the instance or raise max_states"
+                )
+            groups = list(state)
+            per_group: List[List[int]] = []
+            for (rate, x), count in groups:
+                y = t - x
+                per_group.append(
+                    _group_choices(count, can_v=x < du, can_h=y < dv)
+                )
+
+            def expand(
+                gi: int,
+                decision: Dict[Tuple[float, int], int],
+                loads: Dict[Tuple[int, str], float],
+            ) -> None:
+                if gi == len(groups):
+                    band_loads = np.fromiter(
+                        loads.values(), dtype=np.float64, count=len(loads)
+                    )
+                    band_power = float(np.sum(power.link_power(band_loads)))
+                    new_groups: Dict[Tuple[float, int], int] = {}
+                    for (rate, x), count in groups:
+                        j = decision[(rate, x)]
+                        if j:
+                            key = (rate, x + 1)
+                            new_groups[key] = new_groups.get(key, 0) + j
+                        if count - j:
+                            key = (rate, x)
+                            new_groups[key] = new_groups.get(key, 0) + (count - j)
+                    new_state: _State = tuple(
+                        sorted(new_groups.items(), reverse=True)
+                    )
+                    total = acc + band_power
+                    # keep inf-cost states too (infeasible instances still
+                    # need a reconstructable witness routing)
+                    if new_state not in nxt or total < nxt[new_state]:
+                        nxt[new_state] = total
+                        back[new_state] = (state, dict(decision))
+                    return
+                (rate, x), count = groups[gi]
+                for j in per_group[gi]:
+                    decision[(rate, x)] = j
+                    added: List[Tuple[Tuple[int, str], float]] = []
+                    if j:
+                        key = (x, MOVE_V)
+                        loads[key] = loads.get(key, 0.0) + j * rate
+                        added.append((key, j * rate))
+                    if count - j:
+                        key = (x, MOVE_H)
+                        loads[key] = loads.get(key, 0.0) + (count - j) * rate
+                        added.append((key, (count - j) * rate))
+                    expand(gi + 1, decision, loads)
+                    for key, amount in added:
+                        loads[key] -= amount
+                        if loads[key] <= 0:
+                            del loads[key]
+                del decision[(rate, x)]
+
+            expand(0, {}, {})
+        parents.append(back)
+        frontier = nxt
+
+    final_state: _State = tuple(
+        ((rate, du), sum(1 for r in rates if r == rate))
+        for rate in sorted(set(rates), reverse=True)
+    )
+    if final_state not in frontier:  # pragma: no cover - conservation
+        raise InvalidParameterError("DP lost the final state")
+    best_power = frontier[final_state]
+
+    # ------------------------------------------------------------------
+    # reconstruct per-communication move strings
+    # ------------------------------------------------------------------
+    # comm slots sorted by decreasing rate (group members interchangeable)
+    order = sorted(range(problem.num_comms), key=lambda i: -problem.comms[i].rate)
+    moves: List[List[str]] = [[] for _ in range(problem.num_comms)]
+    pos: List[int] = [0] * problem.num_comms  # x of each sorted slot
+
+    state = final_state
+    chain: List[Dict[Tuple[float, int], int]] = []
+    for t in range(length - 1, -1, -1):
+        prev, decision = parents[t][state]
+        chain.append(decision)
+        state = prev
+    chain.reverse()
+
+    for t, decision in enumerate(chain):
+        # within each (rate, x) group, the first `j` sorted slots go V
+        taken: Dict[Tuple[float, int], int] = {}
+        for slot_rank, ci in enumerate(order):
+            rate = problem.comms[ci].rate
+            key = (rate, pos[slot_rank])
+            j = decision.get(key, 0)
+            used = taken.get(key, 0)
+            if used < j:
+                moves[ci].append(MOVE_V)
+                taken[key] = used + 1
+                pos[slot_rank] += 1
+            else:
+                moves[ci].append(MOVE_H)
+
+    paths = [
+        Path(mesh, src, snk, "".join(moves[i])) for i in range(problem.num_comms)
+    ]
+    routing = Routing.single_path(problem, paths)
+    actual = routing.total_power()
+    if np.isfinite(actual) and not np.isclose(
+        actual, best_power, rtol=1e-9, atol=1e-6
+    ):  # pragma: no cover - internal consistency
+        raise InvalidParameterError(
+            f"DP power {best_power} disagrees with routing power {actual}"
+        )
+    return SameEndpointDpResult(
+        routing=routing, power=best_power, explored_states=explored
+    )
+
+
+# ======================================================================
+# the open-problem record
+# ======================================================================
+@dataclass(frozen=True)
+class SameEndpointGap:
+    """XY vs optimal 1-MP vs max-MP sandwich on one shared-endpoint instance."""
+
+    xy_power: float
+    single_path_power: float  #: exact DP optimum (full model)
+    single_path_dynamic: float  #: dynamic-only power of the DP optimum
+    flow_upper: float  #: feasible max-MP dynamic power
+    flow_lower: float  #: certified max-MP lower bound
+    ideal_bound: float  #: per-band ideal-spread bound (may be unreachable)
+
+    @property
+    def single_vs_multi(self) -> float:
+        """How much multi-path saves over the best single-path routing.
+
+        The open question's quantity: ``>= 1``; 1 means single-path is as
+        good as unbounded splitting (on the dynamic relaxation).
+        """
+        if self.flow_upper == 0:
+            return 1.0
+        return self.single_path_dynamic / self.flow_upper
+
+    @property
+    def xy_vs_single(self) -> float:
+        """Gain of the optimal 1-MP over XY (dynamic + static model)."""
+        if self.single_path_power == 0:
+            return 1.0
+        return self.xy_power / self.single_path_power
+
+
+def same_endpoint_gap(
+    problem: RoutingProblem, *, segments: int = 48
+) -> SameEndpointGap:
+    """Quantify the paper's open problem on one shared-endpoint instance."""
+    src, snk = _require_shared_endpoints(problem)
+    power = problem.power
+    total = float(sum(c.rate for c in problem.comms))
+
+    xy = Routing.xy(problem)
+    dp = optimal_same_endpoint_single_path(problem)
+    flow = same_endpoint_flow(
+        problem.mesh, src, snk, total, power, segments=segments
+    )
+    dp_loads = dp.routing.link_loads()
+    dyn = float(
+        power.p0 * np.sum((dp_loads / power.freq_unit) ** power.alpha)
+    )
+
+    from repro.theory.bounds import diagonal_lower_bound
+
+    return SameEndpointGap(
+        xy_power=xy.total_power(),
+        single_path_power=dp.power,
+        single_path_dynamic=dyn,
+        flow_upper=flow.upper_bound,
+        flow_lower=flow.lower_bound,
+        ideal_bound=diagonal_lower_bound(problem),
+    )

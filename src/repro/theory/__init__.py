@@ -1,0 +1,51 @@
+"""Theoretical results of Section 4: counting, bounds, constructions.
+
+* :mod:`repro.theory.counting` — Lemma 1 (Manhattan path counting).
+* :mod:`repro.theory.bounds` — the diagonal load-balancing lower bound on
+  the dynamic power of *any* Manhattan routing (the machinery behind
+  Theorems 1 and 2).
+* :mod:`repro.theory.worstcase` — the explicit worst-case constructions:
+  Theorem 1's max-MP flow pattern (``h_k, r_{k,j}, d_{k,j}``) and Lemma 2's
+  staircase instance where YX beats XY by ``Θ(p^{α-1})``.
+* :mod:`repro.theory.np_reduction` — Theorem 3's reduction from
+  2-PARTITION to s-MP routing feasibility.
+"""
+
+from repro.theory.counting import manhattan_path_count, comm_path_count
+from repro.theory.bounds import (
+    band_capacity_infeasible,
+    diagonal_lower_bound,
+    direction_band_volumes,
+    theorem2_ratio_cap,
+    theorem2_xy_upper_bound,
+)
+from repro.theory.worstcase import (
+    theorem1_flow_loads,
+    theorem1_powers,
+    theorem1_routing,
+    lemma2_instance,
+    lemma2_powers,
+)
+from repro.theory.np_reduction import (
+    build_reduction,
+    routing_from_partition,
+    reduction_total_demand_equals_capacity,
+)
+
+__all__ = [
+    "manhattan_path_count",
+    "comm_path_count",
+    "band_capacity_infeasible",
+    "diagonal_lower_bound",
+    "theorem2_xy_upper_bound",
+    "theorem2_ratio_cap",
+    "direction_band_volumes",
+    "theorem1_flow_loads",
+    "theorem1_powers",
+    "theorem1_routing",
+    "lemma2_instance",
+    "lemma2_powers",
+    "build_reduction",
+    "routing_from_partition",
+    "reduction_total_demand_equals_capacity",
+]

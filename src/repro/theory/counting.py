@@ -1,0 +1,40 @@
+"""Lemma 1 — counting Manhattan paths.
+
+``N(u, v) = N(u-1, v) + N(u, v-1)`` with unit boundary conditions gives
+``N(p, q) = C(p+q-2, p-1)`` paths from corner to corner; the same recursion
+yields ``C(Δu+Δv, Δu)`` for an arbitrary displacement.  Both closed forms
+are re-exported here next to a direct dynamic-programming evaluation used
+by the tests to validate the closed form against the recursion itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import Communication
+from repro.mesh.paths import count_paths, manhattan_path_count
+from repro.utils.validation import InvalidParameterError
+
+__all__ = [
+    "manhattan_path_count",
+    "comm_path_count",
+    "path_count_by_recursion",
+]
+
+
+def comm_path_count(comm: Communication) -> int:
+    """Number of Manhattan paths available to ``comm`` (Lemma 1 generalised)."""
+    return count_paths(comm.delta_u, comm.delta_v)
+
+
+def path_count_by_recursion(p: int, q: int) -> int:
+    """Evaluate Lemma 1's recursion ``N(u,v) = N(u-1,v) + N(u,v-1)`` directly.
+
+    Exact integer dynamic programming — O(p·q) and overflow-free (Python
+    ints); exists to cross-check the closed form in tests.
+    """
+    if p < 1 or q < 1:
+        raise InvalidParameterError(f"mesh dimensions must be >= 1, got {p}x{q}")
+    row = [1] * q
+    for _ in range(1, p):
+        for v in range(1, q):
+            row[v] += row[v - 1]
+    return row[-1]

@@ -1,0 +1,172 @@
+"""Theorem 3 — NP-completeness gadget: 2-PARTITION → s-MP feasibility.
+
+Given positive integers ``a_1..a_n`` (sum ``S``) and a split bound ``s``,
+the paper builds a ``2 × ((s-1)n + 2)`` CMP with ``BW = S/2 + (s-1)n``:
+
+* *traversing* communications ``γ_i`` from the top row at column
+  ``(i-1)(s-1)`` (0-indexed) to the bottom-right corner, of rate
+  ``a_i + s - 1``;
+* *blocker* one-hop vertical communications of rate ``BW - 1`` on every
+  column except the last two, and of rate ``BW - S/2`` on the last two.
+
+Total demand equals the total vertical capacity, so every vertical link
+must be saturated; each γ_i is forced to drop one unit on each of the
+``s-1`` columns of its own block, and its remaining ``a_i`` units must
+descend through one of the last two columns — which is possible within
+``BW`` iff the ``a_i`` can be 2-partitioned.
+
+Reproduction note (documented, exercised by the tests): the proof text
+tracks only the *vertical* capacities.  The ``a_i`` residues all travel
+along the top row to the last two columns, so the horizontal link entering
+column ``q-2`` carries the full ``S``; the witness routing is therefore
+valid only when ``S <= BW``, i.e. ``S <= 2(s-1)n``.
+:func:`reduction_is_wellformed` checks this extra condition, and
+:func:`build_reduction` warns (or raises, with ``strict=True``) when it
+fails.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core.power import PowerModel
+from repro.core.problem import Communication, RoutingProblem
+from repro.core.routing import RoutedFlow, Routing
+from repro.mesh.moves import MOVE_H, MOVE_V
+from repro.mesh.paths import Path
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError
+
+
+def _validate_inputs(a: Sequence[int], s: int) -> Tuple[List[int], int]:
+    a = [int(x) for x in a]
+    if len(a) == 0:
+        raise InvalidParameterError("2-partition instance must be non-empty")
+    if any(x <= 0 for x in a):
+        raise InvalidParameterError(f"2-partition values must be > 0, got {a}")
+    if s < 2:
+        raise InvalidParameterError(
+            f"the reduction needs a split bound s >= 2, got {s}"
+        )
+    return a, int(s)
+
+
+def reduction_is_wellformed(a: Sequence[int], s: int) -> bool:
+    """True when the gadget's horizontal capacities can carry the residues.
+
+    The extra condition ``S <= 2(s-1)n`` the paper's proof leaves implicit;
+    see the module docstring.
+    """
+    a, s = _validate_inputs(a, s)
+    return sum(a) <= 2 * (s - 1) * len(a)
+
+
+def build_reduction(
+    a: Sequence[int], s: int, *, strict: bool = False
+) -> RoutingProblem:
+    """Build the Theorem 3 routing instance for 2-partition values ``a``.
+
+    Parameters
+    ----------
+    a:
+        The 2-partition multiset (positive integers).
+    s:
+        The s-MP split bound of the target routing problem.
+    strict:
+        When True, raise if the instance violates the horizontal-capacity
+        well-formedness condition instead of warning.
+    """
+    a, s = _validate_inputs(a, s)
+    n = len(a)
+    S = sum(a)
+    q = (s - 1) * n + 2
+    bw = S / 2 + (s - 1) * n
+    if not reduction_is_wellformed(a, s):
+        msg = (
+            f"reduction gadget is not well-formed: S={S} exceeds 2(s-1)n="
+            f"{2 * (s - 1) * n}; the top-row horizontal links cannot carry "
+            "the residues even for a YES instance"
+        )
+        if strict:
+            raise InvalidParameterError(msg)
+        warnings.warn(msg, stacklevel=2)
+    mesh = Mesh(2, q)
+    comms: List[Communication] = []
+    for i in range(n):  # traversing communications
+        comms.append(
+            Communication((0, i * (s - 1)), (1, q - 1), float(a[i] + s - 1))
+        )
+    for c in range(q - 2):  # full blockers
+        comms.append(Communication((0, c), (1, c), float(bw - 1)))
+    comms.append(Communication((0, q - 2), (1, q - 2), float(bw - S / 2)))
+    comms.append(Communication((0, q - 1), (1, q - 1), float(bw - S / 2)))
+    power = PowerModel(p_leak=0.0, p0=1.0, alpha=3.0, bandwidth=float(bw))
+    return RoutingProblem(mesh, power, comms)
+
+
+def _traverse_path(mesh: Mesh, src_col: int, drop_col: int, q: int) -> Path:
+    """Top-row path from ``(0, src_col)`` descending at ``drop_col``."""
+    if not src_col <= drop_col <= q - 1:
+        raise InvalidParameterError(
+            f"drop column {drop_col} outside [{src_col}, {q - 1}]"
+        )
+    moves = (
+        MOVE_H * (drop_col - src_col) + MOVE_V + MOVE_H * (q - 1 - drop_col)
+    )
+    return Path(mesh, (0, src_col), (1, q - 1), moves)
+
+
+def routing_from_partition(
+    a: Sequence[int], s: int, subset: Iterable[int]
+) -> Routing:
+    """The witness s-MP routing induced by a partition ``subset``.
+
+    ``subset`` holds the (0-based) indices whose values descend through
+    column ``q-2``; the rest descend through column ``q-1``.  Each γ_i is
+    split into ``s-1`` unit parts dropping on its own block's columns plus
+    one part of rate ``a_i``.  When ``subset`` is an exact half-partition
+    (and the gadget is well-formed) the routing is valid — the forward
+    direction of Theorem 3.
+    """
+    a, s = _validate_inputs(a, s)
+    problem = build_reduction(a, s)
+    mesh = problem.mesh
+    n = len(a)
+    q = mesh.q
+    chosen: Set[int] = set(int(i) for i in subset)
+    if not chosen <= set(range(n)):
+        raise InvalidParameterError(
+            f"subset {sorted(chosen)} is not a set of indices of 0..{n - 1}"
+        )
+    flows: List[List[RoutedFlow]] = []
+    for i in range(n):
+        src_col = i * (s - 1)
+        parts = [
+            RoutedFlow(_traverse_path(mesh, src_col, src_col + k, q), 1.0)
+            for k in range(s - 1)
+        ]
+        drop = q - 2 if i in chosen else q - 1
+        parts.append(RoutedFlow(_traverse_path(mesh, src_col, drop, q), float(a[i])))
+        flows.append(parts)
+    for comm in problem.comms[n:]:  # blockers: forced one-hop vertical
+        path = Path(mesh, comm.src, comm.snk, MOVE_V)
+        flows.append([RoutedFlow(path, comm.rate)])
+    return Routing(problem, flows)
+
+
+def reduction_total_demand_equals_capacity(a: Sequence[int], s: int) -> bool:
+    """The saturation identity: Σ rates equals total vertical capacity.
+
+    Every unit of demand must cross from the top row to the bottom row, so
+    total demand must equal ``q · BW`` for the instance to require full
+    saturation of every vertical link — the hinge of the backward
+    direction of the proof.
+    """
+    a, s = _validate_inputs(a, s)
+    n = len(a)
+    S = sum(a)
+    q = (s - 1) * n + 2
+    bw = S / 2 + (s - 1) * n
+    demand = sum(x + s - 1 for x in a) + (q - 2) * (bw - 1) + 2 * (bw - S / 2)
+    return abs(demand - q * bw) < 1e-9

@@ -1,0 +1,216 @@
+"""Worst-case constructions of Section 4.1.
+
+*Theorem 1* (single source/destination): on a ``p × p`` CMP with ``p = 2p'``
+even, routing total volume ``K`` from corner to corner, the explicit
+max-MP flow pattern built from
+
+.. math::
+
+    h_k = K/k, \\qquad
+    r_{k,j} = \\frac{k+1-j}{k(k+1)} K, \\qquad
+    d_{k,j} = \\frac{j}{k(k+1)} K
+
+(on the even diagonals, splitting each ``h_k`` into a right and a down
+share; on the odd diagonals, forwarding horizontally) dissipates ``O(K^α)``
+dynamic power while XY dissipates ``2(p-1) K^α`` — the ``Θ(p)`` separation.
+The second half of the chip mirrors the first through the anti-diagonal,
+with flow directions reversed, so the construction converges on the
+destination corner.
+
+*Lemma 2* (multiple sources/destinations): the staircase instance
+``γ_i = (C_{1,i}, C_{i,p}, 1)``, ``i = 1..p-1``, for which YX routing loads
+every used link by exactly 1 while XY stacks ``Θ(p)`` traffic on shared
+links — a ``Θ(p^{α-1})`` separation achieved by a *single-path* routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.core.problem import Communication, RoutingProblem
+from repro.core.routing import Routing
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError, check_positive
+
+Coord = Tuple[int, int]
+
+
+def theorem1_flow_loads(p: int, total_rate: float = 1.0) -> Tuple[Mesh, np.ndarray]:
+    """Link loads of the Theorem 1 max-MP routing pattern.
+
+    Parameters
+    ----------
+    p:
+        Even side of the square CMP (``p = 2p'``, ``p >= 2``).
+    total_rate:
+        Total volume ``K`` routed from ``(0,0)`` to ``(p-1, p-1)``.
+
+    Returns
+    -------
+    (mesh, loads):
+        The ``p × p`` mesh and the per-link load vector of the pattern.
+        Flow conservation (the paper's split/merge identities) is asserted
+        during construction.
+    """
+    if p < 2 or p % 2 != 0:
+        raise InvalidParameterError(f"Theorem 1 needs an even p >= 2, got {p}")
+    check_positive("total_rate", total_rate)
+    mesh = Mesh(p, p)
+    K = float(total_rate)
+    loads = np.zeros(mesh.num_links, dtype=np.float64)
+    half_links: List[Tuple[Coord, Coord, float]] = []
+
+    # First half: expand from C11 (0-indexed (0,0)) up to diagonal D_p.
+    # 1-indexed bookkeeping mirrors the paper; m = u + v - 1 is the
+    # diagonal index of the *sending* core.
+    inflow: Dict[Coord, float] = {(1, 1): K}
+    for m in range(1, p):
+        senders = sorted(c for c, w in inflow.items() if c[0] + c[1] - 1 == m)
+        nxt: Dict[Coord, float] = {}
+        for (u, v) in senders:
+            w = inflow.pop((u, v))
+            if m % 2 == 1:
+                # odd diagonal D_{2k+1}: forward everything right (h_{k+1})
+                k = (m - 1) // 2
+                if k >= 1:
+                    expected = K / (k + 1)
+                    if not np.isclose(w, expected, rtol=1e-9):
+                        raise AssertionError(
+                            f"h identity violated at D_{m}, core ({u},{v}): "
+                            f"{w} != {expected}"
+                        )
+                half_links.append(((u, v), (u, v + 1), w))
+                nxt[(u, v + 1)] = nxt.get((u, v + 1), 0.0) + w
+            else:
+                # even diagonal D_{2k}: split h_k into r_{k,j} and d_{k,j}
+                k = m // 2
+                j = u
+                if not np.isclose(w, K / k, rtol=1e-9):
+                    raise AssertionError(
+                        f"inflow at D_{m} line {j} is {w}, expected {K / k}"
+                    )
+                r = (k + 1 - j) / (k * (k + 1)) * K
+                d = j / (k * (k + 1)) * K
+                if r > 0:
+                    half_links.append(((u, v), (u, v + 1), r))
+                    nxt[(u, v + 1)] = nxt.get((u, v + 1), 0.0) + r
+                if d > 0:
+                    half_links.append(((u, v), (u + 1, v), d))
+                    nxt[(u + 1, v)] = nxt.get((u + 1, v), 0.0) + d
+        for c, w in nxt.items():
+            inflow[c] = inflow.get(c, 0.0) + w
+
+    # Flow must now sit on D_p: cores (j, p+1-j), j = 1..p/2, h_{p'} each.
+    pprime = p // 2
+    junction = dict(inflow)
+    if not np.isclose(sum(junction.values()), K, rtol=1e-9):
+        raise AssertionError("flow lost before the junction diagonal")
+    for (u, v), w in junction.items():
+        if u + v - 1 != p:
+            raise AssertionError(f"residual flow off the junction at ({u},{v})")
+        if not np.isclose(w, K / pprime, rtol=1e-9):
+            raise AssertionError(
+                f"junction inflow {w} at ({u},{v}), expected {K / pprime}"
+            )
+
+    def refl(c: Coord) -> Coord:
+        """Reflection across the anti-diagonal (1-indexed)."""
+        return (p + 1 - c[1], p + 1 - c[0])
+
+    # Apply first half and its mirrored, direction-reversed second half.
+    for (a, b, w) in half_links:
+        a0 = (a[0] - 1, a[1] - 1)
+        b0 = (b[0] - 1, b[1] - 1)
+        loads[mesh.link_between(a0, b0)] += w
+        ra, rb = refl(a), refl(b)
+        ra0 = (ra[0] - 1, ra[1] - 1)
+        rb0 = (rb[0] - 1, rb[1] - 1)
+        loads[mesh.link_between(rb0, ra0)] += w
+    return mesh, loads
+
+
+def theorem1_powers(
+    p: int, total_rate: float = 1.0, alpha: float = 3.0
+) -> Dict[str, float]:
+    """XY vs constructed max-MP power for the Theorem 1 instance.
+
+    Uses the Section 4 setting ``P_leak = 0, P0 = 1``, continuous
+    frequencies and no bandwidth cap.  Returns the two powers and their
+    ratio (which grows as ``Θ(p)``).
+    """
+    power = PowerModel.dynamic_only(alpha=alpha)
+    mesh, loads = theorem1_flow_loads(p, total_rate)
+    p_max = power.dynamic_power(loads)
+    # XY: the whole volume K over the 2(p-1) links of the XY corner path
+    p_xy = 2 * (p - 1) * power.p0 * (total_rate / power.freq_unit) ** alpha
+    if p_max <= 0:
+        raise AssertionError("constructed routing dissipates no power")
+    return {"p_xy": p_xy, "p_manhattan": p_max, "ratio": p_xy / p_max}
+
+
+def lemma2_instance(p: int, rate: float = 1.0) -> RoutingProblem:
+    """The staircase instance of Lemma 2 on a ``p × p`` CMP.
+
+    ``p - 1`` unit-rate communications ``γ_i`` from ``(0, i-1)`` (top row)
+    to ``(i-1, p-1)`` (right column), 1-indexed ``i = 1 .. p-1``.
+    """
+    if p < 2:
+        raise InvalidParameterError(f"Lemma 2 needs p >= 2, got {p}")
+    check_positive("rate", rate)
+    mesh = Mesh(p, p)
+    comms = [
+        Communication((0, i - 1), (i - 1, p - 1), rate) for i in range(1, p)
+    ]
+    return RoutingProblem(mesh, PowerModel.dynamic_only(), comms)
+
+
+def lemma2_powers(p: int, alpha: float = 3.0, rate: float = 1.0) -> Dict[str, float]:
+    """Exact XY and YX powers of the Lemma 2 instance and their ratio.
+
+    The ratio grows as ``Θ(p^{α-1})`` — the Theorem 2 separation achieved
+    by a single-path routing.
+    """
+    problem = lemma2_instance(p, rate)
+    power = PowerModel.dynamic_only(alpha=alpha)
+    problem = RoutingProblem(problem.mesh, power, problem.comms)
+    xy = Routing.xy(problem)
+    from repro.mesh.moves import yx_moves
+
+    yx = Routing.from_moves(
+        problem, [yx_moves(c.src, c.snk) for c in problem.comms]
+    )
+    p_xy = power.dynamic_power(xy.link_loads())
+    p_yx = power.dynamic_power(yx.link_loads())
+    return {"p_xy": p_xy, "p_yx": p_yx, "ratio": p_xy / p_yx}
+
+
+def theorem1_routing(
+    p: int,
+    total_rate: float = 1.0,
+    power: PowerModel | None = None,
+) -> Routing:
+    """The Theorem 1 max-MP pattern as an executable :class:`Routing`.
+
+    Decomposes the construction's link loads into explicit source→sink
+    paths (flow decomposition on the corner-to-corner routing DAG), so the
+    worst-case witness can be validated, power-evaluated and even
+    flit-simulated like any routing the heuristics produce.
+
+    ``power`` defaults to the Section 4 model (``P_leak = 0, P0 = 1``,
+    continuous frequencies, unbounded links) so the construction is never
+    spuriously invalid.
+    """
+    from repro.optimal.same_endpoint import flow_to_routing
+
+    mesh, loads = theorem1_flow_loads(p, total_rate)
+    if power is None:
+        power = PowerModel.dynamic_only(alpha=3.0, bandwidth=float("inf"))
+    problem = RoutingProblem(
+        mesh,
+        power,
+        [Communication((0, 0), (p - 1, p - 1), total_rate)],
+    )
+    return flow_to_routing(problem, loads)

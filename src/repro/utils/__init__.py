@@ -1,0 +1,23 @@
+"""Shared utilities: deterministic RNG handling, table formatting, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_table, format_series
+from repro.utils.validation import (
+    check_positive,
+    check_in_range,
+    check_index,
+    ReproError,
+    InvalidParameterError,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_in_range",
+    "check_index",
+    "ReproError",
+    "InvalidParameterError",
+]

@@ -1,0 +1,67 @@
+"""Plain-text table and series formatting for experiment reports.
+
+The benchmark harness prints paper-style rows (one per sweep point) through
+these helpers so that every figure reproduction has a uniform, diffable text
+rendering, and EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt_cell(value: object, width: int, ndigits: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{ndigits}f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    ndigits: int = 3,
+    min_width: int = 6,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width text table."""
+    rows = [list(r) for r in rows]
+    ncols = len(headers)
+    for r in rows:
+        if len(r) != ncols:
+            raise ValueError(
+                f"row {r!r} has {len(r)} cells, expected {ncols} to match headers"
+            )
+    widths = []
+    for c, h in enumerate(headers):
+        w = max(
+            [len(str(h)), min_width]
+            + [len(_fmt_cell(r[c], 0, ndigits).strip()) for r in rows]
+        )
+        widths.append(w)
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(str(h).rjust(w) for h, w in zip(headers, widths)), sep]
+    for r in rows:
+        out.append(" | ".join(_fmt_cell(v, w, ndigits) for v, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    ndigits: int = 3,
+) -> str:
+    """Render a sweep (one x column, one column per named series)."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_name] + names
+    rows = [
+        [x] + [series[name][i] for name in names] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, ndigits=ndigits)

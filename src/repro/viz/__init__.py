@@ -1,0 +1,27 @@
+"""Visualisation of meshes, loads, paths and experiment sweeps.
+
+Terminal-friendly ASCII renderings (:func:`render_loads`,
+:func:`render_path`) plus dependency-free SVG output: link-load heat
+maps of the chip (:func:`mesh_heatmap_svg`) and multi-series line charts
+of the Figure 7/8/9 sweeps (:func:`line_chart_svg`, :func:`sweep_to_svg`).
+"""
+
+from repro.viz.ascii_mesh import render_loads, render_path, load_legend
+from repro.viz.svg import (
+    line_chart_svg,
+    mesh_heatmap_svg,
+    save_svg,
+    sweep_to_svg,
+    utilization_color,
+)
+
+__all__ = [
+    "render_loads",
+    "render_path",
+    "load_legend",
+    "line_chart_svg",
+    "mesh_heatmap_svg",
+    "save_svg",
+    "sweep_to_svg",
+    "utilization_color",
+]

@@ -1,0 +1,114 @@
+"""ASCII renderings of the mesh: link-load heat maps and path overlays.
+
+Cores draw as ``o``; each adjacent pair shows its two unidirectional links
+as a single glyph per direction pair — horizontal neighbours render the
+east/west loads as two characters ``>`` ``<`` (shaded by load), vertical
+neighbours the south/north loads stacked.  Loads map onto a five-level
+shade ramp relative to the bandwidth:
+
+====== =================
+glyph  utilisation
+====== =================
+``.``  0 (inactive)
+``1``  (0, 25%]
+``2``  (25%, 50%]
+``3``  (50%, 75%]
+``4``  (75%, 100%]
+``!``  above bandwidth
+====== =================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.mesh.paths import Path
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError
+
+_RAMP = ".1234"
+
+
+def _glyph(load: float, bandwidth: float) -> str:
+    if load <= 0:
+        return _RAMP[0]
+    if load > bandwidth * (1 + 1e-12):
+        return "!"
+    frac = load / bandwidth
+    level = min(4, int(np.ceil(frac * 4)))
+    return _RAMP[level]
+
+
+def load_legend() -> str:
+    """One-line legend for the load glyphs."""
+    return ". idle | 1 <=25% | 2 <=50% | 3 <=75% | 4 <=100% | ! overloaded"
+
+
+def render_loads(
+    mesh: Mesh,
+    loads: np.ndarray,
+    *,
+    bandwidth: Optional[float] = None,
+    power: Optional[PowerModel] = None,
+) -> str:
+    """Render per-link loads as a text heat map.
+
+    Provide either ``bandwidth`` or a ``power`` model (whose bandwidth is
+    used).  Horizontal cells show ``E`` then ``W`` loads; vertical cells
+    show ``S`` then ``N`` loads side by side.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (mesh.num_links,):
+        raise InvalidParameterError(
+            f"loads must have shape ({mesh.num_links},), got {loads.shape}"
+        )
+    if bandwidth is None:
+        if power is None:
+            raise InvalidParameterError("provide bandwidth or a power model")
+        bandwidth = power.bandwidth
+    if bandwidth <= 0:
+        raise InvalidParameterError(f"bandwidth must be > 0, got {bandwidth}")
+
+    lines = []
+    for u in range(mesh.p):
+        row = []
+        for v in range(mesh.q):
+            row.append("o")
+            if v + 1 < mesh.q:
+                e = _glyph(loads[mesh.link_east(u, v)], bandwidth)
+                w = _glyph(loads[mesh.link_west(u, v + 1)], bandwidth)
+                row.append(f"{e}{w}")
+        lines.append(" ".join(row))
+        if u + 1 < mesh.p:
+            vrow = []
+            for v in range(mesh.q):
+                s = _glyph(loads[mesh.link_south(u, v)], bandwidth)
+                n = _glyph(loads[mesh.link_north(u + 1, v)], bandwidth)
+                vrow.append(f"{s}{n}")
+                if v + 1 < mesh.q:
+                    vrow.append("  ")
+            lines.append(" ".join(vrow).rstrip())
+    return "\n".join(lines)
+
+
+def render_path(path: Path) -> str:
+    """Render a single path on its mesh: visited cores as ``#``."""
+    mesh = path.mesh
+    on_path = set(path.cores())
+    lines = []
+    for u in range(mesh.p):
+        cells = []
+        for v in range(mesh.q):
+            if (u, v) == path.src:
+                cells.append("S")
+            elif (u, v) == path.snk:
+                cells.append("D")
+            elif (u, v) in on_path:
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append(" ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Dependency-free SVG rendering: link-load heat maps and figure charts.
+
+No plotting library ships in the evaluation environment, so this module
+emits SVG directly (SVG is plain XML).  Two renderers:
+
+* :func:`mesh_heatmap_svg` — the chip as a grid of cores with every
+  directed link drawn as an arrowed segment coloured by utilisation
+  (green → red ramp; overloaded links magenta and thick), optionally
+  overlaying one or more routing paths;
+* :func:`line_chart_svg` — multi-series line chart with axes, ticks and a
+  legend, used by :func:`sweep_to_svg` to render the Figure 7/8/9 sweeps
+  (normalised power inverse and failure ratio) into viewable artefacts.
+
+All functions return the SVG document as a string;
+:func:`save_svg` writes it with the correct header.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+from repro.core.power import PowerModel
+from repro.mesh.paths import Path
+from repro.mesh.topology import Mesh
+from repro.utils.validation import InvalidParameterError
+
+#: distinguishable series colours (Okabe–Ito palette)
+PALETTE = (
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+)
+
+
+class _Canvas:
+    """Minimal SVG element accumulator."""
+
+    def __init__(self, width: float, height: float):
+        self.width = width
+        self.height = height
+        self.parts: List[str] = []
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        *,
+        stroke: str,
+        width: float = 1.5,
+        opacity: float = 1.0,
+        marker: Optional[str] = None,
+        dash: Optional[str] = None,
+    ) -> None:
+        attrs = (
+            f'x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{stroke}" stroke-width="{width:.2f}" '
+            f'stroke-opacity="{opacity:.2f}"'
+        )
+        if marker:
+            attrs += f' marker-end="url(#{marker})"'
+        if dash:
+            attrs += f' stroke-dasharray="{dash}"'
+        self.parts.append(f"<line {attrs}/>")
+
+    def circle(
+        self, cx: float, cy: float, r: float, *, fill: str, stroke: str = "none"
+    ) -> None:
+        self.parts.append(
+            f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="{r:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def rect(
+        self,
+        x: float,
+        y: float,
+        w: float,
+        h: float,
+        *,
+        fill: str,
+        stroke: str = "none",
+    ) -> None:
+        self.parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" height="{h:.1f}" '
+            f'fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        *,
+        size: float = 11,
+        anchor: str = "start",
+        fill: str = "#222222",
+    ) -> None:
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size:.0f}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}">{escape(content)}</text>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        *,
+        stroke: str,
+        width: float = 2.0,
+    ) -> None:
+        pts = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{width:.2f}"/>'
+        )
+
+    def render(self, defs: str = "") -> str:
+        body = "\n".join(self.parts)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f"{defs}\n{body}\n</svg>\n"
+        )
+
+
+def utilization_color(frac: float) -> str:
+    """Green→yellow→red ramp for a load fraction; magenta when above 1."""
+    if frac < 0:
+        raise InvalidParameterError(f"load fraction must be >= 0, got {frac}")
+    if frac > 1.0 + 1e-12:
+        return "#d014d0"  # overload: magenta
+    if frac <= 0:
+        return "#d9d9d9"
+    # interpolate green (120deg) to red (0deg) in HSV-ish space
+    hue = 120.0 * (1.0 - frac)
+    c = 1.0
+    x = c * (1 - abs((hue / 60.0) % 2 - 1))
+    r, g = (c, x) if hue < 60 else (x, c)
+    return f"#{int(220 * r):02x}{int(200 * g):02x}30"
+
+
+def mesh_heatmap_svg(
+    mesh: Mesh,
+    loads: np.ndarray,
+    power: PowerModel,
+    *,
+    paths: Sequence[Path] = (),
+    cell: float = 56.0,
+    title: str = "",
+) -> str:
+    """Render per-link loads on the chip as a coloured SVG heat map.
+
+    Cores are circles at grid positions (row u grows downward, column v
+    rightward, matching the paper's C_{u,v} layout); the two unidirectional
+    links of each neighbour pair draw as two offset arrows.  ``paths``
+    overlay as dashed blue lines.
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.shape != (mesh.num_links,):
+        raise InvalidParameterError(
+            f"loads must have shape ({mesh.num_links},), got {loads.shape}"
+        )
+    margin = 48.0
+    width = margin * 2 + (mesh.q - 1) * cell
+    height = margin * 2 + (mesh.p - 1) * cell + (28 if title else 0)
+    top = margin + (28 if title else 0)
+    cv = _Canvas(width, height)
+    if title:
+        cv.text(width / 2, 22, title, size=14, anchor="middle")
+
+    def xy(u: int, v: int) -> Tuple[float, float]:
+        return (margin + v * cell, top + u * cell)
+
+    # links (offset each direction sideways so both stay visible)
+    off = cell * 0.08
+    for lid in range(mesh.num_links):
+        (u1, v1), (u2, v2) = mesh.link_endpoints(lid)
+        x1, y1 = xy(u1, v1)
+        x2, y2 = xy(u2, v2)
+        dx, dy = x2 - x1, y2 - y1
+        norm = math.hypot(dx, dy)
+        ox, oy = -dy / norm * off, dx / norm * off
+        # trim the ends so arrows do not overlap the core circles
+        trim = cell * 0.16
+        tx, ty = dx / norm * trim, dy / norm * trim
+        frac = float(loads[lid]) / power.bandwidth
+        overloaded = frac > 1.0 + 1e-12
+        cv.line(
+            x1 + ox + tx,
+            y1 + oy + ty,
+            x2 + ox - tx,
+            y2 + oy - ty,
+            stroke=utilization_color(frac),
+            width=4.0 if overloaded else 1.0 + 2.5 * min(frac, 1.0),
+            marker="arr",
+        )
+    # path overlays
+    for k, path in enumerate(paths):
+        pts = [xy(u, v) for (u, v) in path.cores()]
+        cv.polyline(pts, stroke=PALETTE[k % len(PALETTE)], width=2.2)
+    # cores
+    for u in range(mesh.p):
+        for v in range(mesh.q):
+            x, y = xy(u, v)
+            cv.circle(x, y, cell * 0.12, fill="#ffffff", stroke="#555555")
+            cv.text(x, y + cell * 0.3 + 8, f"{u},{v}", size=8, anchor="middle")
+    defs = (
+        '<defs><marker id="arr" viewBox="0 0 6 6" refX="5" refY="3" '
+        'markerWidth="5" markerHeight="5" orient="auto-start-reverse">'
+        '<path d="M 0 0 L 6 3 L 0 6 z" fill="#777777"/></marker></defs>'
+    )
+    return cv.render(defs)
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n - 1)
+    mag = 10 ** math.floor(math.log10(raw))
+    step = min(
+        (s for s in (mag, 2 * mag, 2.5 * mag, 5 * mag, 10 * mag) if s >= raw),
+        default=raw,
+    )
+    start = math.floor(lo / step) * step
+    out = []
+    t = start
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            out.append(round(t, 10))
+        t += step
+    return out or [lo, hi]
+
+
+def line_chart_svg(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+    width: float = 560.0,
+    height: float = 360.0,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Multi-series line chart (axes, ticks, legend); returns SVG text."""
+    if not series:
+        raise InvalidParameterError("series must be non-empty")
+    pts_all = [p for pts in series.values() for p in pts]
+    if not pts_all:
+        raise InvalidParameterError("series contain no points")
+    xs = [p[0] for p in pts_all]
+    ys = [p[1] for p in pts_all if np.isfinite(p[1])]
+    if not ys:
+        ys = [0.0, 1.0]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = y_min if y_min is not None else min(min(ys), 0.0)
+    y_hi = y_max if y_max is not None else max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    ml, mr, mt, mb = 64.0, 130.0, 40.0, 48.0
+    pw, ph = width - ml - mr, height - mt - mb
+    cv = _Canvas(width, height)
+
+    def px(x: float) -> float:
+        return ml + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def py(y: float) -> float:
+        return mt + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+    cv.rect(ml, mt, pw, ph, fill="#fbfbfb", stroke="#888888")
+    for t in _ticks(x_lo, x_hi):
+        cv.line(px(t), mt + ph, px(t), mt + ph + 4, stroke="#555555", width=1)
+        cv.line(px(t), mt, px(t), mt + ph, stroke="#eeeeee", width=1)
+        cv.text(px(t), mt + ph + 16, f"{t:g}", size=10, anchor="middle")
+    for t in _ticks(y_lo, y_hi):
+        cv.line(ml - 4, py(t), ml, py(t), stroke="#555555", width=1)
+        cv.line(ml, py(t), ml + pw, py(t), stroke="#eeeeee", width=1)
+        cv.text(ml - 7, py(t) + 3.5, f"{t:g}", size=10, anchor="end")
+    if title:
+        cv.text(ml + pw / 2, 22, title, size=14, anchor="middle")
+    if xlabel:
+        cv.text(ml + pw / 2, height - 12, xlabel, size=11, anchor="middle")
+    if ylabel:
+        cv.parts.append(
+            f'<text x="16" y="{mt + ph / 2:.1f}" font-size="11" '
+            f'font-family="sans-serif" text-anchor="middle" fill="#222222" '
+            f'transform="rotate(-90 16 {mt + ph / 2:.1f})">'
+            f"{escape(ylabel)}</text>"
+        )
+    for k, (name, pts) in enumerate(series.items()):
+        color = PALETTE[k % len(PALETTE)]
+        finite = [
+            (px(x), py(y)) for x, y in pts if np.isfinite(x) and np.isfinite(y)
+        ]
+        if len(finite) >= 2:
+            cv.polyline(finite, stroke=color, width=2.0)
+        for x, y in finite:
+            cv.circle(x, y, 2.4, fill=color)
+        ly = mt + 14 + 16 * k
+        cv.line(ml + pw + 10, ly - 4, ml + pw + 34, ly - 4, stroke=color, width=2.5)
+        cv.text(ml + pw + 40, ly, name, size=11)
+    return cv.render()
+
+
+def sweep_to_svg(sweep, metric: str = "norm_power_inverse", **chart_kw) -> str:
+    """Chart one metric of a Figure 7/8/9 sweep.
+
+    ``sweep`` is a :class:`repro.experiments.runner.SweepResult`;
+    ``metric`` is any name its ``series`` accessor accepts
+    ("norm_power_inverse", "failure_ratio", ...).
+    """
+    xs = sweep.x_values
+    series = {
+        name: list(zip(xs, ys)) for name, ys in sweep.series(metric).items()
+    }
+    chart_kw.setdefault("title", f"{sweep.name}: {metric}")
+    chart_kw.setdefault("xlabel", sweep.x_label)
+    chart_kw.setdefault("ylabel", metric)
+    if metric in ("norm_power_inverse", "failure_ratio"):
+        chart_kw.setdefault("y_min", 0.0)
+        chart_kw.setdefault("y_max", 1.0)
+    return line_chart_svg(series, **chart_kw)
+
+
+def save_svg(path, svg: str) -> None:
+    """Write an SVG document (string) to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg)

@@ -1,0 +1,90 @@
+"""Workload generators for the Section 6 simulations and beyond.
+
+* :mod:`repro.workloads.random_uniform` — the paper's random workloads:
+  uniformly random endpoint pairs with uniformly drawn rates, plus the
+  fixed-average-weight variant of Figure 8.
+* :mod:`repro.workloads.length_targeted` — Figure 9's workloads whose
+  Manhattan length concentrates "around the target average length".
+* :mod:`repro.workloads.patterns` — classic NoC traffic patterns
+  (transpose, bit-complement, bit-reverse, shuffle, tornado, hotspot,
+  neighbour) for the example applications.
+* :mod:`repro.workloads.taskgraph` — synthetic multi-application task
+  graphs mapped onto the CMP, the system-level motivation of Section 1.
+* :mod:`repro.workloads.apps` — the published multimedia task graphs of
+  the NoC mapping literature (VOPD, MPEG-4, MWD, PIP).
+* :mod:`repro.workloads.mapping` — bandwidth-aware task placement
+  (NMAP-style greedy, simulated annealing, per-application regions).
+"""
+
+from repro.workloads.random_uniform import (
+    uniform_random_workload,
+    fixed_weight_workload,
+    single_pair_workload,
+)
+from repro.workloads.length_targeted import length_targeted_workload, max_length
+from repro.workloads.patterns import (
+    transpose_pattern,
+    bit_complement_pattern,
+    bit_reverse_pattern,
+    shuffle_pattern,
+    tornado_pattern,
+    hotspot_pattern,
+    neighbor_pattern,
+)
+from repro.workloads.taskgraph import (
+    TaskGraph,
+    pipeline_app,
+    stencil_app,
+    fork_join_app,
+    random_dag_app,
+    map_applications,
+    row_major_placement,
+    random_placement,
+)
+from repro.workloads.apps import (
+    PUBLISHED_APPS,
+    mpeg4_app,
+    mwd_app,
+    pip_app,
+    published_app,
+    vopd_app,
+)
+from repro.workloads.mapping import (
+    annealed_placement,
+    bandwidth_aware_placement,
+    placement_cost,
+    region_split,
+)
+
+__all__ = [
+    "uniform_random_workload",
+    "fixed_weight_workload",
+    "single_pair_workload",
+    "length_targeted_workload",
+    "max_length",
+    "transpose_pattern",
+    "bit_complement_pattern",
+    "bit_reverse_pattern",
+    "shuffle_pattern",
+    "tornado_pattern",
+    "hotspot_pattern",
+    "neighbor_pattern",
+    "TaskGraph",
+    "pipeline_app",
+    "stencil_app",
+    "fork_join_app",
+    "random_dag_app",
+    "map_applications",
+    "row_major_placement",
+    "random_placement",
+    "PUBLISHED_APPS",
+    "published_app",
+    "vopd_app",
+    "mpeg4_app",
+    "mwd_app",
+    "pip_app",
+    "bandwidth_aware_placement",
+    "annealed_placement",
+    "placement_cost",
+    "region_split",
+]

@@ -1,0 +1,76 @@
+"""Length-targeted workloads (the paper's Figure 9).
+
+"Now we draw only communications whose length is around the target average
+length": the source is uniform over the cores, and the sink is drawn
+uniformly among cores whose Manhattan distance to the source falls within
+``tolerance`` of the target (defaulting to ±1, the loosest reading that
+keeps every target in 2..p+q-2 satisfiable from every source on an 8×8
+chip).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.problem import Communication
+from repro.mesh.topology import Mesh
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError, check_positive
+
+
+def max_length(mesh: Mesh) -> int:
+    """Largest possible Manhattan distance on the mesh."""
+    return (mesh.p - 1) + (mesh.q - 1)
+
+
+def length_targeted_workload(
+    mesh: Mesh,
+    n: int,
+    target_length: int,
+    rate_min: float,
+    rate_max: float,
+    *,
+    tolerance: int = 1,
+    rng: RngLike = None,
+) -> List[Communication]:
+    """``n`` communications of Manhattan length ``target_length ± tolerance``.
+
+    Raises
+    ------
+    InvalidParameterError
+        When no pair of cores realises a length within the tolerance
+        window.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    check_positive("rate_min", rate_min)
+    if rate_max < rate_min:
+        raise InvalidParameterError(
+            f"rate_max ({rate_max}) must be >= rate_min ({rate_min})"
+        )
+    if tolerance < 0:
+        raise InvalidParameterError(f"tolerance must be >= 0, got {tolerance}")
+    lo = max(1, target_length - tolerance)
+    hi = min(max_length(mesh), target_length + tolerance)
+    if lo > hi:
+        raise InvalidParameterError(
+            f"no communication of length {target_length}±{tolerance} fits a "
+            f"{mesh.p}x{mesh.q} mesh (max length {max_length(mesh)})"
+        )
+    gen = ensure_rng(rng)
+    out: List[Communication] = []
+    while len(out) < n:
+        s = mesh.core_coords(int(gen.integers(mesh.num_cores)))
+        candidates = [
+            (u, v)
+            for u in range(mesh.p)
+            for v in range(mesh.q)
+            if lo <= abs(u - s[0]) + abs(v - s[1]) <= hi
+        ]
+        if not candidates:
+            continue  # this source cannot reach the window; redraw
+        t = candidates[int(gen.integers(len(candidates)))]
+        out.append(
+            Communication(s, t, float(gen.uniform(rate_min, rate_max)))
+        )
+    return out

@@ -1,0 +1,241 @@
+"""Bandwidth-aware task-to-core mapping.
+
+The paper takes the mapping as given ("each task is already mapped to a
+core") — but *which* mapping determines how hard the routing problem is.
+This module provides the standard mapping ladder so experiments can
+control that input:
+
+* :func:`bandwidth_aware_placement` — NMAP-style constructive greedy:
+  seed the most communicative task near the centre of the region, then
+  repeatedly place the unplaced task with the largest bandwidth to
+  already-placed tasks onto the free core minimising rate-weighted
+  Manhattan distance;
+* :func:`annealed_placement` — simulated-annealing refinement over task
+  swaps/relocations, minimising the same Σ rate × distance objective
+  (the standard mapping cost, and a lower bound proxy on any routing's
+  dynamic power);
+* :func:`region_split` — carve a mesh into per-application rectangular
+  regions (greedy guillotine), so several applications can each be
+  mapped compactly, the multi-application scenario of Section 1.
+
+All placements return core lists compatible with
+:func:`repro.workloads.taskgraph.map_applications`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mesh.topology import Mesh
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError
+from repro.workloads.taskgraph import TaskGraph
+
+Coord = Tuple[int, int]
+
+
+def _symmetric_bandwidth(app: TaskGraph) -> Dict[Tuple[int, int], float]:
+    """Undirected task-pair bandwidth (routing cost is direction-blind)."""
+    bw: Dict[Tuple[int, int], float] = {}
+    for (a, b), rate in app.edges.items():
+        key = (min(a, b), max(a, b))
+        bw[key] = bw.get(key, 0.0) + rate
+    return bw
+
+
+def placement_cost(app: TaskGraph, placement: Sequence[Coord]) -> float:
+    """Rate-weighted total Manhattan distance of a placement.
+
+    This is the classic mapping objective; it equals the total traffic
+    crossing links under *any* shortest-path routing, and hence lower-
+    bound-correlates with dynamic routing power.
+    """
+    if len(placement) != app.num_tasks:
+        raise InvalidParameterError(
+            f"{app.num_tasks} tasks but {len(placement)} cores"
+        )
+    cost = 0.0
+    for (a, b), rate in app.edges.items():
+        (ua, va), (ub, vb) = placement[a], placement[b]
+        cost += rate * (abs(ua - ub) + abs(va - vb))
+    return cost
+
+
+def bandwidth_aware_placement(
+    mesh: Mesh,
+    app: TaskGraph,
+    *,
+    region: Optional[Sequence[Coord]] = None,
+    rng: RngLike = None,
+) -> List[Coord]:
+    """NMAP-style greedy constructive mapping.
+
+    Parameters
+    ----------
+    region:
+        Candidate cores (defaults to the whole mesh); must hold at least
+        ``app.num_tasks`` cores.
+    rng:
+        Only used to break exact ties reproducibly.
+    """
+    gen = ensure_rng(rng)
+    free = list(region) if region is not None else list(mesh.cores())
+    if len(set(free)) != len(free):
+        raise InvalidParameterError("region contains duplicate cores")
+    for c in free:
+        mesh.check_core(*c)
+    if app.num_tasks > len(free):
+        raise InvalidParameterError(
+            f"cannot place {app.num_tasks} tasks on {len(free)} cores"
+        )
+    bw = _symmetric_bandwidth(app)
+    total_bw = [0.0] * app.num_tasks
+    for (a, b), rate in bw.items():
+        total_bw[a] += rate
+        total_bw[b] += rate
+
+    # seed: the most communicative task on the most central free core
+    cu = sum(c[0] for c in free) / len(free)
+    cv = sum(c[1] for c in free) / len(free)
+    centre = min(free, key=lambda c: (abs(c[0] - cu) + abs(c[1] - cv)))
+    first = int(np.argmax(total_bw))
+    placement: Dict[int, Coord] = {first: centre}
+    free.remove(centre)
+
+    unplaced = set(range(app.num_tasks)) - {first}
+    while unplaced:
+        # next task: largest bandwidth to the placed set (total bw breaks ties)
+        def attraction(t: int) -> Tuple[float, float]:
+            s = 0.0
+            for (a, b), rate in bw.items():
+                if a == t and b in placement:
+                    s += rate
+                elif b == t and a in placement:
+                    s += rate
+            return (s, total_bw[t])
+
+        task = max(sorted(unplaced), key=attraction)
+        # best core: minimise rate-weighted distance to placed neighbours
+        best_cores: List[Coord] = []
+        best_cost = float("inf")
+        for core in free:
+            cost = 0.0
+            for (a, b), rate in bw.items():
+                other = None
+                if a == task and b in placement:
+                    other = placement[b]
+                elif b == task and a in placement:
+                    other = placement[a]
+                if other is not None:
+                    cost += rate * (
+                        abs(core[0] - other[0]) + abs(core[1] - other[1])
+                    )
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_cores = [core]
+            elif cost <= best_cost + 1e-12:
+                best_cores.append(core)
+        core = best_cores[int(gen.integers(len(best_cores)))]
+        placement[task] = core
+        free.remove(core)
+        unplaced.remove(task)
+    return [placement[t] for t in range(app.num_tasks)]
+
+
+def annealed_placement(
+    mesh: Mesh,
+    app: TaskGraph,
+    *,
+    region: Optional[Sequence[Coord]] = None,
+    iterations: int = 3000,
+    seed: RngLike = 0,
+) -> List[Coord]:
+    """Simulated-annealing mapping (swap / relocate moves).
+
+    Starts from :func:`bandwidth_aware_placement` and anneals the
+    Σ rate × distance objective; deterministic given ``seed``.
+    """
+    if iterations < 1:
+        raise InvalidParameterError(f"iterations must be >= 1, got {iterations}")
+    gen = ensure_rng(seed)
+    cores = list(region) if region is not None else list(mesh.cores())
+    placement = bandwidth_aware_placement(mesh, app, region=cores, rng=gen)
+    occupied = {c: t for t, c in enumerate(placement)}
+    free = [c for c in cores if c not in occupied]
+
+    cost = placement_cost(app, placement)
+    best = list(placement)
+    best_cost = cost
+    # temperature from the typical single-edge cost scale
+    mean_rate = (
+        sum(app.edges.values()) / len(app.edges) if app.edges else 1.0
+    )
+    temp = 2.0 * mean_rate
+    cooling = (1e-3) ** (1.0 / max(1, iterations - 1))
+
+    for _ in range(iterations):
+        t = int(gen.integers(app.num_tasks))
+        old = placement[t]
+        if free and gen.random() < 0.3:
+            new = free[int(gen.integers(len(free)))]
+            swap_with = None
+        else:
+            new = cores[int(gen.integers(len(cores)))]
+            if new == old:
+                temp *= cooling
+                continue
+            swap_with = occupied.get(new)
+
+        placement[t] = new
+        if swap_with is not None:
+            placement[swap_with] = old
+        new_cost = placement_cost(app, placement)
+        d = new_cost - cost
+        if d <= 0 or gen.random() < math.exp(-d / max(temp, 1e-12)):
+            cost = new_cost
+            occupied.pop(old, None)
+            occupied[new] = t
+            if swap_with is not None:
+                occupied[old] = swap_with
+            else:
+                if new in free:
+                    free.remove(new)
+                free.append(old)
+            if cost < best_cost:
+                best_cost = cost
+                best = list(placement)
+        else:  # revert
+            placement[t] = old
+            if swap_with is not None:
+                placement[swap_with] = new
+        temp *= cooling
+    return best
+
+
+def region_split(
+    mesh: Mesh, sizes: Sequence[int]
+) -> List[List[Coord]]:
+    """Carve the mesh into disjoint rectangular regions of given sizes.
+
+    Greedy guillotine: regions are cut as vertical strips of full-height
+    columns (plus a partial column when needed), left to right.  Raises
+    when the total size exceeds the mesh.
+    """
+    if any(s < 1 for s in sizes):
+        raise InvalidParameterError(f"region sizes must be >= 1, got {sizes}")
+    if sum(sizes) > mesh.num_cores:
+        raise InvalidParameterError(
+            f"regions of total size {sum(sizes)} exceed {mesh.num_cores} cores"
+        )
+    order: List[Coord] = [
+        (u, v) for v in range(mesh.q) for u in range(mesh.p)
+    ]  # column-major: full columns make compact strips
+    regions: List[List[Coord]] = []
+    k = 0
+    for size in sizes:
+        regions.append(order[k : k + size])
+        k += size
+    return regions

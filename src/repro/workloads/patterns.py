@@ -1,0 +1,146 @@
+"""Classic NoC traffic patterns.
+
+Deterministic permutation/locality patterns from the on-chip-network
+literature, expressed as communication sets on the paper's mesh model.
+They feed the example applications and the NoC-simulator validation runs;
+cores whose image coincides with themselves simply emit nothing.
+
+Patterns over the *linearised* core id (bit-complement, bit-reverse,
+shuffle) require the core count to be a power of two.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.problem import Communication
+from repro.mesh.topology import Mesh
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError, check_positive
+
+Coord = Tuple[int, int]
+
+
+def _bits_of(mesh: Mesh) -> int:
+    n = mesh.num_cores
+    if n & (n - 1) != 0:
+        raise InvalidParameterError(
+            f"bit-oriented patterns need a power-of-two core count, got {n}"
+        )
+    return n.bit_length() - 1
+
+
+def _from_permutation(mesh: Mesh, images: List[int], rate: float) -> List[Communication]:
+    out = []
+    for cid, img in enumerate(images):
+        if img != cid:
+            out.append(
+                Communication(mesh.core_coords(cid), mesh.core_coords(img), rate)
+            )
+    return out
+
+
+def transpose_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Core ``(u, v)`` sends to ``(v, u)`` (square meshes only)."""
+    check_positive("rate", rate)
+    if mesh.p != mesh.q:
+        raise InvalidParameterError(
+            f"transpose needs a square mesh, got {mesh.p}x{mesh.q}"
+        )
+    out = []
+    for (u, v) in mesh.cores():
+        if (u, v) != (v, u):
+            out.append(Communication((u, v), (v, u), rate))
+    return out
+
+
+def bit_complement_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Core id ``b`` sends to ``~b`` (all address bits flipped)."""
+    check_positive("rate", rate)
+    bits = _bits_of(mesh)
+    mask = (1 << bits) - 1
+    return _from_permutation(
+        mesh, [cid ^ mask for cid in range(mesh.num_cores)], rate
+    )
+
+
+def bit_reverse_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Core id ``b_{k-1}..b_0`` sends to ``b_0..b_{k-1}``."""
+    check_positive("rate", rate)
+    bits = _bits_of(mesh)
+    images = []
+    for cid in range(mesh.num_cores):
+        rev = 0
+        for b in range(bits):
+            rev |= ((cid >> b) & 1) << (bits - 1 - b)
+        images.append(rev)
+    return _from_permutation(mesh, images, rate)
+
+
+def shuffle_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Perfect shuffle: left-rotate the core id bits by one."""
+    check_positive("rate", rate)
+    bits = _bits_of(mesh)
+    mask = (1 << bits) - 1
+    images = [
+        ((cid << 1) | (cid >> (bits - 1))) & mask for cid in range(mesh.num_cores)
+    ]
+    return _from_permutation(mesh, images, rate)
+
+
+def tornado_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Each core sends halfway around its row: ``(u, v) -> (u, (v + ⌈q/2⌉-... )``.
+
+    The mesh variant of the classical ring tornado: destination column is
+    ``(v + ⌊(q-1)/2⌋) mod q``.
+    """
+    check_positive("rate", rate)
+    shift = (mesh.q - 1) // 2
+    out = []
+    for (u, v) in mesh.cores():
+        t = (u, (v + shift) % mesh.q)
+        if t != (u, v):
+            out.append(Communication((u, v), t, rate))
+    return out
+
+
+def hotspot_pattern(
+    mesh: Mesh,
+    rate: float,
+    *,
+    hotspot: Coord | None = None,
+    fraction: float = 1.0,
+    rng: RngLike = None,
+) -> List[Communication]:
+    """Every other core sends toward one hotspot core.
+
+    ``fraction`` of the cores participate (drawn without replacement when
+    < 1); the default hotspot is the mesh centre.
+    """
+    check_positive("rate", rate)
+    if not 0.0 < fraction <= 1.0:
+        raise InvalidParameterError(f"fraction must lie in (0, 1], got {fraction}")
+    if hotspot is None:
+        hotspot = (mesh.p // 2, mesh.q // 2)
+    mesh.check_core(*hotspot)
+    senders = [c for c in mesh.cores() if c != hotspot]
+    if fraction < 1.0:
+        gen = ensure_rng(rng)
+        k = max(1, int(round(fraction * len(senders))))
+        idx = gen.choice(len(senders), size=k, replace=False)
+        senders = [senders[int(i)] for i in sorted(idx)]
+    return [Communication(s, hotspot, rate) for s in senders]
+
+
+def neighbor_pattern(mesh: Mesh, rate: float) -> List[Communication]:
+    """Nearest-neighbour ring sweep: each core sends one hop east (wrapping
+    to the next row), modelling tightly coupled stencil exchange."""
+    check_positive("rate", rate)
+    out = []
+    for cid in range(mesh.num_cores):
+        nxt = (cid + 1) % mesh.num_cores
+        if nxt != cid:
+            out.append(
+                Communication(mesh.core_coords(cid), mesh.core_coords(nxt), rate)
+            )
+    return out

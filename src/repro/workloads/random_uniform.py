@@ -1,0 +1,111 @@
+"""Random endpoint workloads (the paper's Figures 7 and 8).
+
+"We use random source and sink nodes for the communications" — endpoints
+are drawn uniformly among cores, rejecting self-pairs; rates are either
+drawn uniformly from an interval (Figure 7) or pinned to a common average
+weight (Figure 8; see DESIGN.md for why equal weights reproduce the
+paper's sharp 1750 Mb/s breakdown).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.problem import Communication
+from repro.mesh.topology import Mesh
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError, check_positive
+
+Coord = Tuple[int, int]
+
+
+def _random_pair(mesh: Mesh, rng) -> Tuple[Coord, Coord]:
+    """A uniformly random ordered pair of distinct cores."""
+    if mesh.num_cores < 2:
+        raise InvalidParameterError(
+            f"mesh {mesh.p}x{mesh.q} has fewer than 2 cores"
+        )
+    while True:
+        s = int(rng.integers(mesh.num_cores))
+        t = int(rng.integers(mesh.num_cores))
+        if s != t:
+            return mesh.core_coords(s), mesh.core_coords(t)
+
+
+def uniform_random_workload(
+    mesh: Mesh,
+    n: int,
+    rate_min: float,
+    rate_max: float,
+    *,
+    rng: RngLike = None,
+) -> List[Communication]:
+    """``n`` communications with uniform endpoints and ``U(min, max)`` rates."""
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    check_positive("rate_min", rate_min)
+    if rate_max < rate_min:
+        raise InvalidParameterError(
+            f"rate_max ({rate_max}) must be >= rate_min ({rate_min})"
+        )
+    gen = ensure_rng(rng)
+    out = []
+    for _ in range(n):
+        src, snk = _random_pair(mesh, gen)
+        out.append(Communication(src, snk, float(gen.uniform(rate_min, rate_max))))
+    return out
+
+
+def fixed_weight_workload(
+    mesh: Mesh,
+    n: int,
+    weight: float,
+    *,
+    jitter: float = 0.0,
+    rng: RngLike = None,
+) -> List[Communication]:
+    """``n`` communications of (nearly) equal weight — the Figure 8 sweep.
+
+    ``jitter`` spreads rates uniformly over ``weight * [1-jitter, 1+jitter]``
+    for sensitivity studies; the default 0 keeps them exactly equal, which
+    reproduces the paper's observation that all heuristics break down
+    sharply once the common weight crosses ``BW/2``.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    check_positive("weight", weight)
+    if not 0.0 <= jitter < 1.0:
+        raise InvalidParameterError(f"jitter must lie in [0, 1), got {jitter}")
+    gen = ensure_rng(rng)
+    out = []
+    for _ in range(n):
+        src, snk = _random_pair(mesh, gen)
+        w = weight if jitter == 0.0 else float(
+            gen.uniform(weight * (1 - jitter), weight * (1 + jitter))
+        )
+        out.append(Communication(src, snk, w))
+    return out
+
+
+def single_pair_workload(
+    mesh: Mesh,
+    n: int,
+    total_rate: float,
+    *,
+    src: Coord = (0, 0),
+    snk: Coord | None = None,
+) -> List[Communication]:
+    """``n`` equal communications sharing one source and one sink.
+
+    The Theorem 1 scenario: the aggregate ``total_rate`` is divided into
+    ``n`` identical communications from ``src`` to ``snk`` (the opposite
+    corner by default).
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    check_positive("total_rate", total_rate)
+    if snk is None:
+        snk = (mesh.p - 1, mesh.q - 1)
+    mesh.check_core(*src)
+    mesh.check_core(*snk)
+    return [Communication(src, snk, total_rate / n) for _ in range(n)]

@@ -1,0 +1,195 @@
+"""Task-graph applications mapped onto the CMP.
+
+The paper's system-level setting (Section 1): "several parallel
+applications executing on the CMP, and each of them has been mapped onto a
+set of nodes, resulting in one or several communications between CMP
+nodes".  This module provides small synthetic application task graphs
+(pipelines, 2-D stencils, fork–join trees, random DAGs), placement
+policies, and :func:`map_applications`, which turns mapped applications
+into the flat communication set a :class:`~repro.core.problem.RoutingProblem`
+consumes — "irrespective of the application that generates the
+communication".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.problem import Communication
+from repro.mesh.topology import Mesh
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import InvalidParameterError, check_positive
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class TaskGraph:
+    """A DAG of tasks with per-edge bandwidth demands.
+
+    ``edges`` maps ``(producer, consumer)`` task ids to the sustained rate
+    the producer streams to the consumer.
+    """
+
+    name: str
+    num_tasks: int
+    edges: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_tasks < 1:
+            raise InvalidParameterError(
+                f"task graph needs >= 1 task, got {self.num_tasks}"
+            )
+        for (a, b), rate in self.edges.items():
+            if not (0 <= a < self.num_tasks and 0 <= b < self.num_tasks):
+                raise InvalidParameterError(
+                    f"edge ({a}, {b}) references tasks outside 0..{self.num_tasks - 1}"
+                )
+            if a == b:
+                raise InvalidParameterError(f"self-edge on task {a}")
+            check_positive(f"rate of edge ({a}, {b})", rate)
+
+
+def pipeline_app(stages: int, rate: float, name: str = "pipeline") -> TaskGraph:
+    """A linear streaming pipeline: stage i feeds stage i+1 at ``rate``."""
+    if stages < 2:
+        raise InvalidParameterError(f"pipeline needs >= 2 stages, got {stages}")
+    return TaskGraph(
+        name, stages, {(i, i + 1): rate for i in range(stages - 1)}
+    )
+
+
+def stencil_app(rows: int, cols: int, rate: float, name: str = "stencil") -> TaskGraph:
+    """A 2-D halo-exchange stencil: neighbouring tiles exchange both ways."""
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError(f"stencil grid must be >= 1x1, got {rows}x{cols}")
+    edges: Dict[Tuple[int, int], float] = {}
+    for r in range(rows):
+        for c in range(cols):
+            t = r * cols + c
+            if c + 1 < cols:
+                edges[(t, t + 1)] = rate
+                edges[(t + 1, t)] = rate
+            if r + 1 < rows:
+                edges[(t, t + cols)] = rate
+                edges[(t + cols, t)] = rate
+    return TaskGraph(name, rows * cols, edges)
+
+
+def fork_join_app(
+    workers: int, scatter_rate: float, gather_rate: float, name: str = "fork-join"
+) -> TaskGraph:
+    """Master scatters to ``workers`` tasks and gathers their results.
+
+    Task 0 is the master; tasks ``1..workers`` are the workers.
+    """
+    if workers < 1:
+        raise InvalidParameterError(f"fork-join needs >= 1 worker, got {workers}")
+    edges: Dict[Tuple[int, int], float] = {}
+    for w in range(1, workers + 1):
+        edges[(0, w)] = scatter_rate
+        edges[(w, 0)] = gather_rate
+    return TaskGraph(name, workers + 1, edges)
+
+
+def random_dag_app(
+    num_tasks: int,
+    edge_prob: float,
+    rate_min: float,
+    rate_max: float,
+    *,
+    rng: RngLike = None,
+    name: str = "random-dag",
+) -> TaskGraph:
+    """A random layered DAG: edge ``i -> j`` (i < j) with probability ``p``."""
+    if num_tasks < 2:
+        raise InvalidParameterError(f"random DAG needs >= 2 tasks, got {num_tasks}")
+    if not 0.0 < edge_prob <= 1.0:
+        raise InvalidParameterError(f"edge_prob must lie in (0, 1], got {edge_prob}")
+    gen = ensure_rng(rng)
+    edges: Dict[Tuple[int, int], float] = {}
+    for i in range(num_tasks):
+        for j in range(i + 1, num_tasks):
+            if gen.uniform() < edge_prob:
+                edges[(i, j)] = float(gen.uniform(rate_min, rate_max))
+    if not edges:  # guarantee at least one communication
+        edges[(0, num_tasks - 1)] = float(gen.uniform(rate_min, rate_max))
+    return TaskGraph(name, num_tasks, edges)
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+def row_major_placement(mesh: Mesh, num_tasks: int, origin: int = 0) -> List[Coord]:
+    """Place tasks on consecutive cores in row-major order from ``origin``."""
+    if origin < 0 or origin + num_tasks > mesh.num_cores:
+        raise InvalidParameterError(
+            f"{num_tasks} tasks from origin {origin} exceed "
+            f"{mesh.num_cores} cores"
+        )
+    return [mesh.core_coords(origin + t) for t in range(num_tasks)]
+
+
+def random_placement(
+    mesh: Mesh, num_tasks: int, *, rng: RngLike = None, exclude: Sequence[Coord] = ()
+) -> List[Coord]:
+    """Place tasks on distinct random cores (avoiding ``exclude``)."""
+    gen = ensure_rng(rng)
+    free = [c for c in mesh.cores() if c not in set(exclude)]
+    if num_tasks > len(free):
+        raise InvalidParameterError(
+            f"cannot place {num_tasks} tasks on {len(free)} free cores"
+        )
+    idx = gen.choice(len(free), size=num_tasks, replace=False)
+    return [free[int(i)] for i in idx]
+
+
+def map_applications(
+    apps: Sequence[TaskGraph],
+    placements: Sequence[Sequence[Coord]],
+    *,
+    merge_parallel: bool = False,
+) -> List[Communication]:
+    """Flatten mapped applications into the system-level communication set.
+
+    Parameters
+    ----------
+    apps, placements:
+        Parallel sequences: ``placements[k][t]`` is the core of task ``t``
+        of application ``k``.  Tasks of one application must sit on
+        distinct cores; edges whose endpoints land on the same core are
+        local and generate no traffic.
+    merge_parallel:
+        When True, communications sharing (src, snk) are merged by summing
+        their rates (the paper routes them independently; merging is the
+        natural system-level aggregation and is exposed for comparison).
+    """
+    if len(apps) != len(placements):
+        raise InvalidParameterError(
+            f"{len(apps)} apps but {len(placements)} placements"
+        )
+    comms: List[Communication] = []
+    for app, placement in zip(apps, placements):
+        if len(placement) != app.num_tasks:
+            raise InvalidParameterError(
+                f"application {app.name!r} has {app.num_tasks} tasks but "
+                f"{len(placement)} placed cores"
+            )
+        if len(set(placement)) != len(placement):
+            raise InvalidParameterError(
+                f"application {app.name!r} maps two tasks to one core"
+            )
+        for (a, b), rate in sorted(app.edges.items()):
+            src, snk = placement[a], placement[b]
+            if src != snk:
+                comms.append(Communication(src, snk, rate))
+    if merge_parallel:
+        merged: Dict[Tuple[Coord, Coord], float] = {}
+        for c in comms:
+            merged[(c.src, c.snk)] = merged.get((c.src, c.snk), 0.0) + c.rate
+        comms = [
+            Communication(src, snk, rate)
+            for (src, snk), rate in sorted(merged.items())
+        ]
+    return comms

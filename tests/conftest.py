@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Communication, Mesh, PowerModel, RoutingProblem
+from repro.workloads import uniform_random_workload
+
+
+@pytest.fixture
+def mesh2() -> Mesh:
+    return Mesh(2, 2)
+
+
+@pytest.fixture
+def mesh44() -> Mesh:
+    return Mesh(4, 4)
+
+
+@pytest.fixture
+def mesh8() -> Mesh:
+    return Mesh(8, 8)
+
+
+@pytest.fixture
+def mesh_rect() -> Mesh:
+    """A deliberately non-square mesh to catch p/q mixups."""
+    return Mesh(3, 5)
+
+
+@pytest.fixture
+def pm_kh() -> PowerModel:
+    return PowerModel.kim_horowitz()
+
+
+@pytest.fixture
+def pm_fig2() -> PowerModel:
+    return PowerModel.fig2_example()
+
+
+@pytest.fixture
+def fig2_problem(mesh2, pm_fig2) -> RoutingProblem:
+    """The paper's Figure 2 instance."""
+    return RoutingProblem(
+        mesh2,
+        pm_fig2,
+        [Communication((0, 0), (1, 1), 1.0), Communication((0, 0), (1, 1), 3.0)],
+    )
+
+
+def make_random_problem(
+    mesh: Mesh,
+    power: PowerModel,
+    n: int,
+    lo: float,
+    hi: float,
+    seed: int,
+) -> RoutingProblem:
+    """A reproducible random instance (shared by many test modules)."""
+    comms = uniform_random_workload(
+        mesh, n, lo, hi, rng=np.random.default_rng(seed)
+    )
+    return RoutingProblem(mesh, power, comms)
+
+
+@pytest.fixture
+def random_problem(mesh8, pm_kh) -> RoutingProblem:
+    return make_random_problem(mesh8, pm_kh, 15, 100.0, 1200.0, seed=123)

@@ -1,0 +1,47 @@
+"""Smoke tests for every figure entry point at minimal trial counts.
+
+The real reproductions live in benchmarks/; these tests only prove that
+each panel's plumbing (config → workloads → runner → series) works and
+yields sane aggregates.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig7a,
+    fig7b,
+    fig7c,
+    fig8a,
+    fig8b,
+    fig8c,
+    fig9a,
+    fig9b,
+    fig9c,
+)
+from repro.experiments.runner import BEST_KEY
+
+PANELS = [
+    (fig7a, {"n_values": [10]}),
+    (fig7b, {"n_values": [10]}),
+    (fig7c, {"n_values": [6]}),
+    (fig8a, {"weights": [800]}),
+    (fig8b, {"weights": [800]}),
+    (fig8c, {"weights": [600]}),
+    (fig9a, {"lengths": [5]}),
+    (fig9b, {"lengths": [5]}),
+    (fig9c, {"lengths": [5]}),
+]
+
+
+@pytest.mark.parametrize("fn,kw", PANELS, ids=[f[0].__name__ for f in PANELS])
+def test_panel_smoke(fn, kw):
+    result = fn(trials=3, **kw)
+    assert len(result.points) == 1
+    stats = result.points[0].stats
+    assert BEST_KEY in stats
+    for s in stats.values():
+        assert 0.0 <= s.failure_ratio <= 1.0
+        assert 0.0 <= s.norm_power_inverse <= 1.0 + 1e-9
+    # BEST normalised inverse is 1 whenever it succeeded at least once
+    if stats[BEST_KEY].successes:
+        assert stats[BEST_KEY].norm_power_inverse == pytest.approx(1.0)

@@ -1,0 +1,94 @@
+"""Behavioural tests for IG (improved greedy) and TB (two-bend)."""
+
+import pytest
+
+from repro import Communication, PowerModel, RoutingProblem
+from repro.heuristics import ImprovedGreedy, TwoBend, XYRouting
+from repro.mesh.moves import bends
+
+
+class TestImprovedGreedy:
+    def test_separates_same_pair_comms(self, mesh2, pm_fig2):
+        prob = RoutingProblem(
+            mesh2,
+            pm_fig2,
+            [
+                Communication((0, 0), (1, 1), 1.0),
+                Communication((0, 0), (1, 1), 3.0),
+            ],
+        )
+        res = ImprovedGreedy().solve(prob)
+        m0 = res.routing.paths(0)[0].moves
+        m1 = res.routing.paths(1)[0].moves
+        assert m0 != m1  # the 1-MP optimum of Figure 2(b)
+        assert res.power == pytest.approx(56.0)
+
+    def test_avoids_preloaded_corridor(self, mesh8, pm_kh):
+        """A cheap corridor already carrying traffic must be dodged."""
+        comms = [
+            Communication((0, 0), (0, 4), 3000.0),  # pins row 0 eastwards
+            Communication((0, 0), (1, 4), 1000.0),  # should drop to row 1 early
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        res = ImprovedGreedy().solve(prob)
+        assert res.valid
+        light = res.routing.paths(1)[0]
+        # the light comm must not share row-0 links with the heavy one
+        heavy = res.routing.paths(0)[0]
+        shared = set(map(int, light.link_ids)) & set(map(int, heavy.link_ids))
+        assert not shared
+
+    def test_beats_or_matches_xy_under_contention(self, mesh8, pm_kh):
+        comms = [
+            Communication((1, 1), (5, 5), 2000.0),
+            Communication((1, 1), (5, 5), 2000.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        xy = XYRouting().solve(prob)
+        ig = ImprovedGreedy().solve(prob)
+        assert not xy.valid
+        assert ig.valid
+
+    def test_prerouting_is_removed_cleanly(self, mesh8):
+        """With a single communication the pre-routing must not distort the
+        walk: the final loads contain exactly that one path."""
+        pm = PowerModel.continuous_kim_horowitz()
+        prob = RoutingProblem(
+            mesh8, pm, [Communication((2, 2), (5, 6), 700.0)]
+        )
+        res = ImprovedGreedy().solve(prob)
+        loads = res.routing.link_loads()
+        assert (loads > 0).sum() == prob.comms[0].length
+
+
+class TestTwoBend:
+    def test_paths_have_at_most_two_bends(self, random_problem):
+        res = TwoBend().solve(random_problem)
+        for i in range(random_problem.num_comms):
+            assert bends(res.routing.paths(i)[0].moves) <= 2
+
+    def test_figure2_shape(self, fig2_problem):
+        res = TwoBend().solve(fig2_problem)
+        assert res.power == pytest.approx(56.0)
+
+    def test_picks_disjoint_staircases(self, mesh8, pm_kh):
+        """Two heavy same-pair comms: among the 4 two-bend candidates of a
+        2x2 displacement only VVHH/HHVV are link-disjoint — TB must use
+        exactly that pair."""
+        comms = [
+            Communication((0, 0), (2, 2), 1800.0),
+            Communication((0, 0), (2, 2), 1800.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        res = TwoBend().solve(prob)
+        assert res.valid
+        moves = {res.routing.paths(i)[0].moves for i in range(2)}
+        assert moves == {"VVHH", "HHVV"}
+
+    def test_cannot_separate_more_than_candidates(self, mesh8, pm_kh):
+        """Five same-pair comms of a 1x1 displacement: only 2 two-bend
+        routes exist, so heavy rates overload — TB fails where it must."""
+        comms = [Communication((0, 0), (1, 1), 2000.0) for _ in range(5)]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        res = TwoBend().solve(prob)
+        assert not res.valid

@@ -1,0 +1,108 @@
+"""Behavioural tests for the XY/YX baselines and SG (simple greedy)."""
+
+import pytest
+
+from repro import Communication, RoutingProblem
+from repro.heuristics import SimpleGreedy, XYRouting, YXRouting
+from repro.heuristics.greedy import diagonal_offset
+
+
+class TestXYBaselines:
+    def test_xy_shape(self, mesh8, pm_kh):
+        prob = RoutingProblem(
+            mesh8, pm_kh, [Communication((1, 1), (4, 5), 100.0)]
+        )
+        res = XYRouting().solve(prob)
+        assert res.routing.paths(0)[0].moves == "HHHHVVV"
+
+    def test_yx_shape(self, mesh8, pm_kh):
+        prob = RoutingProblem(
+            mesh8, pm_kh, [Communication((1, 1), (4, 5), 100.0)]
+        )
+        res = YXRouting().solve(prob)
+        assert res.routing.paths(0)[0].moves == "VVVHHHH"
+
+    def test_xy_fails_where_separation_succeeds(self, mesh2, pm_fig2, fig2_problem):
+        """Figure 2's premise: same-pair comms overload XY's single route."""
+        res = XYRouting().solve(fig2_problem)
+        assert res.valid  # 4 <= BW = 4: exactly at capacity
+        assert res.power == pytest.approx(128.0)
+
+
+class TestDiagonalOffset:
+    def test_on_diagonal_is_zero(self):
+        assert diagonal_offset((0, 0), (3, 3), (2, 2)) == 0
+        assert diagonal_offset((0, 0), (3, 3), (0, 0)) == 0
+
+    def test_off_diagonal_positive_and_symmetric(self):
+        d1 = diagonal_offset((0, 0), (3, 3), (1, 2))
+        d2 = diagonal_offset((0, 0), (3, 3), (2, 1))
+        assert d1 == d2 > 0
+
+
+class TestSimpleGreedy:
+    def test_separates_two_equal_pair_comms(self, mesh2, pm_fig2):
+        """With two same-pair comms, the second must avoid the first's
+        links (least-loaded rule) — exactly the Figure 2(b) structure."""
+        prob = RoutingProblem(
+            mesh2,
+            pm_fig2,
+            [
+                Communication((0, 0), (1, 1), 1.0),
+                Communication((0, 0), (1, 1), 1.0),
+            ],
+        )
+        res = SimpleGreedy().solve(prob)
+        m0 = res.routing.paths(0)[0].moves
+        m1 = res.routing.paths(1)[0].moves
+        assert {m0, m1} == {"HV", "VH"}
+
+    def test_heaviest_processed_first(self, mesh8, pm_kh):
+        """The heaviest communication is routed on empty links, so it gets
+        a straight two-bend-free XY-or-YX shape regardless of input order."""
+        comms = [
+            Communication((0, 0), (2, 2), 100.0),
+            Communication((0, 0), (2, 2), 3000.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        res = SimpleGreedy().solve(prob)
+        heavy = res.routing.paths(1)[0].moves
+        # first-processed path follows the tie-break (diagonal hugging)
+        assert heavy in ("HVHV", "VHVH", "HVVH", "VHHV")
+
+    def test_tie_break_hugs_diagonal(self, mesh8, pm_kh):
+        """On an empty chip all loads tie, so SG must hug the diagonal:
+        it alternates H and V instead of going straight then turning."""
+        prob = RoutingProblem(
+            mesh8, pm_kh, [Communication((0, 0), (3, 3), 500.0)]
+        )
+        res = SimpleGreedy().solve(prob)
+        moves = res.routing.paths(0)[0].moves
+        assert moves in ("HVHVHV", "VHVHVH", "HVHVVH")  # diagonal-hugging
+        # definitely not the L-shaped extremes
+        assert moves not in ("HHHVVV", "VVVHHH")
+
+    def test_ordering_variant_changes_result(self, mesh8, pm_kh):
+        comms = [
+            Communication((0, 0), (3, 3), 1000.0),
+            Communication((0, 0), (3, 3), 2000.0),
+            Communication((0, 3), (3, 0), 1500.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        by_weight = SimpleGreedy(ordering="weight").solve(prob)
+        by_input = SimpleGreedy(ordering="input").solve(prob)
+        # both must be structurally fine; they may (and here do) differ
+        assert by_weight.routing.is_single_path
+        assert by_input.routing.is_single_path
+
+    def test_improves_on_xy_under_contention(self, mesh8, pm_kh):
+        comms = [
+            Communication((0, 0), (4, 4), 1500.0),
+            Communication((0, 0), (4, 4), 1500.0),
+            Communication((0, 0), (4, 4), 1500.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        xy = XYRouting().solve(prob)
+        sg = SimpleGreedy().solve(prob)
+        assert not xy.valid  # 4500 on one link
+        assert sg.valid  # SG spreads the three

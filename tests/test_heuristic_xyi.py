@@ -1,0 +1,113 @@
+"""Behavioural tests for XYI (the XY-improver local descent)."""
+
+import pytest
+
+from repro import Communication, RoutingProblem
+from repro.heuristics import XYImprover, XYRouting
+from repro.utils.validation import InvalidParameterError
+
+
+class TestXYImprover:
+    def test_never_worse_than_xy(self, random_problem):
+        xy = XYRouting().solve(random_problem)
+        xyi = XYImprover().solve(random_problem)
+        if xy.valid:
+            assert xyi.valid
+            assert xyi.power <= xy.power + 1e-9
+
+    def test_repairs_xy_overload(self, mesh8, pm_kh):
+        """Two same-pair heavy comms overload XY; one corner swap fixes it."""
+        comms = [
+            Communication((2, 2), (4, 4), 2000.0),
+            Communication((2, 2), (4, 4), 1600.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        assert not XYRouting().solve(prob).valid
+        res = XYImprover().solve(prob)
+        assert res.valid
+
+    def test_figure2_reaches_1mp_optimum(self, fig2_problem):
+        res = XYImprover().solve(fig2_problem)
+        assert res.valid
+        assert res.power == pytest.approx(56.0)
+
+    def test_untouched_when_xy_is_isolated_optimal(self, mesh8, pm_kh):
+        """A single communication: XY is already optimal (any Manhattan
+        path costs the same), so XYI must return an XY-power routing."""
+        prob = RoutingProblem(
+            mesh8, pm_kh, [Communication((1, 1), (6, 6), 2000.0)]
+        )
+        xy = XYRouting().solve(prob)
+        xyi = XYImprover().solve(prob)
+        assert xyi.power == pytest.approx(xy.power)
+
+    def test_max_steps_cap_respected(self, random_problem):
+        capped = XYImprover(max_steps=1).solve(random_problem)
+        free = XYImprover().solve(random_problem)
+        # the capped run is a legal routing, possibly worse
+        assert capped.routing.is_single_path
+        if free.valid:
+            assert free.power <= capped.power + 1e-9 or not capped.valid
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(InvalidParameterError):
+            XYImprover(max_steps=0)
+
+    def test_straight_line_comms_cannot_move(self, mesh8, pm_kh):
+        """Row-only communications have no corner to relocate: XYI must
+        leave them on their row even when overloaded."""
+        comms = [
+            Communication((3, 0), (3, 5), 2000.0),
+            Communication((3, 0), (3, 5), 2000.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        res = XYImprover().solve(prob)
+        assert not res.valid  # nothing XYI can do: both are straight lines
+        for i in range(2):
+            assert res.routing.paths(i)[0].moves == "HHHHH"
+
+    def test_descent_strictly_improves_power(self, mesh8, pm_kh):
+        """On a congested instance the final power is strictly below XY's
+        graded starting point (descent did something)."""
+        comms = [
+            Communication((0, 0), (4, 4), 1500.0),
+            Communication((0, 1), (4, 5), 1500.0),
+            Communication((1, 0), (5, 4), 1500.0),
+            Communication((0, 0), (4, 4), 900.0),
+        ]
+        prob = RoutingProblem(mesh8, pm_kh, comms)
+        xy = XYRouting().solve(prob)
+        xyi = XYImprover().solve(prob)
+        assert xyi.valid
+        assert not xy.valid or xyi.power < xy.power
+
+
+class TestImproverStart:
+    """The start parameter added for the E-ABL4 ablation."""
+
+    def test_default_start_is_xy(self):
+        assert XYImprover().start == "XY"
+
+    def test_alternative_start_produces_legal_routing(self, random_problem):
+        for start in ("TB", "IG", "SG"):
+            res = XYImprover(start=start).solve(random_problem)
+            assert res.routing.is_single_path
+
+    def test_start_never_worse_than_seed(self, random_problem):
+        """Descent only applies improving moves, so the improver is at
+        least as good as whatever it starts from."""
+        from repro.heuristics.base import get_heuristic
+
+        seed = get_heuristic("TB").solve(random_problem)
+        improved = XYImprover(start="TB").solve(random_problem)
+        if seed.valid:
+            assert improved.valid
+            assert improved.power <= seed.power + 1e-9
+
+    def test_cannot_start_from_itself(self, random_problem):
+        with pytest.raises(InvalidParameterError):
+            XYImprover(start="XYI").solve(random_problem)
+
+    def test_unknown_start_rejected(self, random_problem):
+        with pytest.raises(InvalidParameterError):
+            XYImprover(start="NOPE").solve(random_problem)

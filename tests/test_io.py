@@ -1,0 +1,125 @@
+"""Tests for repro.io: JSON problem/routing round-trips, CSV workloads."""
+
+import json
+
+import pytest
+
+from repro import Communication, Mesh, PowerModel, RoutedFlow, Routing, RoutingProblem
+from repro.io import (
+    load_problem,
+    load_routing,
+    problem_from_dict,
+    problem_to_dict,
+    routing_from_dict,
+    routing_to_dict,
+    save_problem,
+    save_routing,
+    workload_from_csv,
+    workload_to_csv,
+)
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+
+class TestProblemJson:
+    def test_roundtrip(self, random_problem):
+        d = problem_to_dict(random_problem)
+        back = problem_from_dict(d)
+        assert back.mesh == random_problem.mesh
+        assert back.power == random_problem.power
+        assert back.comms == random_problem.comms
+
+    def test_roundtrip_through_file(self, tmp_path, random_problem):
+        path = tmp_path / "problem.json"
+        save_problem(random_problem, path)
+        back = load_problem(path)
+        assert back.comms == random_problem.comms
+        # the file is plain JSON
+        assert json.loads(path.read_text())["format"] == "repro/problem@1"
+
+    def test_continuous_model_roundtrip(self, mesh8):
+        prob = RoutingProblem(
+            mesh8,
+            PowerModel.continuous_kim_horowitz(),
+            [Communication((0, 0), (1, 1), 5.0)],
+        )
+        back = problem_from_dict(problem_to_dict(prob))
+        assert back.power.frequencies is None
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InvalidParameterError, match="format"):
+            problem_from_dict({"format": "nope"})
+
+    def test_loading_revalidates(self, random_problem):
+        d = problem_to_dict(random_problem)
+        d["comms"][0]["rate"] = -1.0
+        with pytest.raises(InvalidParameterError):
+            problem_from_dict(d)
+
+
+class TestRoutingJson:
+    def test_roundtrip_single_path(self, tmp_path, random_problem):
+        routing = Routing.xy(random_problem)
+        path = tmp_path / "routing.json"
+        save_routing(routing, path)
+        back = load_routing(path)
+        assert back.total_power() == pytest.approx(routing.total_power())
+        for i in range(random_problem.num_comms):
+            assert back.paths(i)[0].moves == routing.paths(i)[0].moves
+
+    def test_roundtrip_multipath(self, fig2_problem):
+        mesh = fig2_problem.mesh
+        routing = Routing(
+            fig2_problem,
+            [
+                [RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0)],
+                [
+                    RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0),
+                    RoutedFlow(Path.yx(mesh, (0, 0), (1, 1)), 2.0),
+                ],
+            ],
+        )
+        back = routing_from_dict(routing_to_dict(routing))
+        assert back.max_split == 2
+        assert back.total_power() == pytest.approx(32.0)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(InvalidParameterError, match="format"):
+            routing_from_dict({"format": "bogus"})
+
+    def test_loading_revalidates_rates(self, random_problem):
+        d = routing_to_dict(Routing.xy(random_problem))
+        d["flows"][0][0]["rate"] *= 2  # break the sum rule
+        with pytest.raises(InvalidParameterError):
+            routing_from_dict(d)
+
+
+class TestWorkloadCsv:
+    def test_roundtrip_text(self):
+        comms = [
+            Communication((0, 0), (1, 2), 150.5),
+            Communication((3, 3), (0, 0), 900.0),
+        ]
+        text = workload_to_csv(comms)
+        assert workload_from_csv(text) == comms
+
+    def test_roundtrip_file(self, tmp_path):
+        comms = [Communication((1, 1), (2, 2), 10.0)]
+        path = tmp_path / "wl.csv"
+        workload_to_csv(comms, path)
+        assert workload_from_csv(path) == comms
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(InvalidParameterError, match="header"):
+            workload_from_csv("a,b,c,d,e\n0,0,1,1,5\n")
+
+    def test_rejects_bad_cells(self):
+        good_header = "src_u,src_v,snk_u,snk_v,rate\n"
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            workload_from_csv(good_header + "0,0,1\n")
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            workload_from_csv(good_header + "0,0,1,1,xyz\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidParameterError, match="empty"):
+            workload_from_csv("\n\n")

@@ -1,0 +1,147 @@
+"""Tests for repro.mesh.diagonals: directions, diagonal indices, bands."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    Mesh,
+    band_link_count,
+    band_links_full,
+    diag_index,
+    diagonal_cores,
+    direction_of,
+    direction_steps,
+)
+from repro.utils.validation import InvalidParameterError
+
+
+class TestDirection:
+    @pytest.mark.parametrize(
+        "src,snk,d",
+        [
+            ((0, 0), (2, 3), 1),
+            ((0, 0), (0, 3), 1),  # v ties count as positive (paper convention)
+            ((0, 0), (2, 0), 1),
+            ((0, 3), (2, 0), 2),
+            ((2, 3), (0, 0), 3),
+            ((2, 0), (0, 3), 4),
+            ((2, 0), (0, 0), 4),  # u decreasing, v tied
+        ],
+    )
+    def test_direction_cases(self, src, snk, d):
+        assert direction_of(src, snk) == d
+
+    def test_direction_rejects_self(self):
+        with pytest.raises(InvalidParameterError):
+            direction_of((1, 1), (1, 1))
+
+    def test_steps(self):
+        assert direction_steps(1) == (1, 1)
+        assert direction_steps(2) == (1, -1)
+        assert direction_steps(3) == (-1, -1)
+        assert direction_steps(4) == (-1, 1)
+
+    def test_steps_rejects_bad_direction(self):
+        with pytest.raises(InvalidParameterError):
+            direction_steps(5)
+
+
+class TestDiagonalIndex:
+    def test_every_core_on_exactly_four_diagonals(self, mesh_rect):
+        """The paper: each core is in exactly four diagonals, one per d."""
+        for (u, v) in mesh_rect.cores():
+            for d in (1, 2, 3, 4):
+                k = diag_index(mesh_rect, d, u, v)
+                assert 0 <= k <= mesh_rect.p + mesh_rect.q - 2
+                assert (u, v) in diagonal_cores(mesh_rect, d, k)
+
+    def test_paper_formulas_one_indexed(self, mesh8):
+        """Cross-check against the paper's 1-indexed formulas."""
+        p = q = 8
+        for (u0, v0) in mesh8.cores():
+            u, v = u0 + 1, v0 + 1  # 1-indexed
+            assert diag_index(mesh8, 1, u0, v0) + 1 == u + v - 1
+            assert diag_index(mesh8, 2, u0, v0) + 1 == u + q - v
+            assert diag_index(mesh8, 3, u0, v0) + 1 == p - u + q - v + 1
+            assert diag_index(mesh8, 4, u0, v0) + 1 == p - u + v
+
+    def test_hop_advances_diagonal_by_one(self, mesh_rect):
+        """Moving along a direction's unit steps crosses to the next diag."""
+        for d in (1, 2, 3, 4):
+            su, sv = direction_steps(d)
+            for (u, v) in mesh_rect.cores():
+                k = diag_index(mesh_rect, d, u, v)
+                if 0 <= u + su < mesh_rect.p:
+                    assert diag_index(mesh_rect, d, u + su, v) == k + 1
+                if 0 <= v + sv < mesh_rect.q:
+                    assert diag_index(mesh_rect, d, u, v + sv) == k + 1
+
+    def test_diagonal_cores_partition_mesh(self, mesh_rect):
+        for d in (1, 2, 3, 4):
+            all_cores = []
+            for k in range(mesh_rect.p + mesh_rect.q - 1):
+                all_cores.extend(diagonal_cores(mesh_rect, d, k))
+            assert sorted(all_cores) == sorted(mesh_rect.cores())
+
+    def test_diagonal_cores_rejects_bad_k(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            diagonal_cores(mesh8, 1, 15)
+
+
+class TestBands:
+    def test_band_count_matches_full_list(self, mesh_rect):
+        for d in (1, 2, 3, 4):
+            for k in range(mesh_rect.p + mesh_rect.q - 2):
+                assert band_link_count(mesh_rect, d, k) == len(
+                    band_links_full(mesh_rect, d, k)
+                )
+
+    def test_band_links_cross_consecutive_diagonals(self, mesh_rect):
+        for d in (1, 2, 3, 4):
+            for k in range(mesh_rect.p + mesh_rect.q - 2):
+                for lid in band_links_full(mesh_rect, d, k):
+                    tail, head = mesh_rect.link_endpoints(lid)
+                    assert diag_index(mesh_rect, d, *tail) == k
+                    assert diag_index(mesh_rect, d, *head) == k + 1
+
+    def test_band_sizes_paper_profile_square(self, mesh8):
+        """On p x p: 2k links for the first diagonals (1-indexed), then
+        (2p-1), then shrinking — the profile used in Theorem 1's bound."""
+        p = 8
+        sizes = [band_link_count(mesh8, 1, k) for k in range(2 * p - 2)]
+        # 1-indexed k: sizes[k-1] = 2k for k < p
+        for k in range(1, p):
+            assert sizes[k - 1] == 2 * k
+        # symmetric tail
+        assert sizes == sizes[::-1]
+
+    def test_bands_cover_each_link_once_per_direction_pair(self, mesh_rect):
+        """Every directed link appears in exactly one band of exactly two
+        directions (e.g. an E link serves directions 1 and 4)."""
+        counts = {lid: 0 for lid in mesh_rect.links()}
+        for d in (1, 2, 3, 4):
+            for k in range(mesh_rect.p + mesh_rect.q - 2):
+                for lid in band_links_full(mesh_rect, d, k):
+                    counts[lid] += 1
+        assert all(c == 2 for c in counts.values())
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    p=st.integers(2, 9),
+    q=st.integers(2, 9),
+    d=st.integers(1, 4),
+    data=st.data(),
+)
+def test_property_diag_index_bijective_on_diagonal(p, q, d, data):
+    """Within one diagonal, cores are exactly those with the right index."""
+    mesh = Mesh(p, q)
+    k = data.draw(st.integers(0, p + q - 2))
+    cores = diagonal_cores(mesh, d, k)
+    assert len(set(cores)) == len(cores)
+    for (u, v) in cores:
+        assert diag_index(mesh, d, u, v) == k
+    for (u, v) in mesh.cores():
+        if diag_index(mesh, d, u, v) == k:
+            assert (u, v) in cores

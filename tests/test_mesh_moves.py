@@ -1,0 +1,168 @@
+"""Tests for repro.mesh.moves: move strings, conversions, corner moves."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import Mesh
+from repro.mesh.moves import (
+    MOVE_H,
+    MOVE_V,
+    bends,
+    moves_to_cores,
+    moves_to_links,
+    relocate_h_after,
+    relocate_v_before,
+    two_bend_moves,
+    validate_moves,
+    xy_moves,
+    yx_moves,
+)
+from repro.utils.validation import InvalidParameterError
+
+
+class TestBasics:
+    def test_xy_and_yx_shapes(self):
+        assert xy_moves((0, 0), (2, 3)) == "HHHVV"
+        assert yx_moves((0, 0), (2, 3)) == "VVHHH"
+
+    def test_degenerate_straight_lines(self):
+        assert xy_moves((0, 0), (0, 3)) == "HHH"
+        assert xy_moves((0, 0), (3, 0)) == "VVV"
+        assert yx_moves((0, 0), (0, 3)) == "HHH"
+
+    def test_validate_rejects_wrong_counts(self):
+        with pytest.raises(InvalidParameterError):
+            validate_moves((0, 0), (1, 1), "HH")
+        with pytest.raises(InvalidParameterError):
+            validate_moves((0, 0), (1, 1), "H")
+        with pytest.raises(InvalidParameterError):
+            validate_moves((0, 0), (1, 1), "HX")
+
+    def test_moves_to_cores_all_directions(self):
+        # direction 3: both coordinates decrease
+        cores = moves_to_cores((2, 2), (0, 0), "HVHV")
+        assert cores[0] == (2, 2) and cores[-1] == (0, 0)
+        assert len(cores) == 5
+        # direction 2: down, left
+        cores = moves_to_cores((0, 2), (2, 0), "VVHH")
+        assert cores == [(0, 2), (1, 2), (2, 2), (2, 1), (2, 0)]
+
+    def test_moves_to_links_contiguous(self, mesh8):
+        lids = moves_to_links(mesh8, (1, 1), (3, 4), "HVHVH")
+        assert len(lids) == 5
+        cur = (1, 1)
+        for lid in lids:
+            tail, head = mesh8.link_endpoints(lid)
+            assert tail == cur
+            cur = head
+        assert cur == (3, 4)
+
+    def test_bends(self):
+        assert bends("HHHH") == 0
+        assert bends("HV") == 1
+        assert bends("HVH") == 2
+        assert bends("HVHV") == 3
+
+
+class TestTwoBend:
+    def test_count_matches_paper_bound(self):
+        """At most Δu + Δv two-bend routings (exactly, when both > 0)."""
+        for du, dv in [(1, 1), (2, 3), (3, 3), (1, 4)]:
+            cands = two_bend_moves((0, 0), (du, dv))
+            assert len(cands) == du + dv
+            assert len(set(cands)) == len(cands)
+
+    def test_straight_line_single_candidate(self):
+        assert two_bend_moves((0, 0), (0, 4)) == ["HHHH"]
+        assert two_bend_moves((0, 0), (3, 0)) == ["VVV"]
+
+    def test_all_candidates_have_at_most_two_bends(self):
+        for m in two_bend_moves((0, 0), (3, 4)):
+            validate_moves((0, 0), (3, 4), m)
+            assert bends(m) <= 2
+
+    def test_includes_xy_and_yx(self):
+        cands = two_bend_moves((0, 0), (2, 2))
+        assert xy_moves((0, 0), (2, 2)) in cands
+        assert yx_moves((0, 0), (2, 2)) in cands
+
+
+class TestCornerRelocations:
+    def test_relocate_h_after_simple_corner(self):
+        # H V -> V H : the vertical hop moves one column toward the source
+        assert relocate_h_after("HV", 1) == "VH"
+
+    def test_relocate_h_after_shifts_whole_run(self):
+        # target the last V of H V V V: the vertical run shifts left
+        assert relocate_h_after("HVVV", 3) == "VVVH"
+
+    def test_relocate_h_after_none_at_source_column(self):
+        assert relocate_h_after("VVH", 0) is None
+        assert relocate_h_after("VVH", 1) is None
+
+    def test_relocate_h_after_intermediate(self):
+        # H V H V, target last V (pos 3): nearest preceding H is pos 2
+        assert relocate_h_after("HVHV", 3) == "HVVH"
+
+    def test_relocate_v_before_simple_corner(self):
+        assert relocate_v_before("HV", 0) == "VH"
+
+    def test_relocate_v_before_shifts_whole_run(self):
+        assert relocate_v_before("HHHV", 0) == "VHHH"
+
+    def test_relocate_v_before_none_at_sink_row(self):
+        assert relocate_v_before("VVH", 2) is None
+
+    def test_relocate_rejects_wrong_kind(self):
+        with pytest.raises(InvalidParameterError):
+            relocate_h_after("HV", 0)  # position 0 is an H
+        with pytest.raises(InvalidParameterError):
+            relocate_v_before("HV", 1)  # position 1 is a V
+
+    def test_relocations_preserve_move_multiset(self):
+        for m, pos, fn in [
+            ("HVHVV", 4, relocate_h_after),
+            ("HVHVV", 2, relocate_v_before),
+        ]:
+            out = fn(m, pos)
+            assert sorted(out) == sorted(m)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    du=st.integers(0, 5),
+    dv=st.integers(0, 5),
+    data=st.data(),
+)
+def test_property_relocations_keep_manhattan_validity(du, dv, data):
+    """Any corner relocation yields another valid move string (or None)."""
+    if du + dv == 0:
+        return
+    moves = data.draw(st.permutations(list(MOVE_V * du + MOVE_H * dv)))
+    moves = "".join(moves)
+    src, snk = (0, 0), (du, dv)
+    validate_moves(src, snk, moves)
+    for pos, m in enumerate(moves):
+        out = (
+            relocate_h_after(moves, pos) if m == MOVE_V else relocate_v_before(moves, pos)
+        )
+        if out is not None:
+            validate_moves(src, snk, out)
+
+
+@settings(max_examples=60, deadline=None)
+@given(du=st.integers(0, 4), dv=st.integers(0, 4), data=st.data())
+def test_property_moves_to_links_roundtrip(du, dv, data):
+    """moves -> links -> cores is consistent on a big-enough mesh."""
+    if du + dv == 0:
+        return
+    mesh = Mesh(6, 6)
+    moves = "".join(data.draw(st.permutations(list(MOVE_V * du + MOVE_H * dv))))
+    src = (0, 0)
+    snk = (du, dv)
+    lids = moves_to_links(mesh, src, snk, moves)
+    cores = moves_to_cores(src, snk, moves)
+    assert len(lids) == len(cores) - 1
+    for lid, (a, b) in zip(lids, zip(cores, cores[1:])):
+        assert mesh.link_endpoints(lid) == (a, b)

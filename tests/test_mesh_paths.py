@@ -1,0 +1,168 @@
+"""Tests for repro.mesh.paths: Path objects, CommDag, Lemma 1 counting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import CommDag, Mesh, Path, count_paths, manhattan_path_count
+from repro.mesh.moves import MOVE_H, MOVE_V
+from repro.utils.validation import InvalidParameterError
+
+
+class TestCounting:
+    def test_lemma1_small_values(self):
+        assert manhattan_path_count(1, 1) == 1
+        assert manhattan_path_count(2, 2) == 2
+        assert manhattan_path_count(3, 3) == 6
+        assert manhattan_path_count(8, 8) == 3432
+
+    def test_count_paths_general(self):
+        assert count_paths(0, 0) == 1
+        assert count_paths(2, 3) == 10
+        assert count_paths(3, 2) == 10
+
+    def test_count_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            count_paths(-1, 2)
+        with pytest.raises(InvalidParameterError):
+            manhattan_path_count(0, 3)
+
+
+class TestPath:
+    def test_xy_yx_link_sequences(self, mesh8):
+        p = Path.xy(mesh8, (1, 1), (3, 3))
+        assert p.moves == "HHVV"
+        assert p.length == 4
+        assert p.cores()[0] == (1, 1) and p.cores()[-1] == (3, 3)
+        q = Path.yx(mesh8, (1, 1), (3, 3))
+        assert q.moves == "VVHH"
+        assert set(p.link_ids) != set(q.link_ids)
+
+    def test_from_links_roundtrip(self, mesh8):
+        p = Path(mesh8, (2, 5), (4, 2), "HVHVH")
+        q = Path.from_links(mesh8, p.src, p.snk, list(p.link_ids))
+        assert q == p and hash(q) == hash(p)
+
+    def test_from_links_rejects_broken_chain(self, mesh8):
+        p = Path.xy(mesh8, (0, 0), (2, 2))
+        broken = list(p.link_ids)[::-1]
+        with pytest.raises(InvalidParameterError):
+            Path.from_links(mesh8, p.src, p.snk, broken)
+
+    def test_rejects_same_endpoints(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            Path(mesh8, (1, 1), (1, 1), "")
+
+    def test_rejects_wrong_moves(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            Path(mesh8, (0, 0), (1, 1), "HH")
+
+    def test_link_ids_read_only(self, mesh8):
+        p = Path.xy(mesh8, (0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            p.link_ids[0] = 5
+
+    def test_uses_link(self, mesh8):
+        p = Path.xy(mesh8, (0, 0), (0, 3))
+        assert p.uses_link(mesh8.link_east(0, 0))
+        assert not p.uses_link(mesh8.link_east(1, 0))
+
+
+class TestCommDag:
+    def test_band_structure(self, mesh8):
+        dag = CommDag(mesh8, (1, 1), (3, 4))
+        assert dag.length == 5
+        assert len(dag.bands()) == 5
+        # band t has min(t, du, dv, l-t-...)+1 nodes, each node at most 2 edges
+        for t, band in enumerate(dag.bands()):
+            assert len(band) >= 1
+            assert len(set(band)) == len(band)
+
+    def test_all_four_directions_band_validity(self, mesh8):
+        for src, snk in [
+            ((0, 0), (3, 3)),
+            ((0, 3), (3, 0)),
+            ((3, 3), (0, 0)),
+            ((3, 0), (0, 3)),
+        ]:
+            dag = CommDag(mesh8, src, snk)
+            for t in range(dag.length):
+                for lid in dag.band(t):
+                    x, y, kind = dag.edge_tail(lid)
+                    assert x + y == t
+                    tail, head = mesh8.link_endpoints(lid)
+                    assert tail == dag.node_core(x, y)
+                    if kind == MOVE_V:
+                        assert head == dag.node_core(x + 1, y)
+                    else:
+                        assert head == dag.node_core(x, y + 1)
+
+    def test_edge_accessor(self, mesh8):
+        dag = CommDag(mesh8, (0, 0), (2, 2))
+        assert dag.edge(0, 0, MOVE_V) == mesh8.link_south(0, 0)
+        assert dag.edge(0, 0, MOVE_H) == mesh8.link_east(0, 0)
+        with pytest.raises(InvalidParameterError):
+            dag.edge(2, 0, MOVE_V)
+        with pytest.raises(InvalidParameterError):
+            dag.edge(0, 0, "X")
+
+    def test_enumeration_matches_count(self, mesh8):
+        dag = CommDag(mesh8, (1, 1), (3, 4))
+        paths = list(dag.enumerate_paths())
+        assert len(paths) == dag.path_count() == count_paths(2, 3)
+        assert len({p.moves for p in paths}) == len(paths)
+
+    def test_enumeration_limit_guard(self, mesh8):
+        dag = CommDag(mesh8, (0, 0), (7, 7))
+        with pytest.raises(InvalidParameterError):
+            list(dag.enumerate_moves(limit=100))
+
+    def test_edge_tail_rejects_foreign_link(self, mesh8):
+        dag = CommDag(mesh8, (0, 0), (1, 1))
+        with pytest.raises(InvalidParameterError):
+            dag.edge_tail(mesh8.link_east(5, 5))
+
+    def test_random_moves_valid(self, mesh8):
+        dag = CommDag(mesh8, (2, 1), (5, 6))
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            m = dag.random_moves(rng)
+            Path(mesh8, (2, 1), (5, 6), m)  # validates
+
+    def test_all_link_ids_union_of_bands(self, mesh8):
+        dag = CommDag(mesh8, (4, 4), (1, 0))
+        lids = dag.all_link_ids()
+        assert sorted(lids) == sorted(l for b in dag.bands() for l in b)
+        # total edges of a du x dv rectangle DAG: du*(dv+1) + dv*(du+1)
+        du, dv = dag.du, dag.dv
+        assert len(lids) == du * (dv + 1) + dv * (du + 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.integers(2, 7),
+    q=st.integers(2, 7),
+    data=st.data(),
+)
+def test_property_enumerated_paths_are_valid_and_distinct(p, q, data):
+    mesh = Mesh(p, q)
+    src = (
+        data.draw(st.integers(0, p - 1)),
+        data.draw(st.integers(0, q - 1)),
+    )
+    snk = (
+        data.draw(st.integers(0, p - 1)),
+        data.draw(st.integers(0, q - 1)),
+    )
+    if src == snk:
+        return
+    dag = CommDag(mesh, src, snk)
+    if dag.path_count() > 80:
+        return
+    seen = set()
+    for path in dag.enumerate_paths():
+        assert path.length == dag.length
+        assert path.cores()[0] == src and path.cores()[-1] == snk
+        seen.add(path.moves)
+    assert len(seen) == dag.path_count()

@@ -1,0 +1,133 @@
+"""Tests for repro.mesh.topology: link ids, endpoints, orientations."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import Mesh, Orientation
+from repro.utils.validation import InvalidParameterError
+
+
+class TestConstruction:
+    def test_link_count_formula(self, mesh8):
+        assert mesh8.num_links == 2 * (8 * 7 + 7 * 8) == 224
+
+    def test_rect_link_count(self, mesh_rect):
+        p, q = mesh_rect.p, mesh_rect.q
+        assert mesh_rect.num_links == 2 * (p * (q - 1) + (p - 1) * q)
+
+    def test_single_core_mesh_has_no_links(self):
+        assert Mesh(1, 1).num_links == 0
+
+    def test_line_mesh(self):
+        m = Mesh(1, 4)
+        assert m.num_links == 6  # 3 east + 3 west
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(InvalidParameterError):
+            Mesh(0, 4)
+        with pytest.raises(InvalidParameterError):
+            Mesh(4, -1)
+        with pytest.raises(InvalidParameterError):
+            Mesh(2.5, 2)
+
+    def test_equality_and_hash(self):
+        assert Mesh(3, 4) == Mesh(3, 4)
+        assert Mesh(3, 4) != Mesh(4, 3)
+        assert hash(Mesh(3, 4)) == hash(Mesh(3, 4))
+
+
+class TestCoreIndexing:
+    def test_core_index_roundtrip(self, mesh_rect):
+        for u in range(mesh_rect.p):
+            for v in range(mesh_rect.q):
+                assert mesh_rect.core_coords(mesh_rect.core_index(u, v)) == (u, v)
+
+    def test_core_index_rejects_off_grid(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            mesh8.core_index(8, 0)
+        with pytest.raises(InvalidParameterError):
+            mesh8.core_index(0, -1)
+
+    def test_core_coords_rejects_out_of_range(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            mesh8.core_coords(64)
+
+    def test_succ_interior_and_corner(self, mesh8):
+        assert set(mesh8.succ(3, 3)) == {(3, 4), (3, 2), (4, 3), (2, 3)}
+        assert set(mesh8.succ(0, 0)) == {(0, 1), (1, 0)}
+        assert set(mesh8.succ(7, 7)) == {(7, 6), (6, 7)}
+
+    def test_cores_iterates_all(self, mesh_rect):
+        cores = list(mesh_rect.cores())
+        assert len(cores) == mesh_rect.num_cores
+        assert len(set(cores)) == mesh_rect.num_cores
+
+
+class TestLinkIndexing:
+    def test_all_link_ids_unique_and_roundtrip(self, mesh_rect):
+        seen = set()
+        for lid in mesh_rect.links():
+            tail, head = mesh_rect.link_endpoints(lid)
+            assert mesh_rect.link_between(tail, head) == lid
+            seen.add(lid)
+        assert seen == set(range(mesh_rect.num_links))
+
+    def test_directed_pairs(self, mesh8):
+        lid = mesh8.link_between((2, 3), (2, 4))
+        opp = mesh8.opposite(lid)
+        assert mesh8.link_endpoints(opp) == ((2, 4), (2, 3))
+        assert mesh8.opposite(opp) == lid
+        assert lid != opp
+
+    def test_link_between_rejects_non_adjacent(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_between((0, 0), (1, 1))
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_between((0, 0), (0, 2))
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_between((0, 0), (0, 0))
+
+    def test_boundary_links_missing(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_east(0, 7)
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_west(0, 0)
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_south(7, 0)
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_north(0, 0)
+
+    def test_orientations(self, mesh8):
+        assert mesh8.link_orientation(mesh8.link_east(1, 1)) is Orientation.EAST
+        assert mesh8.link_orientation(mesh8.link_west(1, 1)) is Orientation.WEST
+        assert mesh8.link_orientation(mesh8.link_south(1, 1)) is Orientation.SOUTH
+        assert mesh8.link_orientation(mesh8.link_north(1, 1)) is Orientation.NORTH
+
+    def test_is_horizontal_matches_orientation(self, mesh_rect):
+        for lid in mesh_rect.links():
+            assert (
+                mesh_rect.is_horizontal(lid)
+                == mesh_rect.link_orientation(lid).is_horizontal
+            )
+
+    def test_link_str(self, mesh8):
+        lid = mesh8.link_between((0, 1), (0, 2))
+        assert mesh8.link_str(lid) == "(0,1)->(0,2)"
+
+    def test_vector_metadata_consistent(self, mesh_rect):
+        for lid in mesh_rect.links():
+            (u, v), (u2, v2) = mesh_rect.link_endpoints(lid)
+            assert mesh_rect.tail_u[lid] == u
+            assert mesh_rect.tail_v[lid] == v
+            assert mesh_rect.head_u[lid] == u2
+            assert mesh_rect.head_v[lid] == v2
+
+    def test_metadata_read_only(self, mesh8):
+        with pytest.raises(ValueError):
+            mesh8.tail_u[0] = 99
+
+    def test_link_id_out_of_range(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            mesh8.link_endpoints(mesh8.num_links)
+        with pytest.raises(InvalidParameterError):
+            mesh8.is_horizontal(-1)

@@ -1,0 +1,151 @@
+"""Tests for repro.core.power: quantisation, power evaluation, penalties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PowerModel
+from repro.utils.validation import InvalidParameterError
+
+
+class TestConstruction:
+    def test_kim_horowitz_constants(self):
+        pm = PowerModel.kim_horowitz()
+        assert pm.p_leak == 16.9
+        assert pm.p0 == 5.41
+        assert pm.alpha == 2.95
+        assert pm.frequencies == (1000.0, 2500.0, 3500.0)
+        assert pm.bandwidth == 3500.0
+        assert pm.is_discrete
+
+    def test_fig2_constants(self):
+        pm = PowerModel.fig2_example()
+        assert (pm.p_leak, pm.p0, pm.alpha, pm.bandwidth) == (0.0, 1.0, 3.0, 4.0)
+        assert not pm.is_discrete
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=0, p0=1, alpha=1.0, bandwidth=1)
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=0, p0=1, alpha=3.5, bandwidth=1)
+
+    def test_rejects_bad_frequencies(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=0, p0=1, alpha=3, bandwidth=2, frequencies=(2, 1))
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=0, p0=1, alpha=3, bandwidth=2, frequencies=(1, 1, 2))
+        with pytest.raises(InvalidParameterError):
+            # top frequency must equal bandwidth
+            PowerModel(p_leak=0, p0=1, alpha=3, bandwidth=3, frequencies=(1, 2))
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=0, p0=1, alpha=3, bandwidth=2, frequencies=())
+
+    def test_rejects_negative_leak(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel(p_leak=-1, p0=1, alpha=3, bandwidth=1)
+
+    def test_with_frequencies(self):
+        pm = PowerModel.kim_horowitz().with_frequencies((1000.0, 2500.0))
+        assert pm.bandwidth == 2500.0
+        cont = pm.with_frequencies(None)
+        assert not cont.is_discrete
+
+
+class TestQuantize:
+    def test_discrete_rounds_up(self):
+        pm = PowerModel.kim_horowitz()
+        f = pm.quantize([0.0, 1.0, 1000.0, 1000.1, 2500.0, 3000.0, 3500.0])
+        assert list(f) == [0.0, 1000.0, 1000.0, 2500.0, 2500.0, 3500.0, 3500.0]
+
+    def test_discrete_overload_is_inf(self):
+        pm = PowerModel.kim_horowitz()
+        assert pm.quantize([3500.01])[0] == np.inf
+
+    def test_continuous_identity(self):
+        pm = PowerModel.fig2_example()
+        loads = np.array([0.0, 1.0, 3.9, 4.0])
+        assert np.array_equal(pm.quantize(loads), loads)
+
+    def test_continuous_overload_is_inf(self):
+        pm = PowerModel.fig2_example()
+        assert pm.quantize([4.2])[0] == np.inf
+
+    def test_rejects_negative_loads(self):
+        with pytest.raises(InvalidParameterError):
+            PowerModel.kim_horowitz().quantize([-1.0])
+
+
+class TestPower:
+    def test_inactive_links_cost_nothing(self):
+        pm = PowerModel.kim_horowitz()
+        assert pm.total_power(np.zeros(10)) == 0.0
+        assert pm.static_power(np.zeros(10)) == 0.0
+
+    def test_active_link_pays_leakage(self):
+        pm = PowerModel.kim_horowitz()
+        p = pm.link_power([500.0])[0]
+        assert p == pytest.approx(16.9 + 5.41 * 1.0**2.95)
+
+    def test_level_powers(self):
+        pm = PowerModel.kim_horowitz()
+        p1, p2, p3 = pm.link_power([1000.0, 2500.0, 3500.0])
+        assert p1 == pytest.approx(16.9 + 5.41)
+        assert p2 == pytest.approx(16.9 + 5.41 * 2.5**2.95)
+        assert p3 == pytest.approx(16.9 + 5.41 * 3.5**2.95)
+
+    def test_total_is_static_plus_dynamic(self):
+        pm = PowerModel.kim_horowitz()
+        loads = np.array([0.0, 400.0, 1700.0, 3300.0])
+        assert pm.total_power(loads) == pytest.approx(
+            pm.static_power(loads) + pm.dynamic_power(loads)
+        )
+
+    def test_overload_total_is_inf(self):
+        pm = PowerModel.kim_horowitz()
+        assert pm.total_power([3600.0]) == np.inf
+
+    def test_feasibility_check(self):
+        pm = PowerModel.kim_horowitz()
+        assert pm.is_feasible_load([3500.0])
+        assert not pm.is_feasible_load([3500.5])
+
+
+class TestGradedPenalty:
+    def test_overload_dominates_any_feasible_chip(self):
+        pm = PowerModel.kim_horowitz()
+        one_overload = pm.link_power_graded([3600.0])[0]
+        full_chip = 224 * pm.max_link_power
+        assert one_overload > full_chip
+
+    def test_penalty_monotone_in_excess(self):
+        pm = PowerModel.kim_horowitz()
+        p1, p2 = pm.link_power_graded([3600.0, 4000.0])
+        assert p2 > p1
+
+    def test_graded_equals_strict_when_feasible(self):
+        pm = PowerModel.kim_horowitz()
+        loads = np.array([0.0, 900.0, 2500.0, 3500.0])
+        assert np.allclose(pm.link_power_graded(loads), pm.link_power(loads))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    loads=st.lists(st.floats(0, 3500), min_size=1, max_size=20),
+)
+def test_property_quantize_covers_load(loads):
+    """The assigned frequency always covers the load (f >= load)."""
+    pm = PowerModel.kim_horowitz()
+    f = pm.quantize(loads)
+    assert np.all(f >= np.asarray(loads) - 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.floats(0, 3500),
+    b=st.floats(0, 3500),
+)
+def test_property_power_monotone_in_load(a, b):
+    pm = PowerModel.kim_horowitz()
+    lo, hi = min(a, b), max(a, b)
+    assert pm.link_power([lo])[0] <= pm.link_power([hi])[0] + 1e-12

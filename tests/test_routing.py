@@ -1,0 +1,183 @@
+"""Tests for repro.core.routing and evaluate: loads, validity, reports."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Communication,
+    Mesh,
+    PowerModel,
+    RoutedFlow,
+    Routing,
+    RoutingProblem,
+    evaluate_routing,
+)
+from repro.core.evaluate import loads_report
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+
+@pytest.fixture
+def simple_problem(mesh44, pm_kh):
+    return RoutingProblem(
+        mesh44,
+        pm_kh,
+        [
+            Communication((0, 0), (2, 2), 800.0),
+            Communication((1, 0), (1, 3), 600.0),
+        ],
+    )
+
+
+class TestConstruction:
+    def test_xy_constructor(self, simple_problem):
+        r = Routing.xy(simple_problem)
+        assert r.is_single_path
+        assert r.num_paths(0) == 1
+        assert r.paths(0)[0].moves == "HHVV"
+
+    def test_from_moves(self, simple_problem):
+        r = Routing.from_moves(simple_problem, ["VHVH", "HHH"])
+        assert r.paths(0)[0].moves == "VHVH"
+
+    def test_rejects_wrong_path_count(self, simple_problem):
+        mesh = simple_problem.mesh
+        with pytest.raises(InvalidParameterError):
+            Routing.single_path(
+                simple_problem, [Path.xy(mesh, (0, 0), (2, 2))]
+            )
+
+    def test_rejects_wrong_endpoints(self, simple_problem):
+        mesh = simple_problem.mesh
+        with pytest.raises(InvalidParameterError):
+            Routing.single_path(
+                simple_problem,
+                [Path.xy(mesh, (0, 0), (2, 2)), Path.xy(mesh, (0, 0), (1, 3))],
+            )
+
+    def test_rejects_rate_mismatch_in_split(self, simple_problem):
+        mesh = simple_problem.mesh
+        flows = [
+            [
+                RoutedFlow(Path.xy(mesh, (0, 0), (2, 2)), 500.0),
+                RoutedFlow(Path.yx(mesh, (0, 0), (2, 2)), 200.0),  # 700 != 800
+            ],
+            [RoutedFlow(Path.xy(mesh, (1, 0), (1, 3)), 600.0)],
+        ]
+        with pytest.raises(InvalidParameterError):
+            Routing(simple_problem, flows)
+
+    def test_rejects_empty_flow_list(self, simple_problem):
+        with pytest.raises(InvalidParameterError):
+            Routing(simple_problem, [[], []])
+
+    def test_rejects_nonpositive_flow_rate(self, simple_problem):
+        mesh = simple_problem.mesh
+        with pytest.raises(InvalidParameterError):
+            RoutedFlow(Path.xy(mesh, (0, 0), (2, 2)), 0.0)
+
+    def test_rejects_foreign_mesh_path(self, simple_problem):
+        other = Mesh(6, 6)
+        flows = [
+            [RoutedFlow(Path.xy(other, (0, 0), (2, 2)), 800.0)],
+            [RoutedFlow(Path.xy(other, (1, 0), (1, 3)), 600.0)],
+        ]
+        with pytest.raises(InvalidParameterError):
+            Routing(simple_problem, flows)
+
+
+class TestLoadsAndPower:
+    def test_loads_accumulate_shared_links(self, mesh2, pm_fig2):
+        prob = RoutingProblem(
+            mesh2,
+            pm_fig2,
+            [
+                Communication((0, 0), (1, 1), 1.0),
+                Communication((0, 0), (1, 1), 3.0),
+            ],
+        )
+        r = Routing.xy(prob)
+        loads = r.link_loads()
+        assert loads[mesh2.link_east(0, 0)] == 4.0
+        assert loads[mesh2.link_south(0, 1)] == 4.0
+        assert np.count_nonzero(loads) == 2
+
+    def test_loads_cached_and_read_only(self, simple_problem):
+        r = Routing.xy(simple_problem)
+        assert r.link_loads() is r.link_loads()
+        with pytest.raises(ValueError):
+            r.link_loads()[0] = 1.0
+
+    def test_split_flow_loads(self, mesh2, pm_fig2):
+        prob = RoutingProblem(
+            mesh2, pm_fig2, [Communication((0, 0), (1, 1), 4.0)]
+        )
+        r = Routing(
+            prob,
+            [
+                [
+                    RoutedFlow(Path.xy(mesh2, (0, 0), (1, 1)), 2.0),
+                    RoutedFlow(Path.yx(mesh2, (0, 0), (1, 1)), 2.0),
+                ]
+            ],
+        )
+        assert not r.is_single_path
+        assert r.max_split == 2
+        loads = r.link_loads()
+        assert np.count_nonzero(loads) == 4
+        assert np.allclose(loads[loads > 0], 2.0)
+
+    def test_validity_threshold(self, mesh2):
+        pm = PowerModel(p_leak=0, p0=1, alpha=3, bandwidth=4.0)
+        prob = RoutingProblem(
+            mesh2, pm, [Communication((0, 0), (1, 1), 4.5)]
+        )
+        assert not Routing.xy(prob).is_valid()
+        assert Routing.xy(prob).total_power() == np.inf
+
+    def test_comms_through(self, simple_problem):
+        r = Routing.xy(simple_problem)
+        mesh = simple_problem.mesh
+        lid = mesh.link_east(1, 0)
+        assert r.comms_through(lid) == [1]
+
+    def test_as_tables_shape(self, simple_problem):
+        tables = Routing.xy(simple_problem).as_tables()
+        assert set(tables) == {0, 1}
+        rate, hops = tables[0][0]
+        assert rate == 800.0
+        assert hops[0] == (0, 0) and hops[-1] == (2, 2)
+
+
+class TestEvaluate:
+    def test_report_fields(self, simple_problem):
+        rep = evaluate_routing(Routing.xy(simple_problem))
+        assert rep.valid
+        assert rep.total_power == pytest.approx(
+            rep.static_power + rep.dynamic_power
+        )
+        assert rep.active_links == 7
+        assert rep.max_load == 800.0
+        assert rep.overloaded_links == 0
+        assert rep.power_inverse == pytest.approx(1.0 / rep.total_power)
+
+    def test_invalid_report(self, mesh2):
+        pm = PowerModel(p_leak=1.0, p0=1, alpha=3, bandwidth=4.0)
+        prob = RoutingProblem(mesh2, pm, [Communication((0, 0), (1, 1), 5.0)])
+        rep = evaluate_routing(Routing.xy(prob))
+        assert not rep.valid
+        assert rep.total_power == np.inf
+        assert rep.power_inverse == 0.0
+        assert rep.overloaded_links == 2
+
+    def test_static_fraction(self, mesh2):
+        pm = PowerModel(p_leak=1.0, p0=1.0, alpha=3.0, bandwidth=10.0)
+        rep = loads_report(pm, np.array([1.0, 0.0]))
+        # one active link: static 1, dynamic 1 -> fraction 0.5
+        assert rep.static_fraction == pytest.approx(0.5)
+
+    def test_empty_loads_report(self, pm_kh):
+        rep = loads_report(pm_kh, np.zeros(8))
+        assert rep.valid and rep.total_power == 0.0
+        assert rep.active_links == 0 and rep.mean_active_load == 0.0
+        assert rep.static_fraction == 0.0

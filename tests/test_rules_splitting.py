@@ -1,0 +1,89 @@
+"""Tests for repro.core.rules and repro.core.splitting."""
+
+import pytest
+
+from repro import Communication, RoutedFlow, Routing, RoutingProblem, RoutingRule
+from repro.core.rules import complies_with_rule, max_paths_bound
+from repro.core.splitting import even_split, proportional_split, validate_split
+from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
+
+
+@pytest.fixture
+def prob(mesh44, pm_kh):
+    return RoutingProblem(
+        mesh44,
+        pm_kh,
+        [
+            Communication((0, 0), (2, 2), 800.0),
+            Communication((3, 3), (0, 0), 400.0),
+        ],
+    )
+
+
+class TestSplitting:
+    def test_even_split_sums(self):
+        parts = even_split(10.0, 4)
+        assert len(parts) == 4
+        assert sum(parts) == pytest.approx(10.0)
+        validate_split(10.0, parts)
+
+    def test_proportional_split(self):
+        parts = proportional_split(12.0, [1, 2, 3])
+        assert parts == pytest.approx([2.0, 4.0, 6.0])
+        validate_split(12.0, parts, s=3)
+
+    def test_validate_rejects_bad_sum(self):
+        with pytest.raises(InvalidParameterError):
+            validate_split(10.0, [5.0, 4.0])
+
+    def test_validate_rejects_too_many_parts(self):
+        with pytest.raises(InvalidParameterError):
+            validate_split(3.0, [1.0, 1.0, 1.0], s=2)
+
+    def test_validate_rejects_nonpositive_part(self):
+        with pytest.raises(InvalidParameterError):
+            validate_split(1.0, [1.0, 0.0])
+
+    def test_even_split_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            even_split(1.0, 0)
+
+    def test_proportional_rejects_bad_weights(self):
+        with pytest.raises(InvalidParameterError):
+            proportional_split(1.0, [])
+        with pytest.raises(InvalidParameterError):
+            proportional_split(1.0, [1.0, -1.0])
+
+
+class TestRules:
+    def test_xy_compliance(self, prob):
+        assert complies_with_rule(Routing.xy(prob), RoutingRule.XY)
+        yx = Routing.from_moves(prob, ["VVHH", "VVVHHH"])
+        assert not complies_with_rule(yx, RoutingRule.XY)
+        assert complies_with_rule(yx, RoutingRule.SINGLE_PATH)
+
+    def test_split_compliance(self, prob):
+        mesh = prob.mesh
+        split = Routing(
+            prob,
+            [
+                [
+                    RoutedFlow(Path.xy(mesh, (0, 0), (2, 2)), 500.0),
+                    RoutedFlow(Path.yx(mesh, (0, 0), (2, 2)), 300.0),
+                ],
+                [RoutedFlow(Path.xy(mesh, (3, 3), (0, 0)), 400.0)],
+            ],
+        )
+        assert not complies_with_rule(split, RoutingRule.SINGLE_PATH)
+        assert complies_with_rule(split, RoutingRule.S_PATHS, s=2)
+        assert not complies_with_rule(split, RoutingRule.S_PATHS, s=1)
+        assert complies_with_rule(split, RoutingRule.MAX_PATHS)
+
+    def test_s_paths_requires_bound(self, prob):
+        with pytest.raises(InvalidParameterError):
+            complies_with_rule(Routing.xy(prob), RoutingRule.S_PATHS)
+
+    def test_max_paths_bound_is_lemma1(self, prob):
+        # comm 0: 2x2 -> C(4,2)=6; comm 1: 3x3 -> C(6,3)=20
+        assert max_paths_bound(prob) == 20

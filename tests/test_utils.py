@@ -1,0 +1,103 @@
+"""Tests for repro.utils: validation helpers, RNG plumbing, tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    InvalidParameterError,
+    check_in_range,
+    check_index,
+    check_positive,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_check_positive_rejects_zero_when_strict(self):
+        with pytest.raises(InvalidParameterError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_check_positive_accepts_zero_when_not_strict(self):
+        check_positive("x", 0.0, strict=False)
+
+    def test_check_positive_rejects_negative_nonstrict(self):
+        with pytest.raises(InvalidParameterError):
+            check_positive("x", -1.0, strict=False)
+
+    def test_check_in_range_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_check_in_range_strict_bounds(self):
+        with pytest.raises(InvalidParameterError):
+            check_in_range("x", 0.0, 0.0, 1.0, lo_strict=True)
+        with pytest.raises(InvalidParameterError):
+            check_in_range("x", 1.0, 0.0, 1.0, hi_strict=True)
+
+    def test_check_index_accepts_valid(self):
+        assert check_index("i", 3, 5) == 3
+
+    def test_check_index_rejects_out_of_range(self):
+        with pytest.raises(InvalidParameterError):
+            check_index("i", 5, 5)
+        with pytest.raises(InvalidParameterError):
+            check_index("i", -1, 5)
+
+    def test_check_index_rejects_non_integer(self):
+        with pytest.raises(InvalidParameterError):
+            check_index("i", 1.5, 5)
+        with pytest.raises(InvalidParameterError):
+            check_index("i", "a", 5)
+
+
+class TestRng:
+    def test_ensure_rng_from_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_ensure_rng_from_seed_is_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-an-rng")
+
+    def test_spawn_rngs_independent_and_reproducible(self):
+        streams1 = [g.integers(0, 10**9) for g in spawn_rngs(7, 5)]
+        streams2 = [g.integers(0, 10**9) for g in spawn_rngs(7, 5)]
+        assert streams1 == streams2
+        assert len(set(streams1)) > 1  # streams differ from each other
+
+    def test_spawn_rngs_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in text and "0.125" in text
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_series_round_trip(self):
+        text = format_series("x", [1, 2], {"h": [0.1, 0.2], "g": [1.0, 2.0]})
+        assert "h" in text and "g" in text
+        assert text.count("\n") == 3
+
+    def test_format_series_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            format_series("x", [1, 2], {"h": [0.1]})

@@ -1,0 +1,234 @@
+"""Tests for repro.workloads: random, length-targeted, patterns, task graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Mesh
+from repro.utils.validation import InvalidParameterError
+from repro.workloads import (
+    TaskGraph,
+    bit_complement_pattern,
+    bit_reverse_pattern,
+    fixed_weight_workload,
+    fork_join_app,
+    hotspot_pattern,
+    length_targeted_workload,
+    map_applications,
+    max_length,
+    neighbor_pattern,
+    pipeline_app,
+    random_dag_app,
+    random_placement,
+    row_major_placement,
+    shuffle_pattern,
+    single_pair_workload,
+    stencil_app,
+    tornado_pattern,
+    transpose_pattern,
+    uniform_random_workload,
+)
+
+
+class TestUniformRandom:
+    def test_counts_and_rate_range(self, mesh8):
+        comms = uniform_random_workload(mesh8, 25, 100.0, 1500.0, rng=3)
+        assert len(comms) == 25
+        for c in comms:
+            assert 100.0 <= c.rate <= 1500.0
+            assert c.src != c.snk
+
+    def test_reproducible(self, mesh8):
+        a = uniform_random_workload(mesh8, 10, 1.0, 2.0, rng=9)
+        b = uniform_random_workload(mesh8, 10, 1.0, 2.0, rng=9)
+        assert a == b
+
+    def test_rejects_bad_parameters(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            uniform_random_workload(mesh8, 0, 1.0, 2.0)
+        with pytest.raises(InvalidParameterError):
+            uniform_random_workload(mesh8, 5, 2.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            uniform_random_workload(Mesh(1, 1), 1, 1.0, 2.0)
+
+    def test_fixed_weight_exact(self, mesh8):
+        comms = fixed_weight_workload(mesh8, 12, 800.0, rng=4)
+        assert all(c.rate == 800.0 for c in comms)
+
+    def test_fixed_weight_jitter(self, mesh8):
+        comms = fixed_weight_workload(mesh8, 50, 1000.0, jitter=0.2, rng=4)
+        rates = np.array([c.rate for c in comms])
+        assert rates.min() >= 800.0 and rates.max() <= 1200.0
+        assert rates.std() > 0
+
+    def test_fixed_weight_rejects_bad_jitter(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            fixed_weight_workload(mesh8, 5, 100.0, jitter=1.0)
+
+    def test_single_pair(self, mesh8):
+        comms = single_pair_workload(mesh8, 4, 1000.0)
+        assert len(comms) == 4
+        assert all(c.src == (0, 0) and c.snk == (7, 7) for c in comms)
+        assert sum(c.rate for c in comms) == pytest.approx(1000.0)
+
+
+class TestLengthTargeted:
+    def test_lengths_within_tolerance(self, mesh8):
+        for target in (2, 7, 14):
+            comms = length_targeted_workload(
+                mesh8, 30, target, 100.0, 500.0, rng=5
+            )
+            for c in comms:
+                assert abs(c.length - target) <= 1
+
+    def test_max_length(self, mesh8, mesh_rect):
+        assert max_length(mesh8) == 14
+        assert max_length(mesh_rect) == 6
+
+    def test_rejects_unreachable_target(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            length_targeted_workload(mesh8, 5, 20, 1.0, 2.0, tolerance=1)
+
+    def test_zero_tolerance_exact(self, mesh8):
+        comms = length_targeted_workload(
+            mesh8, 20, 5, 1.0, 2.0, tolerance=0, rng=6
+        )
+        assert all(c.length == 5 for c in comms)
+
+
+class TestPatterns:
+    def test_transpose(self, mesh8):
+        comms = transpose_pattern(mesh8, 100.0)
+        # diagonal cores excluded: 64 - 8
+        assert len(comms) == 56
+        assert all(c.snk == (c.src[1], c.src[0]) for c in comms)
+
+    def test_transpose_rejects_rect(self, mesh_rect):
+        with pytest.raises(InvalidParameterError):
+            transpose_pattern(mesh_rect, 1.0)
+
+    def test_bit_patterns_are_permutations(self, mesh8):
+        for fn in (bit_complement_pattern, bit_reverse_pattern, shuffle_pattern):
+            comms = fn(mesh8, 10.0)
+            snks = [c.snk for c in comms]
+            assert len(set(snks)) == len(snks)
+
+    def test_bit_patterns_reject_non_power_of_two(self):
+        with pytest.raises(InvalidParameterError):
+            bit_complement_pattern(Mesh(3, 5), 1.0)
+
+    def test_bit_complement_is_involution(self, mesh8):
+        comms = bit_complement_pattern(mesh8, 1.0)
+        pairs = {(c.src, c.snk) for c in comms}
+        assert all((snk, src) in pairs for (src, snk) in pairs)
+
+    def test_tornado_row_local(self, mesh8):
+        comms = tornado_pattern(mesh8, 1.0)
+        assert all(c.src[0] == c.snk[0] for c in comms)
+
+    def test_hotspot_all_point_to_hotspot(self, mesh8):
+        comms = hotspot_pattern(mesh8, 5.0, hotspot=(3, 3))
+        assert len(comms) == 63
+        assert all(c.snk == (3, 3) for c in comms)
+
+    def test_hotspot_fraction(self, mesh8):
+        comms = hotspot_pattern(mesh8, 5.0, fraction=0.25, rng=8)
+        assert len(comms) == round(0.25 * 63)
+
+    def test_hotspot_rejects_bad_fraction(self, mesh8):
+        with pytest.raises(InvalidParameterError):
+            hotspot_pattern(mesh8, 1.0, fraction=0.0)
+
+    def test_neighbor_covers_all_cores(self, mesh8):
+        comms = neighbor_pattern(mesh8, 1.0)
+        assert len(comms) == 64
+
+
+class TestTaskGraphs:
+    def test_pipeline_edges(self):
+        app = pipeline_app(5, 100.0)
+        assert app.num_tasks == 5
+        assert len(app.edges) == 4
+
+    def test_stencil_edge_count(self):
+        app = stencil_app(3, 4, 10.0)
+        # horizontal: 3*3 pairs, vertical: 2*4 pairs, both ways
+        assert len(app.edges) == 2 * (3 * 3 + 2 * 4)
+
+    def test_fork_join(self):
+        app = fork_join_app(4, 100.0, 50.0)
+        assert app.num_tasks == 5
+        assert app.edges[(0, 1)] == 100.0
+        assert app.edges[(1, 0)] == 50.0
+
+    def test_random_dag_always_has_an_edge(self):
+        app = random_dag_app(5, 0.01, 1.0, 2.0, rng=3)
+        assert len(app.edges) >= 1
+
+    def test_taskgraph_validation(self):
+        with pytest.raises(InvalidParameterError):
+            TaskGraph("bad", 2, {(0, 0): 1.0})
+        with pytest.raises(InvalidParameterError):
+            TaskGraph("bad", 2, {(0, 5): 1.0})
+        with pytest.raises(InvalidParameterError):
+            TaskGraph("bad", 2, {(0, 1): -1.0})
+        with pytest.raises(InvalidParameterError):
+            pipeline_app(1, 1.0)
+
+    def test_row_major_placement(self, mesh8):
+        cores = row_major_placement(mesh8, 10, origin=5)
+        assert cores[0] == (0, 5)
+        assert cores[-1] == (1, 6)
+        with pytest.raises(InvalidParameterError):
+            row_major_placement(mesh8, 65)
+
+    def test_random_placement_distinct_and_excluding(self, mesh8):
+        exclude = [(0, 0), (0, 1)]
+        cores = random_placement(mesh8, 30, rng=2, exclude=exclude)
+        assert len(set(cores)) == 30
+        assert not set(cores) & set(exclude)
+        with pytest.raises(InvalidParameterError):
+            random_placement(mesh8, 63, exclude=exclude)
+
+    def test_map_applications_skips_local_edges(self, mesh8):
+        app = pipeline_app(3, 10.0)
+        comms = map_applications([app], [[(0, 0), (0, 1), (0, 2)]])
+        assert len(comms) == 2
+
+    def test_map_applications_merge_parallel(self, mesh8):
+        a = TaskGraph("x", 2, {(0, 1): 5.0})
+        b = TaskGraph("y", 2, {(0, 1): 7.0})
+        placement = [(0, 0), (0, 1)]
+        merged = map_applications([a, b], [placement, placement], merge_parallel=True)
+        assert len(merged) == 1
+        assert merged[0].rate == 12.0
+        unmerged = map_applications([a, b], [placement, placement])
+        assert len(unmerged) == 2
+
+    def test_map_applications_validation(self, mesh8):
+        app = pipeline_app(3, 10.0)
+        with pytest.raises(InvalidParameterError):
+            map_applications([app], [[(0, 0), (0, 1)]])  # wrong count
+        with pytest.raises(InvalidParameterError):
+            map_applications([app], [[(0, 0), (0, 0), (0, 1)]])  # dup core
+        with pytest.raises(InvalidParameterError):
+            map_applications([app, app], [[(0, 0), (0, 1), (0, 2)]])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1, 20),
+    seed=st.integers(0, 1000),
+    target=st.integers(2, 14),
+)
+def test_property_workloads_fit_the_mesh(n, seed, target):
+    mesh = Mesh(8, 8)
+    for comms in (
+        uniform_random_workload(mesh, n, 1.0, 2.0, rng=seed),
+        length_targeted_workload(mesh, n, target, 1.0, 2.0, rng=seed),
+    ):
+        for c in comms:
+            mesh.check_core(*c.src)
+            mesh.check_core(*c.snk)
+            assert c.rate > 0
