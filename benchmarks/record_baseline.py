@@ -1,0 +1,102 @@
+"""Record a heuristic-speed baseline as ``BENCH_<n>.json``.
+
+Usage::
+
+    python benchmarks/record_baseline.py [n]
+
+Times every paper heuristic on the standard E-SPEED instance (8×8 chip,
+40 mixed communications, the same instance as
+``benchmarks/test_heuristic_speed.py``) and writes the medians to
+``BENCH_<n>.json`` at the repository root (default ``n`` = 1 + the highest
+existing baseline).  See ``docs/performance.md`` for the convention.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import re
+import statistics
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro import Mesh, PowerModel, RoutingProblem  # noqa: E402
+from repro.heuristics import PAPER_HEURISTICS, get_heuristic  # noqa: E402
+from repro.workloads import uniform_random_workload  # noqa: E402
+
+#: the E-SPEED instance of benchmarks/test_heuristic_speed.py
+MESH_SHAPE = (8, 8)
+NUM_COMMS = 40
+RATE_RANGE = (100.0, 2500.0)
+WORKLOAD_SEED = 99
+ROUNDS = 15
+WARMUP = 3
+
+
+def measure() -> dict:
+    mesh = Mesh(*MESH_SHAPE)
+    power = PowerModel.kim_horowitz()
+    problem = RoutingProblem(
+        mesh,
+        power,
+        uniform_random_workload(mesh, NUM_COMMS, *RATE_RANGE, rng=WORKLOAD_SEED),
+    )
+    medians = {}
+    for name in PAPER_HEURISTICS:
+        heuristic = get_heuristic(name)
+        for _ in range(WARMUP):
+            heuristic.solve(problem)
+        times = []
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            heuristic.solve(problem)
+            times.append(time.perf_counter() - t0)
+        medians[name] = round(statistics.median(times) * 1e3, 4)
+    return medians
+
+
+def next_bench_number() -> int:
+    nums = [
+        int(m.group(1))
+        for p in REPO_ROOT.glob("BENCH_*.json")
+        if (m := re.fullmatch(r"BENCH_(\d+)\.json", p.name))
+    ]
+    return max(nums, default=0) + 1
+
+
+def main(argv: list[str]) -> int:
+    n = int(argv[1]) if len(argv) > 1 else next_bench_number()
+    medians = measure()
+    payload = {
+        "bench": n,
+        "suite": "heuristic-speed",
+        "instance": {
+            "mesh": f"{MESH_SHAPE[0]}x{MESH_SHAPE[1]}",
+            "num_comms": NUM_COMMS,
+            "rates": list(RATE_RANGE),
+            "workload_seed": WORKLOAD_SEED,
+            "power_model": "kim_horowitz",
+        },
+        "rounds": ROUNDS,
+        "median_ms": medians,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+    }
+    out = REPO_ROOT / f"BENCH_{n}.json"
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"[saved to {out}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

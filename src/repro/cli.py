@@ -152,14 +152,20 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    import os
-
-    if args.trials:
-        os.environ["REPRO_TRIALS"] = str(args.trials)
     from repro.experiments import figures, sweep_to_text
 
+    # pass trials explicitly rather than through REPRO_TRIALS — mutating
+    # os.environ would leak into everything else running in this process
+    kw = {}
+    if args.trials:
+        kw["trials"] = args.trials
     if args.panel == "summary":
-        s = figures.summary_statistics()
+        if args.trials:
+            # historical CLI semantics: summary always sampled 10x the
+            # per-point trial budget (it averages over ~100 instance
+            # families, so it needs the larger pool)
+            kw["trials"] = 10 * args.trials
+        s = figures.summary_statistics(jobs=args.jobs, **kw)
         for name, ratio in s.success_ratio.items():
             print(f"success {name:>5s}: {ratio:.2f}")
         print(f"static fraction: {s.static_fraction:.3f}")
@@ -167,7 +173,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     fn = getattr(figures, args.panel, None)
     if fn is None:
         raise ReproError(f"unknown panel {args.panel!r}")
-    sweep = fn()
+    sweep = fn(jobs=args.jobs, **kw)
     print(sweep_to_text(sweep))
     if args.svg_dir:
         import pathlib
@@ -390,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     f = sub.add_parser("figures", help="regenerate paper figures")
     f.add_argument("panel", help="fig7a..fig9c or 'summary'")
     f.add_argument("--trials", type=int, default=None)
+    f.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo sweep (default: serial)",
+    )
     f.add_argument(
         "--svg-dir",
         default=None,

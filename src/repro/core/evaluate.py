@@ -54,10 +54,10 @@ def loads_report(power: PowerModel, loads: np.ndarray) -> RoutingReport:
     active = loads > 0
     overload = int(np.count_nonzero(loads > power.bandwidth * (1 + 1e-9)))
     capped = np.minimum(loads, power.bandwidth)
-    static = power.static_power(loads)
+    n_active = int(np.count_nonzero(active))
+    static = float(n_active * power.p_leak)
     dynamic = power.dynamic_power(capped)
     total = power.total_power(loads) if valid else float("inf")
-    n_active = int(np.count_nonzero(active))
     return RoutingReport(
         valid=valid,
         total_power=total,

@@ -26,6 +26,7 @@ more the larger its excess, so greedy descent repairs validity first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -201,21 +202,24 @@ class PowerModel:
         """Power of a single link running at full bandwidth."""
         return self.p_leak + self.p0 * (self.bandwidth / self.freq_unit) ** self.alpha
 
+    @cached_property
     def _graded_tables(self):
-        """Lazily cached per-level power tables for the graded fast path."""
-        cache = getattr(self, "_graded_cache", None)
-        if cache is None:
-            if self.is_discrete:
-                freqs = np.asarray(self.frequencies, dtype=np.float64)
-                level_powers = self.p_leak + self.p0 * (
-                    freqs / self.freq_unit
-                ) ** self.alpha
-            else:
-                freqs = None
-                level_powers = None
-            cache = (freqs, level_powers, self.max_link_power)
-            object.__setattr__(self, "_graded_cache", cache)
-        return cache
+        """Lazily cached per-level power tables for the graded fast path.
+
+        ``functools.cached_property`` stores the result in the instance
+        ``__dict__`` directly, which sidesteps the frozen dataclass's
+        ``__setattr__`` without the previous ``object.__setattr__`` hack;
+        the model stays hashable and picklable.
+        """
+        if self.is_discrete:
+            freqs = np.asarray(self.frequencies, dtype=np.float64)
+            level_powers = self.p_leak + self.p0 * (
+                freqs / self.freq_unit
+            ) ** self.alpha
+        else:
+            freqs = None
+            level_powers = None
+        return (freqs, level_powers, self.max_link_power)
 
     def link_power_graded(self, loads: ArrayLike) -> np.ndarray:
         """Like :meth:`link_power` but with a finite, graded overload cost.
@@ -234,7 +238,7 @@ class PowerModel:
         loads = np.asarray(loads, dtype=np.float64)
         if loads.size and loads.min() < 0:
             raise InvalidParameterError("link loads must be >= 0")
-        freqs, level_powers, max_power = self._graded_tables()
+        freqs, level_powers, max_power = self._graded_tables
         bw = self.bandwidth
         capped = np.minimum(loads, bw)
         if freqs is not None:
@@ -252,6 +256,23 @@ class PowerModel:
     def total_power_graded(self, loads: ArrayLike) -> float:
         """Sum of :meth:`link_power_graded` over all links."""
         return float(np.sum(self.link_power_graded(loads)))
+
+    def total_power_graded_many(self, loads_matrix: ArrayLike) -> np.ndarray:
+        """Row-wise :meth:`total_power_graded` of a batch of load vectors.
+
+        ``loads_matrix`` is ``(B, num_links)`` — one complete chip load
+        vector per row (a GA population, a neighbourhood of candidate
+        routings, a sweep batch).  All rows are graded in one NumPy pass;
+        the result is the length-``B`` vector of graded totals, row ``b``
+        equal to ``total_power_graded(loads_matrix[b])``.
+        """
+        loads_matrix = np.asarray(loads_matrix, dtype=np.float64)
+        if loads_matrix.ndim != 2:
+            raise InvalidParameterError(
+                f"loads_matrix must be 2-D (batch, links), got shape "
+                f"{loads_matrix.shape}"
+            )
+        return self.link_power_graded(loads_matrix).sum(axis=1)
 
     def is_feasible_load(self, loads: ArrayLike, *, rtol: float = 1e-9) -> bool:
         """True when no load exceeds the bandwidth (within tolerance)."""

@@ -91,7 +91,7 @@ class RoutingProblem:
         mesh.
     """
 
-    __slots__ = ("mesh", "power", "comms", "_dags", "_rates")
+    __slots__ = ("mesh", "power", "comms", "_dags", "_dag_pool", "_rates")
 
     def __init__(
         self, mesh: Mesh, power: PowerModel, comms: Sequence[Communication]
@@ -114,6 +114,7 @@ class RoutingProblem:
         self.power = power
         self.comms = comms
         self._dags: List[CommDag | None] = [None] * len(comms)
+        self._dag_pool: dict = {}
         self._rates = np.asarray([c.rate for c in comms], dtype=np.float64)
         self._rates.setflags(write=False)
 
@@ -134,14 +135,28 @@ class RoutingProblem:
         return float(self._rates.sum())
 
     def dag(self, i: int) -> CommDag:
-        """Cached :class:`CommDag` of communication ``i``."""
+        """Cached :class:`CommDag` of communication ``i``.
+
+        DAGs are pooled by ``(src, snk)``: communications with equal
+        endpoints — necessarily equal displacement ``(Δu, Δv)`` — share one
+        :class:`CommDag` object and therefore one set of cached band arrays
+        (:meth:`~repro.mesh.paths.CommDag.band_arrays`).  Random workloads
+        with many communications on a small mesh duplicate endpoints
+        frequently, so the pool keeps the per-instance geometry cost
+        sub-linear in the number of communications.
+        """
         if not 0 <= i < len(self.comms):
             raise InvalidParameterError(
                 f"communication index {i} out of range [0, {len(self.comms)})"
             )
         if self._dags[i] is None:
             c = self.comms[i]
-            self._dags[i] = CommDag(self.mesh, c.src, c.snk)
+            key = (c.src, c.snk)
+            dag = self._dag_pool.get(key)
+            if dag is None:
+                dag = CommDag(self.mesh, c.src, c.snk)
+                self._dag_pool[key] = dag
+            self._dags[i] = dag
         return self._dags[i]
 
     def diag_span(self, i: int) -> Tuple[int, int]:

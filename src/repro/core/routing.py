@@ -83,7 +83,10 @@ class Routing:
                         f"flow path of communication {i} built on a different mesh"
                     )
                 total += f.rate
-            if not np.isclose(total, comm.rate, rtol=_RATE_RTOL, atol=0.0):
+            # scalar tolerance check (|a-b| <= rtol*|b|, the np.isclose
+            # semantics with atol=0) — np.isclose per communication costs
+            # more than routing a path
+            if not abs(total - comm.rate) <= _RATE_RTOL * abs(comm.rate):
                 raise InvalidParameterError(
                     f"flow rates of communication {i} sum to {total}, "
                     f"expected {comm.rate}"
@@ -150,10 +153,27 @@ class Routing:
     def link_loads(self) -> np.ndarray:
         """Aggregate traffic per link id (cached; read-only)."""
         if self._loads is None:
-            loads = np.zeros(self.problem.mesh.num_links, dtype=np.float64)
+            num_links = self.problem.mesh.num_links
+            lid_parts: List[np.ndarray] = []
+            flow_rates: List[float] = []
+            flow_lens: List[int] = []
             for fl in self.flows:
                 for f in fl:
-                    np.add.at(loads, f.path.link_ids, f.rate)
+                    lid_parts.append(f.path.link_ids)
+                    flow_rates.append(f.rate)
+                    flow_lens.append(f.path.link_ids.size)
+            if lid_parts:
+                weights = np.repeat(
+                    np.asarray(flow_rates, dtype=np.float64),
+                    np.asarray(flow_lens, dtype=np.int64),
+                )
+                loads = np.bincount(
+                    np.concatenate(lid_parts),
+                    weights=weights,
+                    minlength=num_links,
+                ).astype(np.float64)
+            else:  # pragma: no cover - problems are never empty
+                loads = np.zeros(num_links, dtype=np.float64)
             loads.setflags(write=False)
             self._loads = loads
         return self._loads

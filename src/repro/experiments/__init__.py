@@ -11,8 +11,11 @@
 """
 
 from repro.experiments.config import (
+    FixedWeightFactory,
+    LengthTargetedFactory,
     SweepConfig,
     SweepPoint,
+    UniformRandomFactory,
     default_trials,
     fig7_config,
     fig8_config,
@@ -20,10 +23,16 @@ from repro.experiments.config import (
 )
 from repro.experiments.runner import (
     HeuristicPointStats,
+    ParallelSweepRunner,
     PointResult,
     SweepResult,
+    TrialOutcome,
+    TrialRecord,
+    aggregate_records,
+    default_jobs,
     run_point,
     run_sweep,
+    run_trial,
 )
 from repro.experiments.figures import (
     fig7a,
@@ -44,7 +53,16 @@ from repro.experiments.convergence import ConvergenceTrace, convergence_study
 __all__ = [
     "SweepConfig",
     "SweepPoint",
+    "UniformRandomFactory",
+    "FixedWeightFactory",
+    "LengthTargetedFactory",
     "default_trials",
+    "default_jobs",
+    "ParallelSweepRunner",
+    "TrialOutcome",
+    "TrialRecord",
+    "aggregate_records",
+    "run_trial",
     "fig7_config",
     "fig8_config",
     "fig9_config",

@@ -40,6 +40,61 @@ WorkloadFactory = Callable[[Mesh, np.random.Generator], List[Communication]]
 _DEFAULT_TRIALS = 60
 
 
+# ----------------------------------------------------------------------
+# picklable workload factories
+# ----------------------------------------------------------------------
+# The parallel sweep engine ships workload factories to worker processes,
+# so the standard sweeps use these plain dataclasses instead of lambdas
+# (closures don't pickle).  Custom serial-only sweeps may still pass any
+# callable.
+
+
+@dataclass(frozen=True)
+class UniformRandomFactory:
+    """``n`` communications with rates ``U(rate_min, rate_max)``."""
+
+    n: int
+    rate_min: float
+    rate_max: float
+
+    def __call__(
+        self, mesh: Mesh, rng: np.random.Generator
+    ) -> List[Communication]:
+        return uniform_random_workload(
+            mesh, self.n, self.rate_min, self.rate_max, rng=rng
+        )
+
+
+@dataclass(frozen=True)
+class FixedWeightFactory:
+    """``n`` communications of one common weight."""
+
+    n: int
+    weight: float
+
+    def __call__(
+        self, mesh: Mesh, rng: np.random.Generator
+    ) -> List[Communication]:
+        return fixed_weight_workload(mesh, self.n, self.weight, rng=rng)
+
+
+@dataclass(frozen=True)
+class LengthTargetedFactory:
+    """``n`` communications near a target Manhattan length."""
+
+    n: int
+    length: int
+    rate_min: float
+    rate_max: float
+
+    def __call__(
+        self, mesh: Mesh, rng: np.random.Generator
+    ) -> List[Communication]:
+        return length_targeted_workload(
+            mesh, self.n, self.length, self.rate_min, self.rate_max, rng=rng
+        )
+
+
 def default_trials() -> int:
     """Trials per sweep point; override with ``REPRO_TRIALS``."""
     raw = os.environ.get("REPRO_TRIALS", "")
@@ -117,15 +172,7 @@ def fig7_config(
         ) from None
     ns = tuple(n_values) if n_values is not None else default_ns
     points = tuple(
-        SweepPoint(
-            x=n,
-            workload=(
-                lambda mesh, rng, n=n: uniform_random_workload(
-                    mesh, n, lo, hi, rng=rng
-                )
-            ),
-        )
-        for n in ns
+        SweepPoint(x=n, workload=UniformRandomFactory(n, lo, hi)) for n in ns
     )
     return SweepConfig(
         name=f"fig7{panel}-{label}-comms",
@@ -162,13 +209,7 @@ def fig8_config(
         ) from None
     ws = tuple(weights) if weights is not None else default_ws
     points = tuple(
-        SweepPoint(
-            x=w,
-            workload=(
-                lambda mesh, rng, w=w: fixed_weight_workload(mesh, n, w, rng=rng)
-            ),
-        )
-        for w in ws
+        SweepPoint(x=w, workload=FixedWeightFactory(n, w)) for w in ws
     )
     return SweepConfig(
         name=f"fig8{panel}-{label}-weight",
@@ -205,14 +246,7 @@ def fig9_config(
         ) from None
     ls = tuple(lengths) if lengths is not None else tuple(range(2, 15))
     points = tuple(
-        SweepPoint(
-            x=L,
-            workload=(
-                lambda mesh, rng, L=L: length_targeted_workload(
-                    mesh, n, L, lo, hi, rng=rng
-                )
-            ),
-        )
+        SweepPoint(x=L, workload=LengthTargetedFactory(n, L, lo, hi))
         for L in ls
     )
     return SweepConfig(

@@ -13,22 +13,44 @@ Section 6:
 * **mean power inverse** — the raw ``1/P`` average (0 on failure) behind
   the Section 6.4 "times higher than XY" ratios;
 * **mean runtime** and **mean static fraction** for the summary claims.
+
+Execution engines
+-----------------
+
+The **serial** path (``jobs=1``, the default and the reference) runs the
+trials in-process.  The **parallel** path
+(:class:`ParallelSweepRunner`, or ``jobs > 1`` on :func:`run_point` /
+:func:`run_sweep`) fans contiguous trial chunks out to a
+``ProcessPoolExecutor``.  Both paths produce one
+:class:`TrialRecord` per trial — the i-th trial's RNG is a pure function
+of ``(seed, i)`` through :func:`repro.utils.rng.spawn_rngs`, regardless of
+which worker runs it — and feed the records *in trial order* through the
+same :func:`aggregate_records` fold, so serial and parallel sweeps are
+bit-identical on every statistic except the (inherently wall-clock)
+``mean_runtime_s``.
+
+Parallel execution requires the workload factory (and the mesh/power
+objects) to be picklable; the factories in
+:mod:`repro.experiments.config` are plain dataclasses for exactly this
+reason.  Lambdas/closures still work on the serial path.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.problem import RoutingProblem
-from repro.experiments.config import SweepConfig, SweepPoint, WorkloadFactory
+from repro.experiments.config import SweepConfig, WorkloadFactory
 from repro.heuristics.base import HeuristicResult, get_heuristic
 from repro.heuristics.best import best_of_results
 from repro.mesh.topology import Mesh
 from repro.core.power import PowerModel
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawn_rngs, spawn_rngs_range
 from repro.utils.validation import InvalidParameterError
 
 #: series key used for the virtual best heuristic
@@ -87,23 +109,80 @@ class SweepResult:
         return out
 
 
-def run_point(
+@dataclass(frozen=True)
+class TrialOutcome:
+    """One heuristic's result on one instance, reduced to its aggregates."""
+
+    valid: bool
+    power_inverse: float
+    runtime_s: float
+    static_fraction: float
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Everything one trial contributes to the sweep-point aggregates."""
+
+    outcomes: Dict[str, TrialOutcome]  # heuristic name (and BEST) -> outcome
+    best_valid: bool
+    best_power_inverse: float
+
+
+def run_trial(
     mesh: Mesh,
     power: PowerModel,
     workload: WorkloadFactory,
-    trials: int,
-    seed: int,
+    rng: np.random.Generator,
     heuristic_names: Sequence[str],
-    x: float = 0.0,
-) -> PointResult:
-    """Run ``trials`` independent instances of one sweep point."""
-    if trials < 1:
-        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
-    if not heuristic_names:
-        raise InvalidParameterError("need at least one heuristic name")
-    heuristics = [get_heuristic(n) for n in heuristic_names]
-    names = [h.name for h in heuristics] + [BEST_KEY]
+) -> TrialRecord:
+    """Run every heuristic on one drawn instance and record the outcomes.
 
+    Fresh heuristic instances are built per trial (so trials are
+    self-contained and chunkable across processes) and stochastic ones are
+    reseeded from the trial's own generator — each trial gets independent
+    randomness, deterministic in ``(seed, trial index)``, instead of every
+    trial replaying a stochastic heuristic's default seed.
+    """
+    heuristics = [get_heuristic(n) for n in heuristic_names]
+    comms = workload(mesh, rng)
+    problem = RoutingProblem(mesh, power, comms)
+    for h in heuristics:
+        h.reseed(rng)
+    results: List[HeuristicResult] = [h.solve(problem) for h in heuristics]
+    best = best_of_results(results)
+    everything = results + [
+        HeuristicResult(BEST_KEY, best.routing, best.report, best.runtime_s)
+    ]
+    outcomes = {
+        res.name: TrialOutcome(
+            valid=res.valid,
+            power_inverse=res.power_inverse,
+            runtime_s=res.runtime_s,
+            static_fraction=(
+                res.report.static_fraction if res.valid else 0.0
+            ),
+        )
+        for res in everything
+    }
+    return TrialRecord(
+        outcomes=outcomes,
+        best_valid=best.valid,
+        best_power_inverse=best.power_inverse,
+    )
+
+
+def aggregate_records(
+    records: Sequence[TrialRecord],
+    names: Sequence[str],
+    x: float,
+) -> PointResult:
+    """Fold trial records (in trial order) into one :class:`PointResult`.
+
+    This is the single aggregation path shared by the serial and parallel
+    engines; feeding it the same records in the same order yields the same
+    floats bit for bit.
+    """
+    trials = len(records)
     succ = {n: 0 for n in names}
     norm_inv = {n: 0.0 for n in names}
     raw_inv = {n: 0.0 for n in names}
@@ -112,27 +191,19 @@ def run_point(
     static_cnt = {n: 0 for n in names}
     best_valid_trials = 0
 
-    for rng in spawn_rngs(seed, trials):
-        comms = workload(mesh, rng)
-        problem = RoutingProblem(mesh, power, comms)
-        results: List[HeuristicResult] = [h.solve(problem) for h in heuristics]
-        best = best_of_results(results)
-        everything = results + [
-            HeuristicResult(BEST_KEY, best.routing, best.report, best.runtime_s)
-        ]
-        best_ok = best.valid
-        if best_ok:
+    for rec in records:
+        if rec.best_valid:
             best_valid_trials += 1
-        for res in everything:
-            n = res.name
-            runtime[n] += res.runtime_s
-            raw_inv[n] += res.power_inverse
-            if res.valid:
+        for n in names:
+            out = rec.outcomes[n]
+            runtime[n] += out.runtime_s
+            raw_inv[n] += out.power_inverse
+            if out.valid:
                 succ[n] += 1
-                static_frac[n] += res.report.static_fraction
+                static_frac[n] += out.static_fraction
                 static_cnt[n] += 1
-            if best_ok:
-                norm_inv[n] += res.power_inverse / best.power_inverse
+            if rec.best_valid:
+                norm_inv[n] += out.power_inverse / rec.best_power_inverse
 
     stats = {}
     for n in names:
@@ -152,27 +223,186 @@ def run_point(
     return PointResult(x=x, stats=stats)
 
 
-def run_sweep(config: SweepConfig) -> SweepResult:
-    """Run every point of a sweep configuration."""
-    mesh = config.mesh()
-    power = config.power_factory()
-    points = []
-    for k, point in enumerate(config.points):
-        points.append(
-            run_point(
-                mesh,
-                power,
-                point.workload,
-                trials=config.trials,
-                # decorrelate points while keeping the sweep reproducible
-                seed=config.seed * 1_000_003 + k,
-                heuristic_names=config.heuristics,
-                x=point.x,
-            )
+def _expand_names(heuristic_names: Sequence[str]) -> List[str]:
+    """Validate and canonicalise the competitor list (BEST appended)."""
+    if not heuristic_names:
+        raise InvalidParameterError("need at least one heuristic name")
+    heuristics = [get_heuristic(n) for n in heuristic_names]
+    return [h.name for h in heuristics] + [BEST_KEY]
+
+
+# ----------------------------------------------------------------------
+# parallel engine
+# ----------------------------------------------------------------------
+def _run_trial_chunk(
+    payload: Tuple[
+        Mesh, PowerModel, WorkloadFactory, int, int, int, Tuple[str, ...]
+    ]
+) -> List[TrialRecord]:
+    """Worker entry point: run trials ``lo .. hi-1`` of a sweep point.
+
+    The child re-derives just its slice of the per-trial generators with
+    :func:`~repro.utils.rng.spawn_rngs_range` — stream ``i`` is a pure
+    function of ``(seed, i)``, so the chunk boundaries (and the process
+    start method, fork or spawn) cannot change any trial's instance draw.
+    """
+    mesh, power, workload, seed, lo, hi, names = payload
+    rngs = spawn_rngs_range(seed, lo, hi)
+    return [run_trial(mesh, power, workload, rng, names) for rng in rngs]
+
+
+def _chunk_bounds(trials: int, jobs: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` chunks covering ``range(trials)``.
+
+    Aims for a few chunks per worker so stragglers rebalance, without
+    making chunks so small that process/pickle overhead dominates.
+    """
+    target_chunks = max(1, min(trials, jobs * 4))
+    size = -(-trials // target_chunks)  # ceil
+    return [(lo, min(lo + size, trials)) for lo in range(0, trials, size)]
+
+
+def map_trial_chunks(worker, make_payload, trials: int, jobs: int) -> List:
+    """Fan trial chunks out to a process pool, results in trial order.
+
+    The single chunking/ordering implementation behind every parallel
+    entry point (sweep points, the §6.4 summary): ``worker`` is a
+    picklable module-level callable, ``make_payload(lo, hi)`` builds its
+    argument for trials ``lo .. hi-1``, and each worker returns one record
+    per trial.  ``pool.map`` preserves submission order — which is trial
+    order — so folding the concatenated records reproduces the serial
+    reference bit for bit.
+    """
+    bounds = _chunk_bounds(trials, jobs)
+    records: List = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for chunk in pool.map(worker, [make_payload(lo, hi) for lo, hi in bounds]):
+            records.extend(chunk)
+    return records
+
+
+def default_jobs() -> int:
+    """Worker count for ``jobs=None``; ``REPRO_JOBS`` overrides cpu count."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise InvalidParameterError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise InvalidParameterError(f"REPRO_JOBS must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+class ParallelSweepRunner:
+    """Chunked multi-process Monte-Carlo engine.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``None`` uses :func:`default_jobs` (the CPU
+        count, overridable with ``REPRO_JOBS``); ``1`` degenerates to the
+        serial reference path in-process.
+
+    Notes
+    -----
+    Trials are seeded per-index through
+    :func:`~repro.utils.rng.spawn_rngs` and aggregated in trial order by
+    :func:`aggregate_records`, so for a fixed ``(config, seed)`` the
+    runner's output matches the serial runner exactly on every statistic
+    except ``mean_runtime_s`` (wall-clock is not deterministic under any
+    engine).  Workload factories must be picklable — the dataclass
+    factories of :mod:`repro.experiments.config` are.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        if jobs is not None and jobs < 1:
+            raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+
+    # ------------------------------------------------------------------
+    def run_point(
+        self,
+        mesh: Mesh,
+        power: PowerModel,
+        workload: WorkloadFactory,
+        trials: int,
+        seed: int,
+        heuristic_names: Sequence[str],
+        x: float = 0.0,
+    ) -> PointResult:
+        """Parallel equivalent of :func:`run_point`."""
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        names = _expand_names(heuristic_names)
+        member_names = tuple(names[:-1])
+        if self.jobs == 1:
+            rngs = spawn_rngs(seed, trials)
+            records = [
+                run_trial(mesh, power, workload, rng, member_names)
+                for rng in rngs
+            ]
+            return aggregate_records(records, names, x)
+        records: List[TrialRecord] = map_trial_chunks(
+            _run_trial_chunk,
+            lambda lo, hi: (mesh, power, workload, seed, lo, hi, member_names),
+            trials,
+            self.jobs,
         )
-    return SweepResult(
-        name=config.name,
-        x_label=config.x_label,
-        heuristics=tuple(config.heuristics),
-        points=tuple(points),
+        return aggregate_records(records, names, x)
+
+    def run_sweep(self, config: SweepConfig) -> SweepResult:
+        """Parallel equivalent of :func:`run_sweep`."""
+        mesh = config.mesh()
+        power = config.power_factory()
+        points = []
+        for k, point in enumerate(config.points):
+            points.append(
+                self.run_point(
+                    mesh,
+                    power,
+                    point.workload,
+                    trials=config.trials,
+                    # decorrelate points while keeping the sweep reproducible
+                    seed=config.seed * 1_000_003 + k,
+                    heuristic_names=config.heuristics,
+                    x=point.x,
+                )
+            )
+        return SweepResult(
+            name=config.name,
+            x_label=config.x_label,
+            heuristics=tuple(config.heuristics),
+            points=tuple(points),
+        )
+
+
+# ----------------------------------------------------------------------
+# public entry points (serial by default)
+# ----------------------------------------------------------------------
+def run_point(
+    mesh: Mesh,
+    power: PowerModel,
+    workload: WorkloadFactory,
+    trials: int,
+    seed: int,
+    heuristic_names: Sequence[str],
+    x: float = 0.0,
+    jobs: int = 1,
+) -> PointResult:
+    """Run ``trials`` independent instances of one sweep point.
+
+    ``jobs=1`` (default) runs serially in-process; ``jobs > 1`` delegates
+    to :class:`ParallelSweepRunner` with identical aggregation.
+    """
+    return ParallelSweepRunner(jobs=jobs).run_point(
+        mesh, power, workload, trials, seed, heuristic_names, x=x
     )
+
+
+def run_sweep(config: SweepConfig, jobs: int = 1) -> SweepResult:
+    """Run every point of a sweep configuration (serial unless ``jobs>1``)."""
+    return ParallelSweepRunner(jobs=jobs).run_sweep(config)

@@ -93,6 +93,10 @@ class SimulatedAnnealing(Heuristic):
         self.t_end_frac = t_end_frac
         self._rng = ensure_rng(seed)
 
+    def reseed(self, rng: RngLike) -> None:
+        """Rebind the annealer's randomness (see :meth:`Heuristic.reseed`)."""
+        self._rng = ensure_rng(rng)
+
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
         start = initial_moves(problem, self.init)

@@ -82,6 +82,16 @@ class Heuristic(abc.ABC):
     def _route(self, problem: RoutingProblem) -> List[Path]:
         """Produce one Manhattan path per communication, in problem order."""
 
+    def reseed(self, rng) -> None:
+        """Rebind this heuristic's randomness to ``rng`` (no-op by default).
+
+        Deterministic heuristics ignore this.  Stochastic ones (GA, SA,
+        TABU) override it so a Monte-Carlo trial can hand every competitor
+        an independent, reproducible stream — without it, freshly
+        constructed instances would replay their default seed on every
+        trial and silently correlate the sweep.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 

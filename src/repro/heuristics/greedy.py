@@ -15,6 +15,8 @@ import numpy as np
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
 from repro.heuristics.ordering import DEFAULT_ORDERING
+from repro.mesh.diagonals import direction_steps
+from repro.mesh.kernel import direction_link_bases
 from repro.mesh.moves import MOVE_H, MOVE_V
 from repro.mesh.paths import Path
 
@@ -49,41 +51,54 @@ class SimpleGreedy(Heuristic):
 
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh
-        loads = np.zeros(mesh.num_links, dtype=np.float64)
+        # plain Python floats: SG only ever touches single links, and list
+        # indexing beats ndarray scalar indexing in the hop loop
+        loads = [0.0] * mesh.num_links
+        q = mesh.q
         paths: List[Path | None] = [None] * problem.num_comms
         for i in problem.order_by(self.ordering):
             comm = problem.comms[i]
-            dag = problem.dag(i)
-            su, sv = dag.su, dag.sv
+            su, sv = direction_steps(comm.direction)
+            # O(1) link ids: vertical hop from (u, v) is vbase + u*q + v,
+            # horizontal is hbase + u*(q-1) + v (bases fold the direction
+            # in; the arithmetic lives in kernel.direction_link_bases)
+            vbase, hbase = direction_link_bases(mesh, su, sv)
+            rate = comm.rate
             (u, v), snk = comm.src, comm.snk
+            snk_u, snk_v = snk
             moves: List[str] = []
-            while (u, v) != snk:
-                cands = []  # (move, lid, next core)
-                if u != snk[0]:
-                    nxt = (u + su, v)
-                    cands.append((MOVE_V, mesh.link_between((u, v), nxt), nxt))
-                if v != snk[1]:
-                    nxt = (u, v + sv)
-                    cands.append((MOVE_H, mesh.link_between((u, v), nxt), nxt))
-                if len(cands) == 1:
-                    move, lid, nxt = cands[0]
+            lids: List[int] = []
+            while u != snk_u or v != snk_v:
+                if u == snk_u:
+                    move, lid = MOVE_H, hbase + u * (q - 1) + v
+                elif v == snk_v:
+                    move, lid = MOVE_V, vbase + u * q + v
                 else:
-                    (mv, lv, cv_), (mh, lh, ch_) = cands
-                    if loads[lv] < loads[lh]:
-                        move, lid, nxt = mv, lv, cv_
-                    elif loads[lh] < loads[lv]:
-                        move, lid, nxt = mh, lh, ch_
+                    lv = vbase + u * q + v
+                    lh = hbase + u * (q - 1) + v
+                    load_v, load_h = loads[lv], loads[lh]
+                    if load_v < load_h:
+                        move, lid = MOVE_V, lv
+                    elif load_h < load_v:
+                        move, lid = MOVE_H, lh
                     else:
                         # tie: head core closest to the src->snk diagonal;
                         # a residual tie prefers the horizontal link (XY-like)
-                        dv_off = diagonal_offset(comm.src, snk, cv_)
-                        dh_off = diagonal_offset(comm.src, snk, ch_)
+                        dv_off = diagonal_offset(comm.src, snk, (u + su, v))
+                        dh_off = diagonal_offset(comm.src, snk, (u, v + sv))
                         if dv_off < dh_off:
-                            move, lid, nxt = mv, lv, cv_
+                            move, lid = MOVE_V, lv
                         else:
-                            move, lid, nxt = mh, lh, ch_
-                loads[lid] += comm.rate
+                            move, lid = MOVE_H, lh
+                loads[lid] += rate
                 moves.append(move)
-                u, v = nxt
-            paths[i] = Path(mesh, comm.src, comm.snk, "".join(moves))
+                lids.append(lid)
+                if move == MOVE_V:
+                    u += su
+                else:
+                    v += sv
+            paths[i] = Path.from_validated(
+                mesh, comm.src, snk, "".join(moves),
+                np.asarray(lids, dtype=np.int64),
+            )
         return paths  # type: ignore[return-value]

@@ -33,19 +33,12 @@ class _BandIndex:
     __slots__ = ("lids", "xs", "ys")
 
     def __init__(self, dag: CommDag):
-        self.lids: List[np.ndarray] = []
-        self.xs: List[np.ndarray] = []
-        self.ys: List[np.ndarray] = []
-        for band in dag.bands():
-            lids = np.asarray(band, dtype=np.int64)
-            xs = np.empty(len(band), dtype=np.int64)
-            ys = np.empty(len(band), dtype=np.int64)
-            for j, lid in enumerate(band):
-                x, y, _kind = dag.edge_tail(lid)
-                xs[j], ys[j] = x, y
-            self.lids.append(lids)
-            self.xs.append(xs)
-            self.ys.append(ys)
+        # consume the DAG's cached band arrays (shared through the problem's
+        # DAG pool) instead of re-walking edge_tail per link
+        lids_l, xs_l, ys_l, _kv = dag.band_arrays()
+        self.lids: List[np.ndarray] = lids_l
+        self.xs: List[np.ndarray] = xs_l
+        self.ys: List[np.ndarray] = ys_l
 
     def min_load_after(self, loads: np.ndarray, t: int, x0: int, y0: int) -> float:
         """Least load among band-``t`` links reachable from node ``(x0, y0)``.
@@ -143,5 +136,5 @@ class ImprovedGreedy(Heuristic):
                 loads[lid] += rate
                 moves.append(move)
                 x, y = x2, y2
-            paths[i] = Path(mesh, comm.src, comm.snk, "".join(moves))
+            paths[i] = Path.from_validated(mesh, comm.src, comm.snk, "".join(moves))
         return paths  # type: ignore[return-value]

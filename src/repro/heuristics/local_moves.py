@@ -27,7 +27,9 @@ import numpy as np
 from repro.core.problem import RoutingProblem
 from repro.core.routing import Routing
 from repro.heuristics.base import graded_power_delta, path_swap_deltas
-from repro.mesh.moves import MOVE_V
+from repro.mesh.diagonals import direction_steps
+from repro.mesh.kernel import links_from_vmask, moves_to_vmask
+from repro.mesh.moves import MOVE_V, validate_moves
 from repro.mesh.paths import Path
 from repro.utils.validation import InvalidParameterError
 
@@ -74,9 +76,12 @@ class RoutingState:
         self.loads = np.zeros(self.mesh.num_links, dtype=np.float64)
         for i, mv in enumerate(moves_list):
             comm = problem.comms[i]
-            path = Path(self.mesh, comm.src, comm.snk, mv)
+            validate_moves(comm.src, comm.snk, mv)
+            su, sv = direction_steps(comm.direction)
+            lids = links_from_vmask(
+                self.mesh, comm.src, su, sv, moves_to_vmask(mv)
+            ).tolist()
             self.moves.append(list(mv))
-            lids = [int(x) for x in path.link_ids]
             self.links.append(lids)
             for lid in lids:
                 self.loads[lid] += comm.rate
@@ -158,8 +163,11 @@ class RoutingState:
     ) -> Tuple[List[int], Dict[int, float], float]:
         """Deltas and cost change if ``ci`` switched to ``new_moves``."""
         comm = self.problem.comms[ci]
-        path = Path(self.mesh, comm.src, comm.snk, new_moves)
-        new_links = [int(x) for x in path.link_ids]
+        validate_moves(comm.src, comm.snk, new_moves)
+        su, sv = direction_steps(comm.direction)
+        new_links = links_from_vmask(
+            self.mesh, comm.src, su, sv, moves_to_vmask(new_moves)
+        ).tolist()
         deltas = path_swap_deltas(self.links[ci], new_links, comm.rate)
         return new_links, deltas, graded_power_delta(self.power, self.loads, deltas)
 
@@ -197,10 +205,23 @@ class RoutingState:
         return self.cost
 
     def paths(self) -> List[Path]:
-        """Materialise the current state as validated :class:`Path` objects."""
+        """Materialise the current state as :class:`Path` objects.
+
+        The internal move strings are valid by construction (validated on
+        entry and only mutated by legal flips/resamples), so the trusted
+        constructor is used with the maintained link arrays.
+        """
         out = []
         for i, comm in enumerate(self.problem.comms):
-            out.append(Path(self.mesh, comm.src, comm.snk, "".join(self.moves[i])))
+            out.append(
+                Path.from_validated(
+                    self.mesh,
+                    comm.src,
+                    comm.snk,
+                    "".join(self.moves[i]),
+                    np.asarray(self.links[i], dtype=np.int64),
+                )
+            )
         return out
 
     def to_routing(self) -> Routing:

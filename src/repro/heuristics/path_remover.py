@@ -33,7 +33,6 @@ import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
-from repro.mesh.moves import MOVE_V
 from repro.mesh.paths import CommDag, Path
 
 
@@ -56,29 +55,21 @@ class _CommState:
     def __init__(self, dag: CommDag, rate: float, loads: np.ndarray):
         self.dag = dag
         self.rate = rate
-        self.bands: List[np.ndarray] = []
-        self.tails_x: List[np.ndarray] = []
-        self.tails_y: List[np.ndarray] = []
-        self.kinds: List[np.ndarray] = []  # True where the edge is vertical
+        # band geometry (link ids, tail coordinates, edge kinds, positions)
+        # is immutable and cached on the — possibly pooled — DAG; only the
+        # `allowed` masks and counts are per-communication state
+        lids_l, xs_l, ys_l, kv_l = dag.band_arrays()
+        self.bands: List[np.ndarray] = list(lids_l)
+        self.tails_x: List[np.ndarray] = list(xs_l)
+        self.tails_y: List[np.ndarray] = list(ys_l)
+        self.kinds: List[np.ndarray] = list(kv_l)  # True where vertical
+        self.pos: Dict[int, Tuple[int, int]] = dag.band_pos()
         self.allowed: List[np.ndarray] = []
         self.counts: List[int] = []
-        self.pos: Dict[int, Tuple[int, int]] = {}
-        for t, band in enumerate(dag.bands()):
-            lids = np.asarray(band, dtype=np.int64)
-            xs = np.empty(len(band), dtype=np.int64)
-            ys = np.empty(len(band), dtype=np.int64)
-            kv = np.empty(len(band), dtype=bool)
-            for j, lid in enumerate(band):
-                x, y, kind = dag.edge_tail(lid)
-                xs[j], ys[j], kv[j] = x, y, kind == MOVE_V
-                self.pos[int(lid)] = (t, j)
-            self.bands.append(lids)
-            self.tails_x.append(xs)
-            self.tails_y.append(ys)
-            self.kinds.append(kv)
-            self.allowed.append(np.ones(len(band), dtype=bool))
-            self.counts.append(len(band))
-            loads[lids] += rate / len(band)
+        for lids in self.bands:
+            self.allowed.append(np.ones(len(lids), dtype=bool))
+            self.counts.append(len(lids))
+            loads[lids] += rate / len(lids)
         self.excess = sum(self.counts) - len(self.counts)
 
     @property
@@ -220,5 +211,7 @@ class PathRemover(Heuristic):
         paths = []
         for i, st in enumerate(states):
             comm = problem.comms[i]
-            paths.append(Path(mesh, comm.src, comm.snk, st.extract_moves()))
+            paths.append(
+                Path.from_validated(mesh, comm.src, comm.snk, st.extract_moves())
+            )
         return paths

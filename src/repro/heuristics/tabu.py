@@ -78,6 +78,10 @@ class TabuRouting(Heuristic):
         self.init = init
         self._rng = ensure_rng(seed)
 
+    def reseed(self, rng: RngLike) -> None:
+        """Rebind the tabu search's randomness (see :meth:`Heuristic.reseed`)."""
+        self._rng = ensure_rng(rng)
+
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
         rng = np.random.default_rng(self._rng.integers(2**63))

@@ -4,19 +4,43 @@ Communications are processed by decreasing weight.  For each one, every
 routing with at most two bends is tried — the H–V–H and V–H–V staircases,
 at most ``Δu + Δv`` distinct candidates — and the one adding the least
 (graded) power to the current loads is kept.
+
+The candidate set depends only on the displacement ``(Δu, Δv)``, so the
+move strings and their boolean move arrays are cached displacement-keyed
+and shared across communications and instances; per communication the
+whole candidate set is scored with one batched
+:meth:`~repro.core.power.PowerModel.link_power_graded` evaluation over the
+``candidates × hops`` link matrix produced by the vectorised kernel.
 """
 
 from __future__ import annotations
 
-from typing import List
+from functools import lru_cache
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
 from repro.heuristics.ordering import DEFAULT_ORDERING
-from repro.mesh.moves import moves_to_links, two_bend_moves
+from repro.mesh.diagonals import direction_steps
+from repro.mesh.kernel import links_from_vmask, stack_vmasks
+from repro.mesh.moves import two_bend_moves
 from repro.mesh.paths import Path
+
+
+@lru_cache(maxsize=None)
+def _two_bend_candidates(du: int, dv: int) -> Tuple[Tuple[str, ...], np.ndarray]:
+    """Two-bend move strings and their vmask matrix for one displacement.
+
+    Move strings are direction-agnostic, so the cache key is just
+    ``(Δu, Δv)`` — every communication with that displacement shares the
+    same candidate set regardless of where it sits on the mesh.
+    """
+    cands = tuple(two_bend_moves((0, 0), (du, dv)))
+    vmasks = stack_vmasks(cands)
+    vmasks.setflags(write=False)
+    return cands, vmasks
 
 
 @register_heuristic("TB")
@@ -33,22 +57,17 @@ class TwoBend(Heuristic):
         paths: List[Path | None] = [None] * problem.num_comms
         for i in problem.order_by(self.ordering):
             comm = problem.comms[i]
-            best_moves = None
-            best_delta = np.inf
-            for moves in two_bend_moves(comm.src, comm.snk):
-                lids = np.asarray(
-                    moves_to_links(mesh, comm.src, comm.snk, moves), dtype=np.int64
-                )
-                before = loads[lids]
-                delta = float(
-                    np.sum(power.link_power_graded(before + comm.rate))
-                    - np.sum(power.link_power_graded(before))
-                )
-                if delta < best_delta:
-                    best_delta = delta
-                    best_moves = (moves, lids)
-            assert best_moves is not None  # two_bend_moves is never empty
-            moves, lids = best_moves
-            loads[lids] += comm.rate
-            paths[i] = Path(mesh, comm.src, comm.snk, moves)
+            rate = comm.rate
+            cands, vmasks = _two_bend_candidates(comm.delta_u, comm.delta_v)
+            su, sv = direction_steps(comm.direction)
+            lid_matrix = links_from_vmask(mesh, comm.src, su, sv, vmasks)
+            before = loads[lid_matrix]
+            graded = power.link_power_graded(np.stack((before + rate, before)))
+            delta = graded[0].sum(axis=1) - graded[1].sum(axis=1)
+            best = int(np.argmin(delta))
+            lids = lid_matrix[best]
+            loads[lids] += rate
+            paths[i] = Path.from_validated(
+                mesh, comm.src, comm.snk, cands[best], lids
+            )
         return paths  # type: ignore[return-value]

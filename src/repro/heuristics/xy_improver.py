@@ -16,6 +16,22 @@ dropped from the worklist; otherwise the best modification is applied, the
 worklist is rebuilt from the new loads, and the descent continues.  Total
 graded power strictly decreases at every applied move, so the procedure
 terminates; a generous safety cap guards the theoretical worst case.
+
+Implementation notes — the descent runs on the flat-array kernel:
+
+* candidate paths come from :func:`repro.mesh.kernel.links_from_vmask`
+  (no per-hop Python);
+* a relocation changes only the contiguous window of hops between the two
+  relocated moves, and the old/new links inside the window are disjoint
+  (they sit in different rows/columns), so the graded-power deltas of all
+  candidates of the current link are evaluated with **one** batched
+  :meth:`~repro.core.power.PowerModel.link_power_graded` call — while the
+  per-candidate value layout and block sums replicate
+  :func:`repro.heuristics.base.graded_power_delta` bit for bit, keeping
+  the descent trajectory identical to the scalar reference;
+* the current graded total (the accept threshold's scale) is recomputed
+  only on applied moves — loads are unchanged on rejected iterations, so
+  the value stays exact without the reference's per-iteration recompute.
 """
 
 from __future__ import annotations
@@ -25,19 +41,10 @@ from typing import List, Optional, Set, Tuple
 import numpy as np
 
 from repro.core.problem import RoutingProblem
-from repro.heuristics.base import (
-    Heuristic,
-    apply_deltas,
-    graded_power_delta,
-    path_swap_deltas,
-    register_heuristic,
-)
-from repro.mesh.moves import (
-    moves_to_links,
-    relocate_h_after,
-    relocate_v_before,
-    xy_moves,
-)
+from repro.heuristics.base import Heuristic, register_heuristic
+from repro.mesh.diagonals import direction_steps
+from repro.mesh.kernel import links_from_vmask, moves_to_vmask
+from repro.mesh.moves import relocate_h_after, relocate_v_before, xy_moves
 from repro.mesh.paths import Path
 from repro.utils.validation import InvalidParameterError
 
@@ -85,9 +92,10 @@ class XYImprover(Heuristic):
         power = problem.power
         n = problem.num_comms
         moves: List[str] = self._starting_moves(problem)
+        steps_uv = [direction_steps(c.direction) for c in problem.comms]
         links: List[np.ndarray] = [
-            np.asarray(moves_to_links(mesh, c.src, c.snk, m), dtype=np.int64)
-            for c, m in zip(problem.comms, moves)
+            links_from_vmask(mesh, c.src, su, sv, moves_to_vmask(m))
+            for c, (su, sv), m in zip(problem.comms, steps_uv, moves)
         ]
         loads = np.zeros(mesh.num_links, dtype=np.float64)
         on_link: List[Set[int]] = [set() for _ in range(mesh.num_links)]
@@ -100,49 +108,125 @@ class XYImprover(Heuristic):
         if cap is None:
             cap = 10 * mesh.p * mesh.q * max(n, 1)
 
+        current = power.total_power_graded(loads)
         worklist = self._sorted_links(loads)
+        # per-communication memo of relocations: lid -> (new_m, new_l,
+        # old_ch, new_ch) or None when infeasible.  Loads-independent, so an
+        # entry stays valid until the communication's own path changes.
+        cand_cache: List[dict] = [{} for _ in range(n)]
         steps = 0
         while worklist and steps < cap:
             lid = worklist[0]
-            best: Optional[Tuple[float, int, str, np.ndarray]] = None
             horizontal = mesh.is_horizontal(lid)
+            # gather every feasible relocation of the communications on lid
+            cand: List[Tuple[int, str, np.ndarray, np.ndarray, np.ndarray]] = []
+            seg_sizes: List[int] = []
+            after_parts: List[np.ndarray] = []
+            before_parts: List[np.ndarray] = []
             for i in sorted(on_link[lid]):
-                pos_arr = np.nonzero(links[i] == lid)[0]
-                pos = int(pos_arr[0])
-                comm = problem.comms[i]
-                if horizontal:
-                    new_m = relocate_v_before(moves[i], pos)
+                cache = cand_cache[i]
+                if lid in cache:
+                    entry = cache[lid]
+                    if entry is None:
+                        continue
+                    new_m, new_l, old_ch, new_ch = entry
                 else:
-                    new_m = relocate_h_after(moves[i], pos)
-                if new_m is None:
-                    continue  # cannot move without breaking the Manhattan rule
-                new_l = np.asarray(
-                    moves_to_links(mesh, comm.src, comm.snk, new_m), dtype=np.int64
-                )
-                deltas = path_swap_deltas(links[i].tolist(), new_l.tolist(), comm.rate)
-                dp = graded_power_delta(power, loads, deltas)
-                if best is None or dp < best[0]:
-                    best = (dp, i, new_m, new_l)
-            threshold = -_REL_EPS * max(power.total_power_graded(loads), 1.0)
-            if best is not None and best[0] < threshold:
-                dp, i, new_m, new_l = best
-                deltas = path_swap_deltas(
-                    links[i].tolist(), new_l.tolist(), problem.comms[i].rate
-                )
-                apply_deltas(loads, deltas)
-                for old_lid in links[i]:
+                    old_l = links[i]
+                    pos = int(np.nonzero(old_l == lid)[0][0])
+                    if horizontal:
+                        new_m = relocate_v_before(moves[i], pos)
+                    else:
+                        new_m = relocate_h_after(moves[i], pos)
+                    if new_m is None:
+                        # cannot move without breaking the Manhattan rule
+                        cache[lid] = None
+                        continue
+                    su, sv = steps_uv[i]
+                    new_l = links_from_vmask(
+                        mesh, problem.comms[i].src, su, sv, moves_to_vmask(new_m)
+                    )
+                    changed = old_l != new_l
+                    old_ch = old_l[changed]
+                    new_ch = new_l[changed]
+                    cache[lid] = (new_m, new_l, old_ch, new_ch)
+                rate = problem.comms[i].rate
+                # replicate graded_power_delta's float math exactly: per
+                # candidate, the affected links in [old window | new window]
+                # order, graded before and after the ∓rate swap (the two
+                # windows are disjoint, so no netting is needed).  Keeping
+                # the same value layout and per-block summation as the
+                # reference keeps every tie-break — and therefore the whole
+                # descent trajectory — identical to the scalar path.
+                vals = np.concatenate((loads[old_ch], loads[new_ch]))
+                swapped = vals.copy()
+                swapped[: old_ch.size] -= rate
+                swapped[old_ch.size:] += rate
+                if swapped.min() < -1e-9:
+                    # same invariant graded_power_delta enforced: beyond
+                    # numerical dust, a negative load means the bookkeeping
+                    # (links/on_link/cand_cache) went inconsistent
+                    raise InvalidParameterError(
+                        "load delta would drive a link negative"
+                    )
+                # clamp the numerical dust a removal can leave behind
+                before_parts.append(vals)
+                after_parts.append(np.maximum(swapped, 0.0))
+                seg_sizes.append(vals.size)
+                cand.append((i, new_m, new_l, old_ch, new_ch))
+            best_idx = -1
+            best_dp = np.inf
+            if cand:
+                before = np.concatenate(before_parts)
+                after = np.concatenate(after_parts)
+                # one batched grading for every candidate of this link …
+                graded = power.link_power_graded(np.concatenate((before, after)))
+                m = before.size
+                g_before = graded[:m]
+                g_after = graded[m:]
+                # … but per-candidate block sums, matching np.sum over the
+                # reference's per-candidate arrays bit for bit
+                lo_off = 0
+                for k, size in enumerate(seg_sizes):
+                    hi_off = lo_off + size
+                    dp = float(
+                        g_after[lo_off:hi_off].sum()
+                        - g_before[lo_off:hi_off].sum()
+                    )
+                    if dp < best_dp:
+                        best_dp = dp
+                        best_idx = k
+                    lo_off = hi_off
+            threshold = -_REL_EPS * max(current, 1.0)
+            if best_idx >= 0 and best_dp < threshold:
+                i, new_m, new_l, old_ch, new_ch = cand[best_idx]
+                rate = problem.comms[i].rate
+                removed = loads[old_ch] - rate
+                if removed.min() < -1e-6:
+                    # apply_deltas' guard: only clamp numerical dust
+                    raise InvalidParameterError(
+                        f"applying XYI move drove a link to {removed.min()}"
+                    )
+                loads[old_ch] = np.maximum(removed, 0.0)
+                loads[new_ch] += rate
+                for old_lid in old_ch:
                     on_link[int(old_lid)].discard(i)
-                for new_lid in new_l:
+                for new_lid in new_ch:
                     on_link[int(new_lid)].add(i)
                 moves[i] = new_m
                 links[i] = new_l
+                cand_cache[i] = {}
+                # loads only change on applied steps, so recomputing here
+                # keeps `current` exact at every iteration (the reference
+                # recomputed it every iteration, applied or not)
+                current = power.total_power_graded(loads)
                 worklist = self._sorted_links(loads)
                 steps += 1
             else:
                 worklist.pop(0)
 
         return [
-            Path(mesh, c.src, c.snk, m) for c, m in zip(problem.comms, moves)
+            Path.from_validated(mesh, c.src, c.snk, m, lids)
+            for c, m, lids in zip(problem.comms, moves, links)
         ]
 
     @staticmethod

@@ -33,6 +33,13 @@ from repro.mesh.moves import (
     relocate_v_before,
 )
 from repro.mesh.paths import Path, CommDag, count_paths, manhattan_path_count
+from repro.mesh.kernel import (
+    FlatRoutingKernel,
+    links_from_vmask,
+    moves_to_links_array,
+    moves_to_vmask,
+    stack_vmasks,
+)
 
 __all__ = [
     "Mesh",
@@ -56,4 +63,9 @@ __all__ = [
     "CommDag",
     "count_paths",
     "manhattan_path_count",
+    "FlatRoutingKernel",
+    "links_from_vmask",
+    "moves_to_links_array",
+    "moves_to_vmask",
+    "stack_vmasks",
 ]

@@ -107,6 +107,41 @@ class Path:
         return cls(mesh, src, snk, yx_moves(src, snk))
 
     @classmethod
+    def from_validated(
+        cls,
+        mesh: Mesh,
+        src: Coord,
+        snk: Coord,
+        moves: str,
+        link_ids: Sequence[int] | np.ndarray | None = None,
+    ) -> "Path":
+        """Trusted fast constructor for internally generated move strings.
+
+        Skips endpoint and move-string re-validation — the caller warrants
+        that ``moves`` is a Manhattan move string joining ``src`` to ``snk``
+        (greedy/two-bend/XYI inner loops construct thousands of already
+        valid paths).  When ``link_ids`` is omitted it is computed with the
+        vectorised kernel; when given, ownership transfers to the path
+        (the array is frozen in place).
+        """
+        from repro.mesh.kernel import links_from_vmask, moves_to_vmask
+
+        self = object.__new__(cls)
+        self.mesh = mesh
+        self.src = (int(src[0]), int(src[1]))
+        self.snk = (int(snk[0]), int(snk[1]))
+        self.moves = moves
+        if link_ids is None:
+            su, sv = direction_steps(direction_of(src, snk))
+            arr = links_from_vmask(mesh, self.src, su, sv, moves_to_vmask(moves))
+        else:
+            arr = np.asarray(link_ids, dtype=np.int64)
+        if arr.flags.writeable:
+            arr.setflags(write=False)
+        self.link_ids = arr
+        return self
+
+    @classmethod
     def from_links(
         cls, mesh: Mesh, src: Coord, snk: Coord, link_ids: Sequence[int]
     ) -> "Path":
@@ -185,6 +220,7 @@ class CommDag:
         "length",
         "_bands",
         "_edge_info",
+        "_band_arrays",
     )
 
     def __init__(self, mesh: Mesh, src: Coord, snk: Coord):
@@ -215,6 +251,7 @@ class CommDag:
                     band.append(lid)
                     self._edge_info[lid] = (x, y, MOVE_H)
             self._bands.append(band)
+        self._band_arrays = None
 
     # geometry -----------------------------------------------------------
     def node_core(self, x: int, y: int) -> Coord:
@@ -261,6 +298,57 @@ class CommDag:
     def bands(self) -> List[List[int]]:
         """All bands, in order (list of lists of link ids)."""
         return self._bands
+
+    def band_arrays(
+        self,
+    ) -> Tuple[List[np.ndarray], List[np.ndarray], List[np.ndarray], List[np.ndarray]]:
+        """Vectorised band metadata ``(lids, tails_x, tails_y, vertical)``.
+
+        Four parallel lists (one entry per band) of read-only arrays: the
+        band's link ids, the progress coordinates of each edge's tail node
+        and a boolean mask marking vertical edges.  Built once per DAG and
+        cached — the PR spread state and the IG band index both consume
+        this instead of re-walking :meth:`edge_tail` per link, and the
+        displacement-keyed DAG pool of
+        :class:`repro.core.problem.RoutingProblem` makes the cache shared
+        across communications with equal endpoints.
+        """
+        if self._band_arrays is None:
+            lids_l: List[np.ndarray] = []
+            xs_l: List[np.ndarray] = []
+            ys_l: List[np.ndarray] = []
+            kv_l: List[np.ndarray] = []
+            for band in self._bands:
+                lids = np.asarray(band, dtype=np.int64)
+                xs = np.empty(len(band), dtype=np.int64)
+                ys = np.empty(len(band), dtype=np.int64)
+                kv = np.empty(len(band), dtype=bool)
+                for j, lid in enumerate(band):
+                    x, y, kind = self._edge_info[lid]
+                    xs[j], ys[j], kv[j] = x, y, kind == MOVE_V
+                for arr in (lids, xs, ys, kv):
+                    arr.setflags(write=False)
+                lids_l.append(lids)
+                xs_l.append(xs)
+                ys_l.append(ys)
+                kv_l.append(kv)
+            pos = {
+                int(lid): (t, j)
+                for t, lids in enumerate(lids_l)
+                for j, lid in enumerate(lids)
+            }
+            self._band_arrays = (lids_l, xs_l, ys_l, kv_l, pos)
+        return self._band_arrays[:4]
+
+    def band_pos(self) -> dict:
+        """``{link id: (band index, index within band)}`` (cached, shared).
+
+        The inverse of :meth:`band_arrays`' link-id lists; consumers must
+        treat it as read-only (it is shared across every communication
+        pooled onto this DAG).
+        """
+        self.band_arrays()
+        return self._band_arrays[4]
 
     def edge_tail(self, lid: int) -> Tuple[int, int, str]:
         """``(x, y, kind)`` of the DAG edge using mesh link ``lid``.

@@ -222,6 +222,9 @@ def same_endpoint_flow(
             segments=segments,
             feasible=False,
         )
+    # LP solutions can carry tiny negative dust on unused edges; a negative
+    # base under a fractional exponent is NaN, so clamp before powering
+    loads = np.maximum(loads, 0.0)
     upper = float(power.p0 * np.sum((loads / power.freq_unit) ** power.alpha))
     _, lower = _dag_lp(dag, power, total_rate, segments, "tangent")
     # numerical guard: the sandwich must be ordered

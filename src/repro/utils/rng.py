@@ -45,3 +45,25 @@ def spawn_rngs(seed: Optional[int], n: int) -> Sequence[np.random.Generator]:
         raise ValueError(f"n must be >= 0, got {n}")
     root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+def spawn_rngs_range(
+    seed: Optional[int], lo: int, hi: int
+) -> Sequence[np.random.Generator]:
+    """Streams ``lo .. hi-1`` of :func:`spawn_rngs`, in O(hi - lo).
+
+    ``SeedSequence.spawn`` derives child ``i`` purely from the root entropy
+    and ``spawn_key=(i,)``, so a worker can materialise just its slice of
+    the trial streams instead of spawning all ``n`` and slicing —
+    ``spawn_rngs_range(seed, lo, hi) == spawn_rngs(seed, n)[lo:hi]`` for
+    any ``n >= hi``.
+    """
+    if lo < 0 or hi < lo:
+        raise ValueError(f"need 0 <= lo <= hi, got [{lo}, {hi})")
+    root = np.random.SeedSequence(seed)
+    return [
+        np.random.default_rng(
+            np.random.SeedSequence(entropy=root.entropy, spawn_key=(i,))
+        )
+        for i in range(lo, hi)
+    ]

@@ -1,0 +1,220 @@
+"""Serial-vs-parallel sweep engine determinism and plumbing tests.
+
+The parallel engine's contract: for a fixed ``(config, seed)`` it must
+reproduce the serial reference runner bit for bit on every aggregate
+except ``mean_runtime_s`` (wall-clock is never deterministic, under either
+engine).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Mesh, PowerModel
+from repro.experiments import (
+    ParallelSweepRunner,
+    SweepConfig,
+    SweepPoint,
+    UniformRandomFactory,
+    aggregate_records,
+    default_jobs,
+    run_point,
+    run_sweep,
+    run_trial,
+)
+from repro.experiments.runner import BEST_KEY, _chunk_bounds
+from repro.utils.rng import spawn_rngs
+from repro.utils.validation import InvalidParameterError
+
+#: every HeuristicPointStats field that must match exactly between engines
+_DETERMINISTIC_FIELDS = (
+    "name",
+    "trials",
+    "successes",
+    "norm_power_inverse",
+    "mean_power_inverse",
+    "mean_static_fraction",
+)
+
+
+def _assert_stats_identical(a, b):
+    assert set(a.stats) == set(b.stats)
+    for name in a.stats:
+        for field in _DETERMINISTIC_FIELDS:
+            assert getattr(a.stats[name], field) == getattr(
+                b.stats[name], field
+            ), f"{name}.{field} differs between serial and parallel"
+
+
+@pytest.fixture(scope="module")
+def point_args():
+    mesh = Mesh(8, 8)
+    power = PowerModel.kim_horowitz()
+    workload = UniformRandomFactory(8, 100.0, 1200.0)
+    return mesh, power, workload
+
+
+class TestSerialParallelDeterminism:
+    def test_run_point_identical(self, point_args):
+        mesh, power, workload = point_args
+        serial = run_point(
+            mesh, power, workload, 11, 7, ("XY", "SG", "TB"), jobs=1
+        )
+        parallel = run_point(
+            mesh, power, workload, 11, 7, ("XY", "SG", "TB"), jobs=3
+        )
+        _assert_stats_identical(serial, parallel)
+
+    def test_run_sweep_identical(self):
+        cfg = SweepConfig(
+            name="det-check",
+            x_label="n",
+            points=(
+                SweepPoint(x=4.0, workload=UniformRandomFactory(4, 100.0, 900.0)),
+                SweepPoint(x=8.0, workload=UniformRandomFactory(8, 100.0, 900.0)),
+            ),
+            trials=6,
+            seed=5,
+            heuristics=("XY", "SG"),
+        )
+        serial = run_sweep(cfg)
+        parallel = run_sweep(cfg, jobs=2)
+        assert serial.x_values == parallel.x_values
+        for p_s, p_p in zip(serial.points, parallel.points):
+            _assert_stats_identical(p_s, p_p)
+
+    def test_chunking_does_not_change_results(self, point_args):
+        """Different worker counts induce different chunk boundaries; the
+        per-index seeding must make them all agree."""
+        mesh, power, workload = point_args
+        results = [
+            run_point(mesh, power, workload, 9, 3, ("XY", "PR"), jobs=j)
+            for j in (1, 2, 4)
+        ]
+        for other in results[1:]:
+            _assert_stats_identical(results[0], other)
+
+
+class TestTrialRecords:
+    def test_trial_records_rebuild_run_point(self, point_args):
+        """aggregate_records over per-trial records is exactly run_point."""
+        mesh, power, workload = point_args
+        names = ("XY", "SG")
+        trials, seed = 7, 13
+        records = [
+            run_trial(mesh, power, workload, rng, names)
+            for rng in spawn_rngs(seed, trials)
+        ]
+        folded = aggregate_records(records, list(names) + [BEST_KEY], x=2.5)
+        direct = run_point(mesh, power, workload, trials, seed, names, x=2.5)
+        assert folded.x == direct.x
+        _assert_stats_identical(folded, direct)
+
+    def test_record_outcomes_include_best(self, point_args):
+        mesh, power, workload = point_args
+        rec = run_trial(
+            mesh, power, workload, spawn_rngs(1, 1)[0], ("XY", "SG")
+        )
+        assert set(rec.outcomes) == {"XY", "SG", BEST_KEY}
+        assert rec.best_valid == rec.outcomes[BEST_KEY].valid
+
+
+class TestSummaryJobs:
+    def test_summary_serial_parallel_identical(self):
+        from repro.experiments import summary_statistics
+
+        serial = summary_statistics(trials=6, seed=3, jobs=1)
+        parallel = summary_statistics(trials=6, seed=3, jobs=2)
+        assert serial.success_ratio == parallel.success_ratio
+        assert serial.inverse_vs_xy == parallel.inverse_vs_xy
+        assert serial.static_fraction == parallel.static_fraction
+
+
+class TestStochasticReseeding:
+    def test_trials_decorrelated_for_stochastic_heuristics(self, point_args):
+        """Each trial must hand GA/SA/TABU its own stream: with a fresh
+        default-seeded instance per trial, every trial would replay the
+        same randomness (run_trial reseeds from the trial rng instead)."""
+        from repro.heuristics.base import get_heuristic
+
+        ga1 = get_heuristic("GA")
+        ga2 = get_heuristic("GA")
+        # fresh instances share the default seed ...
+        assert ga1._rng.integers(2**63) == ga2._rng.integers(2**63)
+        # ... but reseeding from distinct trial streams decorrelates them
+        r1, r2 = spawn_rngs(9, 2)
+        ga1.reseed(r1)
+        ga2.reseed(r2)
+        assert ga1._rng.integers(2**63) != ga2._rng.integers(2**63)
+
+    def test_reseed_noop_for_deterministic_heuristics(self, point_args):
+        from repro.heuristics.base import get_heuristic
+
+        h = get_heuristic("SG")
+        h.reseed(np.random.default_rng(0))  # must not raise
+
+
+class TestPlumbing:
+    def test_spawn_rngs_range_matches_slice(self):
+        from repro.utils.rng import spawn_rngs_range
+
+        full = spawn_rngs(123, 20)
+        part = spawn_rngs_range(123, 5, 12)
+        for a, b in zip(full[5:12], part):
+            assert np.array_equal(
+                a.integers(2**63, size=4), b.integers(2**63, size=4)
+            )
+        with pytest.raises(ValueError):
+            spawn_rngs_range(123, 5, 2)
+
+    def test_chunk_bounds_cover_exactly(self):
+        for trials in (1, 2, 7, 25, 100):
+            for jobs in (1, 2, 3, 8):
+                bounds = _chunk_bounds(trials, jobs)
+                covered = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert covered == list(range(trials))
+
+    def test_runner_rejects_bad_jobs(self):
+        with pytest.raises(InvalidParameterError):
+            ParallelSweepRunner(jobs=0)
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert default_jobs() == 5
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(InvalidParameterError):
+            default_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(InvalidParameterError):
+            default_jobs()
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() >= 1
+
+    def test_workload_factories_picklable(self):
+        import pickle
+
+        from repro.experiments import (
+            FixedWeightFactory,
+            LengthTargetedFactory,
+        )
+
+        mesh = Mesh(8, 8)
+        rng = np.random.default_rng(0)
+        for factory in (
+            UniformRandomFactory(5, 100.0, 900.0),
+            FixedWeightFactory(4, 500.0),
+            LengthTargetedFactory(6, 4, 100.0, 900.0),
+        ):
+            clone = pickle.loads(pickle.dumps(factory))
+            assert clone == factory
+            comms = clone(mesh, rng)
+            assert len(comms) > 0
+
+    def test_cli_jobs_flag_accepted(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["figures", "fig7c", "--trials", "2", "--jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "norm_power_inverse" in out
