@@ -1,0 +1,85 @@
+"""Regenerate or verify the golden scenario regression corpus.
+
+Usage::
+
+    python benchmarks/record_golden.py            # rewrite tests/golden/
+    python benchmarks/record_golden.py --check    # verify, exit 1 on drift
+    python benchmarks/record_golden.py name ...   # restrict to scenarios
+
+Every registered scenario is run serially with its default (tiny) trial
+count and seed, and the per-heuristic aggregates are written to
+``tests/golden/<name>.json`` with **exact** float representations
+(``float.hex``) — the corpus pins behaviour bit for bit, not
+approximately.  ``tests/test_golden_corpus.py`` asserts the current code
+reproduces these snapshots; regenerate them only when a PR deliberately
+changes numerical behaviour, and say so in the PR description.
+
+``--check`` recomputes everything and diffs against the committed files
+without writing (the CI golden-corpus step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.scenarios import available_scenarios, run_scenario  # noqa: E402
+
+GOLDEN_DIR = REPO_ROOT / "tests" / "golden"
+
+
+def snapshot(name: str) -> dict:
+    """One scenario's golden document (serial run, default trials/seed)."""
+    return run_scenario(name).to_jsonable()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="scenario names (default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed corpus instead of rewriting it",
+    )
+    args = parser.parse_args(argv)
+    names = args.names or available_scenarios()
+
+    drift = []
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        doc = snapshot(name)
+        path = GOLDEN_DIR / f"{name}.json"
+        text = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+        if args.check:
+            if not path.exists():
+                drift.append(f"{name}: golden file {path} missing")
+            elif path.read_text() != text:
+                drift.append(f"{name}: output drifted from {path}")
+            else:
+                print(f"ok      {name}")
+        else:
+            path.write_text(text)
+            print(f"wrote   {path.relative_to(REPO_ROOT)}")
+    if drift:
+        for line in drift:
+            print(f"DRIFT   {line}", file=sys.stderr)
+        print(
+            "golden corpus drifted — if intentional, regenerate with "
+            "'python benchmarks/record_golden.py' and commit the diff",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

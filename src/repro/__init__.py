@@ -27,6 +27,10 @@ Package map
 ``repro.experiments``
     The Section 6 Monte-Carlo harness: one entry point per figure panel
     and the §6.4 summary statistics.
+``repro.scenarios``
+    The scenario engine: declarative fault/heterogeneity-aware platform
+    specs, the named-scenario registry and its runner (the golden
+    regression corpus under ``tests/golden/`` pins every scenario).
 ``repro.noc``
     Flit-level wormhole simulator and channel-dependency-graph deadlock
     analysis — the deployment assumptions the paper delegates to [5]/[3].

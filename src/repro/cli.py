@@ -2,14 +2,18 @@
 
 Commands
 --------
-``generate``  draw a workload (random / length-targeted / pattern) to CSV
-``route``     route a workload with one heuristic (or BEST/ALL) and report
-``figures``   regenerate paper figure panels (fig7a..fig9c, summary)
-``theory``    print the Theorem 1 / Lemma 2 separation tables
-``simulate``  run a saved routing on the flit-level NoC simulator
+``generate``   draw a workload (random / length-targeted / pattern) to CSV
+``route``      route a workload with one heuristic (or BEST/ALL) and report
+``figures``    regenerate paper figure panels (fig7a..fig9c, summary)
+``scenarios``  list or run registered scenarios (faulty / derated / ...)
+``theory``     print the Theorem 1 / Lemma 2 separation tables
+``simulate``   run a saved routing on the flit-level NoC simulator
 
 Every command is a thin shell over the library API; ``main(argv)`` returns
-a process exit code so the CLI is unit-testable.
+a process exit code so the CLI is unit-testable.  User errors (unknown
+scenario or panel names, out-of-domain ``--jobs`` values, malformed
+inputs) exit with code 2 and a one-line ``error:`` message — never a
+traceback.
 """
 
 from __future__ import annotations
@@ -151,9 +155,20 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if best_result.valid else 1
 
 
+def _check_jobs(jobs: int) -> None:
+    if jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {jobs}")
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures, sweep_to_text
 
+    _check_jobs(args.jobs)
+    if args.panel != "summary" and args.panel not in figures.PANELS:
+        raise ReproError(
+            f"unknown panel {args.panel!r}; choose from "
+            f"{', '.join(figures.PANELS)} or 'summary'"
+        )
     # pass trials explicitly rather than through REPRO_TRIALS — mutating
     # os.environ would leak into everything else running in this process
     kw = {}
@@ -170,10 +185,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             print(f"success {name:>5s}: {ratio:.2f}")
         print(f"static fraction: {s.static_fraction:.3f}")
         return 0
-    fn = getattr(figures, args.panel, None)
-    if fn is None:
-        raise ReproError(f"unknown panel {args.panel!r}")
-    sweep = fn(jobs=args.jobs, **kw)
+    sweep = getattr(figures, args.panel)(jobs=args.jobs, **kw)
     print(sweep_to_text(sweep))
     if args.svg_dir:
         import pathlib
@@ -186,6 +198,32 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             path = out_dir / f"{args.panel}_{metric}.svg"
             save_svg(path, sweep_to_svg(sweep, metric))
             print(f"chart saved to {path}")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import available_scenarios, get_scenario, run_scenario
+
+    if args.action == "list":
+        for name in available_scenarios():
+            sc = get_scenario(name)
+            print(f"{name:>16}  [{sc.mesh.describe()}]  {sc.description}")
+        return 0
+    # run
+    _check_jobs(args.jobs)
+    if args.trials is not None and args.trials < 1:
+        raise ReproError(f"--trials must be >= 1, got {args.trials}")
+    result = run_scenario(
+        args.name, jobs=args.jobs, trials=args.trials, seed=args.seed
+    )
+    print(result.to_text())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result.to_jsonable(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"snapshot saved to {args.json}")
     return 0
 
 
@@ -393,6 +431,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.set_defaults(func=_cmd_route)
 
+    sc = sub.add_parser(
+        "scenarios", help="list or run registered scenarios"
+    )
+    sc_sub = sc.add_subparsers(dest="action", required=True)
+    sc_list = sc_sub.add_parser("list", help="show every registered scenario")
+    sc_list.set_defaults(func=_cmd_scenarios)
+    sc_run = sc_sub.add_parser("run", help="run one scenario and report")
+    sc_run.add_argument("name", help="registry name (see 'scenarios list')")
+    sc_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Monte-Carlo trials (default: serial)",
+    )
+    sc_run.add_argument(
+        "--trials", type=int, default=None,
+        help="override the scenario's default trial count",
+    )
+    sc_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the scenario's default seed",
+    )
+    sc_run.add_argument(
+        "--json", default=None,
+        help="also save the exact (hex-float) snapshot to this path",
+    )
+    sc_run.set_defaults(func=_cmd_scenarios)
+
     f = sub.add_parser("figures", help="regenerate paper figures")
     f.add_argument("panel", help="fig7a..fig9c or 'summary'")
     f.add_argument("--trials", type=int, default=None)
@@ -470,6 +536,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         return args.func(args)
     except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # unwritable --out/--json/--svg paths, unreadable inputs, ...
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -8,6 +8,7 @@ validity, total/static/dynamic power, link activity and load extremes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -47,17 +48,39 @@ class RoutingReport:
         return self.static_power / total if total > 0 else 0.0
 
 
-def loads_report(power: PowerModel, loads: np.ndarray) -> RoutingReport:
-    """Build a :class:`RoutingReport` straight from a load vector."""
+def loads_report(
+    power: PowerModel,
+    loads: np.ndarray,
+    *,
+    scale: Optional[np.ndarray] = None,
+    dead: Optional[np.ndarray] = None,
+) -> RoutingReport:
+    """Build a :class:`RoutingReport` straight from a load vector.
+
+    ``scale`` / ``dead`` are the mesh's per-link power-scale and fault
+    vectors (see :mod:`repro.mesh.topology`): a loaded dead link makes the
+    routing invalid and counts as overloaded; the power breakdown applies
+    the per-link scaling.  Both default to ``None`` (the pristine mesh),
+    reproducing the homogeneous report bit for bit.
+    """
     loads = np.asarray(loads, dtype=np.float64)
-    valid = power.is_feasible_load(loads)
+    valid = power.is_feasible_load(loads, dead=dead)
     active = loads > 0
     overload = int(np.count_nonzero(loads > power.bandwidth * (1 + 1e-9)))
+    if dead is not None:
+        overload += int(np.count_nonzero(dead & active & (loads <= power.bandwidth * (1 + 1e-9))))
     capped = np.minimum(loads, power.bandwidth)
     n_active = int(np.count_nonzero(active))
-    static = float(n_active * power.p_leak)
-    dynamic = power.dynamic_power(capped)
-    total = power.total_power(loads) if valid else float("inf")
+    if scale is None:
+        static = float(n_active * power.p_leak)
+    else:
+        static = power.static_power(loads, scale=scale)
+    dynamic = power.dynamic_power(capped, scale=scale)
+    total = (
+        power.total_power(loads, scale=scale, dead=dead)
+        if valid
+        else float("inf")
+    )
     return RoutingReport(
         valid=valid,
         total_power=total,
@@ -71,5 +94,11 @@ def loads_report(power: PowerModel, loads: np.ndarray) -> RoutingReport:
 
 
 def evaluate_routing(routing: Routing) -> RoutingReport:
-    """Evaluate a routing under its problem's power model."""
-    return loads_report(routing.problem.power, routing.link_loads())
+    """Evaluate a routing under its problem's power model and mesh profile."""
+    mesh = routing.problem.mesh
+    return loads_report(
+        routing.problem.power,
+        routing.link_loads(),
+        scale=mesh.link_scale,
+        dead=mesh.dead_mask,
+    )

@@ -21,6 +21,21 @@ For heuristic-internal comparisons the model also exposes a *graded
 overload penalty* (:meth:`PowerModel.link_power_graded`): an overloaded link
 costs more than any feasible chip-wide configuration, and costs strictly
 more the larger its excess, so greedy descent repairs validity first.
+
+Scenario support — every power function accepts two optional per-link
+coefficient arrays (aligned with the trailing axis of ``loads``):
+
+* ``scale`` multiplies the link's power (leakage and dynamic term alike);
+  it models heterogeneous / derated fabric regions.  With discrete
+  frequencies the cached graded tables are still used — the per-level
+  lookup is simply multiplied by the per-link coefficients.
+* ``dead`` marks faulty links: any positive load on a dead link makes the
+  strict power infinite (the routing is invalid) and draws a graded
+  penalty at least as large as a fully overloaded link, decreasing as the
+  stray load shrinks — so descent heuristics evacuate dead links first.
+
+Both default to ``None``, in which case the computation is bit-identical
+to the homogeneous model.
 """
 
 from __future__ import annotations
@@ -172,30 +187,59 @@ class PowerModel:
         out = np.where(loads > self.bandwidth * (1 + 1e-12), np.inf, out)
         return out
 
-    def link_power(self, loads: ArrayLike) -> np.ndarray:
-        """Power of each link given its load (``inf`` when overloaded)."""
+    def link_power(
+        self,
+        loads: ArrayLike,
+        *,
+        scale: Optional[np.ndarray] = None,
+        dead: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Power of each link given its load (``inf`` when overloaded).
+
+        ``scale`` multiplies each active link's power; any positive load on
+        a ``dead`` link yields ``inf`` (the routing is invalid).
+        """
         freqs = self.quantize(loads)
         active = freqs > 0
         with np.errstate(over="ignore", invalid="ignore"):
             dyn = self.p0 * np.power(freqs / self.freq_unit, self.alpha)
-        return np.where(active, self.p_leak + dyn, 0.0)
+        out = np.where(active, self.p_leak + dyn, 0.0)
+        if scale is not None:
+            out = out * scale
+        if dead is not None:
+            out = np.where(dead & active, np.inf, out)
+        return out
 
-    def total_power(self, loads: ArrayLike) -> float:
+    def total_power(
+        self,
+        loads: ArrayLike,
+        *,
+        scale: Optional[np.ndarray] = None,
+        dead: Optional[np.ndarray] = None,
+    ) -> float:
         """Chip-wide power: sum of link powers (``inf`` if any overload)."""
-        return float(np.sum(self.link_power(loads)))
+        return float(np.sum(self.link_power(loads, scale=scale, dead=dead)))
 
-    def dynamic_power(self, loads: ArrayLike) -> float:
+    def dynamic_power(
+        self, loads: ArrayLike, *, scale: Optional[np.ndarray] = None
+    ) -> float:
         """Sum of the dynamic terms only."""
         freqs = self.quantize(loads)
         active = freqs > 0
         with np.errstate(over="ignore", invalid="ignore"):
             dyn = self.p0 * np.power(freqs / self.freq_unit, self.alpha)
+        if scale is not None:
+            dyn = dyn * scale
         return float(np.sum(np.where(active, dyn, 0.0)))
 
-    def static_power(self, loads: ArrayLike) -> float:
+    def static_power(
+        self, loads: ArrayLike, *, scale: Optional[np.ndarray] = None
+    ) -> float:
         """Sum of the leakage terms (``p_leak`` per active link)."""
         loads = np.asarray(loads, dtype=np.float64)
-        return float(np.count_nonzero(loads > 0) * self.p_leak)
+        if scale is None:
+            return float(np.count_nonzero(loads > 0) * self.p_leak)
+        return float(np.sum(np.where(loads > 0, self.p_leak * scale, 0.0)))
 
     @property
     def max_link_power(self) -> float:
@@ -221,7 +265,13 @@ class PowerModel:
             level_powers = None
         return (freqs, level_powers, self.max_link_power)
 
-    def link_power_graded(self, loads: ArrayLike) -> np.ndarray:
+    def link_power_graded(
+        self,
+        loads: ArrayLike,
+        *,
+        scale: Optional[np.ndarray] = None,
+        dead: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Like :meth:`link_power` but with a finite, graded overload cost.
 
         Overloaded links cost ``max_link_power * OVERLOAD * (1 + excess /
@@ -230,6 +280,12 @@ class PowerModel:
         the cost — heuristics comparing two invalid alternatives therefore
         prefer the less overloaded one (and any valid alternative over any
         invalid one).
+
+        ``scale`` multiplies the regular (in-bandwidth) link power per
+        link; the overload penalty itself is *not* scaled, so validity
+        repair compares uniformly across regions.  A loaded ``dead`` link
+        draws the penalty of a zero-bandwidth link — at least as costly as
+        any overload, still strictly decreasing as the stray load shrinks.
 
         This is the heuristics' inner-loop primitive, so it is implemented
         directly on cached per-level tables rather than through
@@ -246,25 +302,54 @@ class PowerModel:
             base = level_powers[idx]
         else:
             base = self.p_leak + self.p0 * (capped / self.freq_unit) ** self.alpha
+        if scale is not None:
+            base = base * scale
         base = np.where(loads > 0, base, 0.0)
         over = loads > bw * (1 + 1e-12)
+        loaded_dead = None
+        if dead is not None:
+            loaded_dead = dead & (loads > 0)
+            if not loaded_dead.any():
+                loaded_dead = None
+            else:
+                over = over | loaded_dead
         if not over.any():
             return base
-        penalty = max_power * OVERLOAD * (1.0 + (loads - bw) / bw)
+        if loaded_dead is None:
+            penalty = max_power * OVERLOAD * (1.0 + (loads - bw) / bw)
+        else:
+            # a dead link behaves like bandwidth 0: its whole load is excess
+            excess = np.where(loaded_dead, loads, loads - bw)
+            penalty = max_power * OVERLOAD * (1.0 + excess / bw)
         return np.where(over, penalty, base)
 
-    def total_power_graded(self, loads: ArrayLike) -> float:
+    def total_power_graded(
+        self,
+        loads: ArrayLike,
+        *,
+        scale: Optional[np.ndarray] = None,
+        dead: Optional[np.ndarray] = None,
+    ) -> float:
         """Sum of :meth:`link_power_graded` over all links."""
-        return float(np.sum(self.link_power_graded(loads)))
+        return float(
+            np.sum(self.link_power_graded(loads, scale=scale, dead=dead))
+        )
 
-    def total_power_graded_many(self, loads_matrix: ArrayLike) -> np.ndarray:
+    def total_power_graded_many(
+        self,
+        loads_matrix: ArrayLike,
+        *,
+        scale: Optional[np.ndarray] = None,
+        dead: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Row-wise :meth:`total_power_graded` of a batch of load vectors.
 
         ``loads_matrix`` is ``(B, num_links)`` — one complete chip load
         vector per row (a GA population, a neighbourhood of candidate
         routings, a sweep batch).  All rows are graded in one NumPy pass;
         the result is the length-``B`` vector of graded totals, row ``b``
-        equal to ``total_power_graded(loads_matrix[b])``.
+        equal to ``total_power_graded(loads_matrix[b])``.  Per-link
+        ``scale`` / ``dead`` vectors broadcast over the batch axis.
         """
         loads_matrix = np.asarray(loads_matrix, dtype=np.float64)
         if loads_matrix.ndim != 2:
@@ -272,11 +357,25 @@ class PowerModel:
                 f"loads_matrix must be 2-D (batch, links), got shape "
                 f"{loads_matrix.shape}"
             )
-        return self.link_power_graded(loads_matrix).sum(axis=1)
+        return self.link_power_graded(
+            loads_matrix, scale=scale, dead=dead
+        ).sum(axis=1)
 
-    def is_feasible_load(self, loads: ArrayLike, *, rtol: float = 1e-9) -> bool:
-        """True when no load exceeds the bandwidth (within tolerance)."""
+    def is_feasible_load(
+        self,
+        loads: ArrayLike,
+        *,
+        rtol: float = 1e-9,
+        dead: Optional[np.ndarray] = None,
+    ) -> bool:
+        """True when no load exceeds the bandwidth (within tolerance).
+
+        With a ``dead`` mask, any positive load on a dead link is also
+        infeasible.
+        """
         loads = np.asarray(loads, dtype=np.float64)
+        if dead is not None and np.any(loads[dead] > 0):
+            return False
         return bool(np.all(loads <= self.bandwidth * (1 + rtol)))
 
     def with_frequencies(

@@ -179,12 +179,21 @@ class Routing:
         return self._loads
 
     def is_valid(self) -> bool:
-        """Paper validity: no link above the model's bandwidth."""
-        return self.problem.power.is_feasible_load(self.link_loads())
+        """Paper validity: no link above the model's bandwidth.
+
+        On faulty meshes a routing is additionally invalid when any dead
+        link carries traffic.
+        """
+        return self.problem.power.is_feasible_load(
+            self.link_loads(), dead=self.problem.mesh.dead_mask
+        )
 
     def total_power(self) -> float:
         """Objective value; ``inf`` when the routing is invalid."""
-        return self.problem.power.total_power(self.link_loads())
+        mesh = self.problem.mesh
+        return self.problem.power.total_power(
+            self.link_loads(), scale=mesh.link_scale, dead=mesh.dead_mask
+        )
 
     def comms_through(self, lid: int) -> List[int]:
         """Indices of communications with at least one flow using ``lid``."""

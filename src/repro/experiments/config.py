@@ -95,6 +95,26 @@ class LengthTargetedFactory:
         )
 
 
+@dataclass(frozen=True)
+class HotspotFactory:
+    """Congested hotspot traffic: a fraction of cores send to one core.
+
+    Wraps :func:`repro.workloads.patterns.hotspot_pattern` (mesh-centre
+    hotspot) in a picklable factory for the parallel sweep engine and the
+    scenario registry.
+    """
+
+    rate: float
+    fraction: float = 1.0
+
+    def __call__(
+        self, mesh: Mesh, rng: np.random.Generator
+    ) -> List[Communication]:
+        from repro.workloads.patterns import hotspot_pattern
+
+        return hotspot_pattern(mesh, self.rate, fraction=self.fraction, rng=rng)
+
+
 def default_trials() -> int:
     """Trials per sweep point; override with ``REPRO_TRIALS``."""
     raw = os.environ.get("REPRO_TRIALS", "")

@@ -78,6 +78,13 @@ def fig9c(*, jobs: int = 1, **kw) -> SweepResult:
     return run_sweep(fig9_config("c", **kw), jobs=jobs)
 
 
+#: every figure panel entry point above, by name — the single list the CLI
+#: validates against, so adding a panel here is all it takes
+PANELS = tuple(
+    f"fig{n}{p}" for n in (7, 8, 9) for p in ("a", "b", "c")
+)
+
+
 # ----------------------------------------------------------------------
 # Section 6.4 summary
 # ----------------------------------------------------------------------

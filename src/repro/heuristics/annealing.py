@@ -133,7 +133,9 @@ class SimulatedAnnealing(Heuristic):
             ci = movable[int(rng.integers(n_mov))]
             if rng.random() < self.resample_prob:
                 dag = state.problem.dag(ci)
-                new_mv = dag.random_moves(rng)
+                # on faulty meshes propose live paths only (no-op — and the
+                # identical RNG draw — on pristine meshes)
+                new_mv = dag.random_moves(rng, alive_only=True)
                 if new_mv == "".join(state.moves[ci]):
                     temp *= cooling
                     continue

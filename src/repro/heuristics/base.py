@@ -135,12 +135,20 @@ def available_heuristics() -> List[str]:
 # shared load-vector helpers
 # ----------------------------------------------------------------------
 def graded_power_delta(
-    power: PowerModel, loads: np.ndarray, deltas: Mapping[int, float]
+    power: PowerModel,
+    loads: np.ndarray,
+    deltas: Mapping[int, float],
+    *,
+    scale: np.ndarray | None = None,
+    dead: np.ndarray | None = None,
 ) -> float:
     """Graded-power change if each link ``lid`` gained ``deltas[lid]`` load.
 
     Only the affected links are evaluated, so this is O(|deltas|) — the
-    delta-evaluation primitive of TB and XYI.
+    delta-evaluation primitive of TB and XYI.  ``scale`` / ``dead`` are the
+    mesh's full-length per-link profile vectors (see
+    :mod:`repro.mesh.topology`); the affected links' coefficients are
+    gathered here, so callers pass the vectors straight through.
     """
     if not deltas:
         return 0.0
@@ -151,8 +159,12 @@ def graded_power_delta(
     if new.min() < -1e-9:
         raise InvalidParameterError("load delta would drive a link negative")
     new = np.maximum(new, 0.0)
+    sc = None if scale is None else np.tile(scale[lids], 2)
+    dd = None if dead is None else np.tile(dead[lids], 2)
     # one fused evaluation over [old | new] halves the numpy call overhead
-    both = power.link_power_graded(np.concatenate([old, new]))
+    both = power.link_power_graded(
+        np.concatenate([old, new]), scale=sc, dead=dd
+    )
     k = old.size
     return float(both[k:].sum() - both[:k].sum())
 

@@ -145,7 +145,8 @@ class GeneticRouting(Heuristic):
             pop.append(tuple(initial_moves(problem, name)))
         while len(pop) < self.population:
             genome = tuple(
-                problem.dag(i).random_moves(rng) for i in range(problem.num_comms)
+                problem.dag(i).random_moves(rng, alive_only=True)
+                for i in range(problem.num_comms)
             )
             pop.append(genome)
         return pop
@@ -168,12 +169,13 @@ class GeneticRouting(Heuristic):
 
         The flat kernel turns the whole population into a ``P × total_hops``
         link matrix, the loads into a ``P × num_links`` matrix, and
-        :meth:`~repro.core.power.PowerModel.total_power_graded_many` grades
-        all rows at once — the population evaluation that used to dominate
-        the GA's runtime is now a handful of vector operations.
+        :meth:`~repro.mesh.kernel.FlatRoutingKernel.graded_powers` grades
+        all rows at once (threading the mesh's fault mask and power-scale
+        vectors on profiled meshes) — the population evaluation that used
+        to dominate the GA's runtime is a handful of vector operations.
         """
         vmask = kernel.population_vmask(pop)
-        return problem.power.total_power_graded_many(kernel.loads(vmask))
+        return kernel.graded_powers(problem.power, vmask)
 
     def _tournament_pick(self, fitness: np.ndarray, rng: np.random.Generator) -> int:
         contenders = rng.integers(len(fitness), size=self.tournament)
@@ -196,7 +198,7 @@ class GeneticRouting(Heuristic):
             if comm.delta_u == 0 or comm.delta_v == 0:
                 continue  # unique Manhattan path; nothing to mutate
             if rng.random() < 0.5:
-                out[i] = problem.dag(i).random_moves(rng)
+                out[i] = problem.dag(i).random_moves(rng, alive_only=True)
             else:
                 mv = list(out[i])
                 pos = flip_positions(mv)

@@ -55,6 +55,7 @@ class SimpleGreedy(Heuristic):
         # indexing beats ndarray scalar indexing in the hop loop
         loads = [0.0] * mesh.num_links
         q = mesh.q
+        alive = mesh.link_mask  # None on pristine meshes
         paths: List[Path | None] = [None] * problem.num_comms
         for i in problem.order_by(self.ordering):
             comm = problem.comms[i]
@@ -66,6 +67,18 @@ class SimpleGreedy(Heuristic):
             rate = comm.rate
             (u, v), snk = comm.src, comm.snk
             snk_u, snk_v = snk
+            # fault-awareness: when the mesh has dead links and this
+            # communication still has a live Manhattan path, constrain the
+            # walk to hops whose link is alive and whose head can still
+            # reach the sink over alive links (so the greedy walk never
+            # dead-ends).  Blocked communications fall back to the
+            # unconstrained walk and are reported invalid by evaluation.
+            bwd = None
+            if alive is not None:
+                dag = problem.dag(i)
+                if dag.has_live_path():
+                    bwd = dag.live_reachability()[1]
+            x = y = 0  # progress coordinates (only consulted when bwd set)
             moves: List[str] = []
             lids: List[int] = []
             while u != snk_u or v != snk_v:
@@ -76,27 +89,41 @@ class SimpleGreedy(Heuristic):
                 else:
                     lv = vbase + u * q + v
                     lh = hbase + u * (q - 1) + v
-                    load_v, load_h = loads[lv], loads[lh]
-                    if load_v < load_h:
-                        move, lid = MOVE_V, lv
-                    elif load_h < load_v:
-                        move, lid = MOVE_H, lh
+                    forced = None
+                    if bwd is not None:
+                        viab_v = alive[lv] and bwd[x + 1, y]
+                        viab_h = alive[lh] and bwd[x, y + 1]
+                        if viab_v != viab_h:
+                            forced = (
+                                (MOVE_V, lv) if viab_v else (MOVE_H, lh)
+                            )
+                    if forced is not None:
+                        move, lid = forced
                     else:
-                        # tie: head core closest to the src->snk diagonal;
-                        # a residual tie prefers the horizontal link (XY-like)
-                        dv_off = diagonal_offset(comm.src, snk, (u + su, v))
-                        dh_off = diagonal_offset(comm.src, snk, (u, v + sv))
-                        if dv_off < dh_off:
+                        load_v, load_h = loads[lv], loads[lh]
+                        if load_v < load_h:
                             move, lid = MOVE_V, lv
-                        else:
+                        elif load_h < load_v:
                             move, lid = MOVE_H, lh
+                        else:
+                            # tie: head core closest to the src->snk
+                            # diagonal; a residual tie prefers the
+                            # horizontal link (XY-like)
+                            dv_off = diagonal_offset(comm.src, snk, (u + su, v))
+                            dh_off = diagonal_offset(comm.src, snk, (u, v + sv))
+                            if dv_off < dh_off:
+                                move, lid = MOVE_V, lv
+                            else:
+                                move, lid = MOVE_H, lh
                 loads[lid] += rate
                 moves.append(move)
                 lids.append(lid)
                 if move == MOVE_V:
                     u += su
+                    x += 1
                 else:
                     v += sv
+                    y += 1
             paths[i] = Path.from_validated(
                 mesh, comm.src, snk, "".join(moves),
                 np.asarray(lids, dtype=np.int64),

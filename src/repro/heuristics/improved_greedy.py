@@ -49,6 +49,44 @@ class _BandIndex:
         mask = (self.xs[t] >= x0) & (self.ys[t] >= y0)
         return float(loads[self.lids[t][mask]].min())
 
+    def min_power_after(
+        self,
+        loads: np.ndarray,
+        t: int,
+        x0: int,
+        y0: int,
+        rate: float,
+        power,
+        scale: np.ndarray | None,
+        alive: np.ndarray | None,
+        dead: np.ndarray | None,
+    ) -> float:
+        """Scenario-aware band bound: least (scaled) graded power among the
+        reachable band-``t`` links if the communication were added to one.
+
+        Dead links are excluded when any live reachable link remains; when
+        none does (a blocked communication) the surviving dead links are
+        graded with the ``dead`` coefficients, so they draw the
+        zero-bandwidth penalty instead of looking cheap.  The profile is
+        passed through ``link_power_graded``'s keywords, matching the
+        objective exactly (in particular the overload penalty stays
+        unscaled).  On a pristine homogeneous mesh this equals
+        ``link_power_graded(min_load_after(...) + rate)`` (the graded power
+        is monotone in load), so the cheaper scalar path is used there.
+        """
+        mask = (self.xs[t] >= x0) & (self.ys[t] >= y0)
+        if alive is not None:
+            live = mask & alive[self.lids[t]]
+            if live.any():
+                mask = live
+        lids = self.lids[t][mask]
+        vals = power.link_power_graded(
+            loads[lids] + rate,
+            scale=None if scale is None else scale[lids],
+            dead=None if dead is None else dead[lids],
+        )
+        return float(vals.min())
+
 
 @register_heuristic("IG")
 class ImprovedGreedy(Heuristic):
@@ -61,14 +99,25 @@ class ImprovedGreedy(Heuristic):
         mesh = problem.mesh
         power = problem.power
         n = problem.num_comms
+        alive = mesh.link_mask  # None on pristine meshes
+        scale = mesh.link_scale
+        dead = mesh.dead_mask
+        profiled = alive is not None or scale is not None
         loads = np.zeros(mesh.num_links, dtype=np.float64)
 
-        # virtual pre-routing: δ_i / |band| on every band link (Figure 3)
+        # virtual pre-routing: δ_i / |band| on every band link (Figure 3);
+        # on faulty meshes the spread covers the *live* band links only
+        # (every band of a connected communication keeps at least one),
+        # falling back to the full bands for blocked communications
         pre_bands: List[List[np.ndarray]] = []
         pre_shares: List[List[float]] = []
         for i in range(n):
             dag = problem.dag(i)
-            bands = [np.asarray(b, dtype=np.int64) for b in dag.bands()]
+            if alive is not None and dag.has_live_path():
+                lids_l = dag.band_arrays()[0]
+                bands = [b[alive[b]] for b in lids_l]
+            else:
+                bands = [np.asarray(b, dtype=np.int64) for b in dag.bands()]
             share = [problem.comms[i].rate / len(b) for b in bands]
             for b, s in zip(bands, share):
                 loads[b] += s
@@ -92,6 +141,9 @@ class ImprovedGreedy(Heuristic):
                 loads[b] = np.maximum(loads[b] - s, 0.0)
             rate = comm.rate
             du, dv = dag.du, dag.dv
+            bwd = None
+            if alive is not None and dag.has_live_path():
+                bwd = dag.live_reachability()[1]
             x = y = 0
             moves: List[str] = []
             while (x, y) != (du, dv):
@@ -100,15 +152,41 @@ class ImprovedGreedy(Heuristic):
                     cands.append((MOVE_V, dag.edge(x, y, MOVE_V), x + 1, y))
                 if y < dv:
                     cands.append((MOVE_H, dag.edge(x, y, MOVE_H), x, y + 1))
+                if bwd is not None and len(cands) > 1:
+                    viable = [
+                        c for c in cands if alive[c[1]] and bwd[c[2], c[3]]
+                    ]
+                    if viable:
+                        cands = viable
                 if len(cands) == 1:
                     move, lid, x2, y2 = cands[0]
                 else:
                     scored = []
                     for move, lid, x2, y2 in cands:
-                        bound = link_power_after(loads[lid], rate)
-                        for t in range(x2 + y2, du + dv):
-                            m = index.min_load_after(loads, t, x2, y2)
-                            bound += link_power_after(m, rate)
+                        if profiled:
+                            # grade through the profile keywords so the
+                            # bound matches the objective (scale applies to
+                            # the base power only, never the overload
+                            # penalty; a dead candidate of a blocked comm
+                            # draws the zero-bandwidth penalty)
+                            scratch[0] = loads[lid] + rate
+                            bound = float(
+                                power.link_power_graded(
+                                    scratch,
+                                    scale=None if scale is None else scale[lid],
+                                    dead=None if dead is None else dead[lid],
+                                )[0]
+                            )
+                            for t in range(x2 + y2, du + dv):
+                                bound += index.min_power_after(
+                                    loads, t, x2, y2, rate, power,
+                                    scale, alive, dead,
+                                )
+                        else:
+                            bound = link_power_after(loads[lid], rate)
+                            for t in range(x2 + y2, du + dv):
+                                m = index.min_load_after(loads, t, x2, y2)
+                                bound += link_power_after(m, rate)
                         scored.append((bound, move, lid, x2, y2))
                     b_v, b_h = scored[0][0], scored[1][0]
                     if b_v < b_h:

@@ -61,7 +61,17 @@ class RoutingState:
         graded overload penalty otherwise), maintained incrementally.
     """
 
-    __slots__ = ("problem", "mesh", "power", "moves", "links", "loads", "cost")
+    __slots__ = (
+        "problem",
+        "mesh",
+        "power",
+        "scale",
+        "dead",
+        "moves",
+        "links",
+        "loads",
+        "cost",
+    )
 
     def __init__(self, problem: RoutingProblem, moves_list: Sequence[str]):
         if len(moves_list) != problem.num_comms:
@@ -71,6 +81,11 @@ class RoutingState:
         self.problem = problem
         self.mesh = problem.mesh
         self.power = problem.power
+        # mesh link profile (None / None on pristine meshes): dead links are
+        # graded like zero-bandwidth overloads, so the metaheuristics
+        # driving this state evacuate them before optimising true power
+        self.scale = self.mesh.link_scale
+        self.dead = self.mesh.dead_mask
         self.moves: List[List[str]] = []
         self.links: List[List[int]] = []
         self.loads = np.zeros(self.mesh.num_links, dtype=np.float64)
@@ -85,7 +100,9 @@ class RoutingState:
             self.links.append(lids)
             for lid in lids:
                 self.loads[lid] += comm.rate
-        self.cost = self.power.total_power_graded(self.loads)
+        self.cost = self.power.total_power_graded(
+            self.loads, scale=self.scale, dead=self.dead
+        )
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -140,7 +157,9 @@ class RoutingState:
         (o1, o2), (n1, n2) = self.flip_links(ci, j)
         rate = self.problem.comms[ci].rate
         deltas = path_swap_deltas((o1, o2), (n1, n2), rate)
-        return deltas, graded_power_delta(self.power, self.loads, deltas)
+        return deltas, graded_power_delta(
+            self.power, self.loads, deltas, scale=self.scale, dead=self.dead
+        )
 
     def apply_flip(self, ci: int, j: int, deltas: Dict[int, float], dcost: float) -> None:
         """Commit a corner flip whose delta was already evaluated."""
@@ -169,7 +188,13 @@ class RoutingState:
             self.mesh, comm.src, su, sv, moves_to_vmask(new_moves)
         ).tolist()
         deltas = path_swap_deltas(self.links[ci], new_links, comm.rate)
-        return new_links, deltas, graded_power_delta(self.power, self.loads, deltas)
+        return (
+            new_links,
+            deltas,
+            graded_power_delta(
+                self.power, self.loads, deltas, scale=self.scale, dead=self.dead
+            ),
+        )
 
     def apply_resample(
         self,
@@ -201,7 +226,9 @@ class RoutingState:
 
     def recompute_cost(self) -> float:
         """From-scratch graded cost (drift check; also resyncs ``cost``)."""
-        self.cost = self.power.total_power_graded(self.loads)
+        self.cost = self.power.total_power_graded(
+            self.loads, scale=self.scale, dead=self.dead
+        )
         return self.cost
 
     def paths(self) -> List[Path]:

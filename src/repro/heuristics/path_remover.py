@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
-from repro.mesh.paths import CommDag, Path
+from repro.mesh.paths import CommDag, Path, band_reachability
 
 
 class _CommState:
@@ -52,7 +52,13 @@ class _CommState:
         "excess",
     )
 
-    def __init__(self, dag: CommDag, rate: float, loads: np.ndarray):
+    def __init__(
+        self,
+        dag: CommDag,
+        rate: float,
+        loads: np.ndarray,
+        alive: np.ndarray | None = None,
+    ):
         self.dag = dag
         self.rate = rate
         # band geometry (link ids, tail coordinates, edge kinds, positions)
@@ -64,12 +70,27 @@ class _CommState:
         self.tails_y: List[np.ndarray] = list(ys_l)
         self.kinds: List[np.ndarray] = list(kv_l)  # True where vertical
         self.pos: Dict[int, Tuple[int, int]] = dag.band_pos()
-        self.allowed: List[np.ndarray] = []
+        # on a faulty mesh, a communication with a surviving live path
+        # spreads over its live links only (cleaned so every remaining
+        # link is on some fully-live path); blocked communications fall
+        # back to the full spread and end up reported invalid
+        use_alive = alive is not None and dag.has_live_path()
+        self.allowed = [
+            (alive[lids].copy() if use_alive else np.ones(len(lids), dtype=bool))
+            for lids in self.bands
+        ]
         self.counts: List[int] = []
-        for lids in self.bands:
-            self.allowed.append(np.ones(len(lids), dtype=bool))
-            self.counts.append(len(lids))
-            loads[lids] += rate / len(lids)
+        if use_alive:
+            self._clean()
+        for t, lids in enumerate(self.bands):
+            if use_alive:
+                a = self.allowed[t]
+                cnt = int(a.sum())
+                loads[lids[a]] += rate / cnt
+            else:
+                cnt = len(lids)
+                loads[lids] += rate / cnt
+            self.counts.append(cnt)
         self.excess = sum(self.counts) - len(self.counts)
 
     @property
@@ -125,26 +146,11 @@ class _CommState:
     def _clean(self) -> None:
         """Drop every allowed edge not on a surviving src→snk path."""
         du, dv = self.dag.du, self.dag.dv
-        fwd = np.zeros((du + 1, dv + 1), dtype=bool)
-        fwd[0, 0] = True
-        for t in range(len(self.bands)):
-            a = self.allowed[t]
-            xs, ys, kv = self.tails_x[t], self.tails_y[t], self.kinds[t]
-            ok = a & fwd[xs, ys]
-            hx = np.where(kv, xs + 1, xs)
-            hy = np.where(kv, ys, ys + 1)
-            fwd[hx[ok], hy[ok]] = True
+        fwd, bwd = band_reachability(
+            du, dv, self.tails_x, self.tails_y, self.kinds, self.allowed
+        )
         if not fwd[du, dv]:
             raise AssertionError("cleaning disconnected src from snk")
-        bwd = np.zeros((du + 1, dv + 1), dtype=bool)
-        bwd[du, dv] = True
-        for t in range(len(self.bands) - 1, -1, -1):
-            a = self.allowed[t]
-            xs, ys, kv = self.tails_x[t], self.tails_y[t], self.kinds[t]
-            hx = np.where(kv, xs + 1, xs)
-            hy = np.where(kv, ys, ys + 1)
-            ok = a & bwd[hx, hy]
-            bwd[xs[ok], ys[ok]] = True
         for t in range(len(self.bands)):
             a = self.allowed[t]
             xs, ys, kv = self.tails_x[t], self.tails_y[t], self.kinds[t]
@@ -170,10 +176,13 @@ class PathRemover(Heuristic):
 
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh
+        alive = mesh.link_mask
+        scale = mesh.link_scale
+        dead = mesh.dead_mask
         n = problem.num_comms
         loads = np.zeros(mesh.num_links, dtype=np.float64)
         states = [
-            _CommState(problem.dag(i), problem.comms[i].rate, loads)
+            _CommState(problem.dag(i), problem.comms[i].rate, loads, alive)
             for i in range(n)
         ]
         comms_on: List[Set[int]] = [set() for _ in range(mesh.num_links)]
@@ -184,7 +193,18 @@ class PathRemover(Heuristic):
         unfinished = {i for i in range(n) if not states[i].finished}
 
         while unfinished:
-            masked = np.where(frozen, -1.0, loads)
+            if scale is None and dead is None:
+                weighted = loads
+            else:
+                # relieve the most *power-costly* link first: scale-weight
+                # heterogeneous regions, and evacuate any removable spread
+                # from dead links before everything else
+                weighted = loads if scale is None else loads * scale
+                if dead is not None:
+                    weighted = weighted + np.where(
+                        dead & (loads > 0), np.inf, 0.0
+                    )
+            masked = np.where(frozen, -1.0, weighted)
             lid = int(np.argmax(masked))
             if masked[lid] <= 0:
                 # No loaded, unfrozen link left: every unfinished comm should

@@ -53,6 +53,8 @@ class TwoBend(Heuristic):
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh
         power = problem.power
+        scale = mesh.link_scale
+        dead = mesh.dead_mask
         loads = np.zeros(mesh.num_links, dtype=np.float64)
         paths: List[Path | None] = [None] * problem.num_comms
         for i in problem.order_by(self.ordering):
@@ -62,7 +64,19 @@ class TwoBend(Heuristic):
             su, sv = direction_steps(comm.direction)
             lid_matrix = links_from_vmask(mesh, comm.src, su, sv, vmasks)
             before = loads[lid_matrix]
-            graded = power.link_power_graded(np.stack((before + rate, before)))
+            if scale is None and dead is None:
+                graded = power.link_power_graded(
+                    np.stack((before + rate, before))
+                )
+            else:
+                # gather the candidates' per-link coefficients; a candidate
+                # crossing a dead link draws the zero-bandwidth penalty, so
+                # argmin avoids dead links whenever any ≤2-bend path does
+                sc = None if scale is None else np.stack((s := scale[lid_matrix], s))
+                dd = None if dead is None else np.stack((d := dead[lid_matrix], d))
+                graded = power.link_power_graded(
+                    np.stack((before + rate, before)), scale=sc, dead=dd
+                )
             delta = graded[0].sum(axis=1) - graded[1].sum(axis=1)
             best = int(np.argmin(delta))
             lids = lid_matrix[best]

@@ -90,6 +90,8 @@ class XYImprover(Heuristic):
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh
         power = problem.power
+        scale = mesh.link_scale  # None on homogeneous meshes
+        dead = mesh.dead_mask  # None on fault-free meshes
         n = problem.num_comms
         moves: List[str] = self._starting_moves(problem)
         steps_uv = [direction_steps(c.direction) for c in problem.comms]
@@ -108,8 +110,8 @@ class XYImprover(Heuristic):
         if cap is None:
             cap = 10 * mesh.p * mesh.q * max(n, 1)
 
-        current = power.total_power_graded(loads)
-        worklist = self._sorted_links(loads)
+        current = power.total_power_graded(loads, scale=scale, dead=dead)
+        worklist = self._sorted_links(loads, dead)
         # per-communication memo of relocations: lid -> (new_m, new_l,
         # old_ch, new_ch) or None when infeasible.  Loads-independent, so an
         # entry stays valid until the communication's own path changes.
@@ -178,8 +180,21 @@ class XYImprover(Heuristic):
             if cand:
                 before = np.concatenate(before_parts)
                 after = np.concatenate(after_parts)
+                sc = dd = None
+                if scale is not None or dead is not None:
+                    # per-value link ids in [old | new] window order, per
+                    # candidate — gather the profile coefficients alongside
+                    lid_vec = np.concatenate(
+                        [np.concatenate((o, nw)) for _, _, _, o, nw in cand]
+                    )
+                    if scale is not None:
+                        sc = np.tile(scale[lid_vec], 2)
+                    if dead is not None:
+                        dd = np.tile(dead[lid_vec], 2)
                 # one batched grading for every candidate of this link …
-                graded = power.link_power_graded(np.concatenate((before, after)))
+                graded = power.link_power_graded(
+                    np.concatenate((before, after)), scale=sc, dead=dd
+                )
                 m = before.size
                 g_before = graded[:m]
                 g_after = graded[m:]
@@ -218,8 +233,8 @@ class XYImprover(Heuristic):
                 # loads only change on applied steps, so recomputing here
                 # keeps `current` exact at every iteration (the reference
                 # recomputed it every iteration, applied or not)
-                current = power.total_power_graded(loads)
-                worklist = self._sorted_links(loads)
+                current = power.total_power_graded(loads, scale=scale, dead=dead)
+                worklist = self._sorted_links(loads, dead)
                 steps += 1
             else:
                 worklist.pop(0)
@@ -230,7 +245,18 @@ class XYImprover(Heuristic):
         ]
 
     @staticmethod
-    def _sorted_links(loads: np.ndarray) -> List[int]:
-        """Loaded link ids by decreasing load (stable under equal loads)."""
-        order = np.argsort(-loads, kind="stable")
+    def _sorted_links(
+        loads: np.ndarray, dead: Optional[np.ndarray] = None
+    ) -> List[int]:
+        """Loaded link ids by decreasing load (stable under equal loads).
+
+        On faulty meshes, loaded *dead* links jump to the head of the
+        worklist regardless of their load — evacuating them dominates any
+        load-balancing move.
+        """
+        if dead is None:
+            order = np.argsort(-loads, kind="stable")
+        else:
+            hot = np.where(dead & (loads > 0), np.inf, 0.0)
+            order = np.argsort(-(loads + hot), kind="stable")
         return [int(l) for l in order if loads[l] > 0]

@@ -24,6 +24,11 @@ PathLike = Union[str, pathlib.Path]
 
 PROBLEM_FORMAT = "repro/problem@1"
 ROUTING_FORMAT = "repro/routing@1"
+#: written instead when the mesh carries a link profile (faults/scaling):
+#: the profile changes validity/power semantics, so pre-profile readers —
+#: which would silently rebuild a pristine mesh — must reject, not misread
+PROBLEM_FORMAT_PROFILED = "repro/problem@2"
+ROUTING_FORMAT_PROFILED = "repro/routing@2"
 
 
 def _power_to_dict(p: PowerModel) -> Dict[str, Any]:
@@ -49,11 +54,36 @@ def _power_from_dict(d: Dict[str, Any]) -> PowerModel:
     )
 
 
+def _mesh_to_dict(mesh: Mesh) -> Dict[str, Any]:
+    """Mesh with its optional link profile (faults / power scaling)."""
+    out: Dict[str, Any] = {"p": mesh.p, "q": mesh.q}
+    if mesh.link_mask is not None:
+        out["dead_links"] = mesh.dead_link_ids()
+    if mesh.link_scale is not None:
+        out["link_scale"] = [float(s) for s in mesh.link_scale]
+    return out
+
+
+def _mesh_from_dict(d: Dict[str, Any]) -> Mesh:
+    mesh = Mesh(int(d["p"]), int(d["q"]))
+    dead = d.get("dead_links")
+    if dead:
+        mesh = mesh.with_faults([int(l) for l in dead])
+    scale = d.get("link_scale")
+    if scale is not None:
+        mesh = mesh.with_link_scale([float(s) for s in scale])
+    return mesh
+
+
 def problem_to_dict(problem: RoutingProblem) -> Dict[str, Any]:
     """Serialisable representation of a routing problem."""
     return {
-        "format": PROBLEM_FORMAT,
-        "mesh": {"p": problem.mesh.p, "q": problem.mesh.q},
+        "format": (
+            PROBLEM_FORMAT
+            if problem.mesh.is_pristine
+            else PROBLEM_FORMAT_PROFILED
+        ),
+        "mesh": _mesh_to_dict(problem.mesh),
         "power": _power_to_dict(problem.power),
         "comms": [
             {"src": list(c.src), "snk": list(c.snk), "rate": c.rate}
@@ -64,11 +94,12 @@ def problem_to_dict(problem: RoutingProblem) -> Dict[str, Any]:
 
 def problem_from_dict(d: Dict[str, Any]) -> RoutingProblem:
     """Rebuild a problem (re-validating every field)."""
-    if d.get("format") != PROBLEM_FORMAT:
+    if d.get("format") not in (PROBLEM_FORMAT, PROBLEM_FORMAT_PROFILED):
         raise InvalidParameterError(
-            f"expected format {PROBLEM_FORMAT!r}, got {d.get('format')!r}"
+            f"expected format {PROBLEM_FORMAT!r} or "
+            f"{PROBLEM_FORMAT_PROFILED!r}, got {d.get('format')!r}"
         )
-    mesh = Mesh(int(d["mesh"]["p"]), int(d["mesh"]["q"]))
+    mesh = _mesh_from_dict(d["mesh"])
     power = _power_from_dict(d["power"])
     comms = [
         Communication(tuple(c["src"]), tuple(c["snk"]), float(c["rate"]))
@@ -80,7 +111,11 @@ def problem_from_dict(d: Dict[str, Any]) -> RoutingProblem:
 def routing_to_dict(routing: Routing) -> Dict[str, Any]:
     """Serialisable representation of a routing (with its problem)."""
     return {
-        "format": ROUTING_FORMAT,
+        "format": (
+            ROUTING_FORMAT
+            if routing.problem.mesh.is_pristine
+            else ROUTING_FORMAT_PROFILED
+        ),
         "problem": problem_to_dict(routing.problem),
         "flows": [
             [{"moves": f.path.moves, "rate": f.rate} for f in fl]
@@ -91,9 +126,10 @@ def routing_to_dict(routing: Routing) -> Dict[str, Any]:
 
 def routing_from_dict(d: Dict[str, Any]) -> Routing:
     """Rebuild a routing; paths are re-validated against the problem."""
-    if d.get("format") != ROUTING_FORMAT:
+    if d.get("format") not in (ROUTING_FORMAT, ROUTING_FORMAT_PROFILED):
         raise InvalidParameterError(
-            f"expected format {ROUTING_FORMAT!r}, got {d.get('format')!r}"
+            f"expected format {ROUTING_FORMAT!r} or "
+            f"{ROUTING_FORMAT_PROFILED!r}, got {d.get('format')!r}"
         )
     problem = problem_from_dict(d["problem"])
     flows = []

@@ -361,6 +361,46 @@ class FlatRoutingKernel:
             pop, nl
         )
 
+    # ------------------------------------------------------------------
+    # scenario threading (fault masks and power scaling)
+    # ------------------------------------------------------------------
+    def dead_hop_mask(self, vmask: np.ndarray) -> np.ndarray:
+        """Boolean array (same shape as ``vmask``) marking hops on dead links.
+
+        All-``False`` on pristine meshes without computing link ids.
+        """
+        dead = self.mesh.dead_mask
+        if dead is None:
+            return np.zeros(vmask.shape, dtype=bool)
+        return dead[self.links(vmask)]
+
+    def uses_dead_link(self, vmask: np.ndarray) -> np.ndarray:
+        """Per-routing flag: does the routing traverse any dead link?
+
+        Returns a scalar-shaped array for a flat hop array and a length-
+        ``P`` vector for a population matrix.
+        """
+        return self.dead_hop_mask(vmask).any(axis=-1)
+
+    def graded_powers(self, power, vmask: np.ndarray):
+        """Graded total power of the routing(s), mesh profile threaded.
+
+        Pristine meshes reduce to the plain
+        :meth:`~repro.core.power.PowerModel.total_power_graded` /
+        ``total_power_graded_many`` calls bit for bit; faulty or
+        heterogeneous meshes feed the mask / scale vectors through in the
+        same single NumPy pass.
+        """
+        loads = self.loads(vmask)
+        mesh = self.mesh
+        if loads.ndim == 1:
+            return power.total_power_graded(
+                loads, scale=mesh.link_scale, dead=mesh.dead_mask
+            )
+        return power.total_power_graded_many(
+            loads, scale=mesh.link_scale, dead=mesh.dead_mask
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FlatRoutingKernel({self.num_comms} comms, "

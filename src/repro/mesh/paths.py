@@ -38,6 +38,9 @@ from repro.utils.validation import InvalidParameterError
 
 Coord = Tuple[int, int]
 
+#: sentinel for "live reachability not computed yet" (None is a valid result)
+_UNSET = object()
+
 
 def count_paths(du: int, dv: int) -> int:
     """Number of Manhattan paths over a ``du × dv`` displacement.
@@ -55,6 +58,45 @@ def manhattan_path_count(p: int, q: int) -> int:
     if p < 1 or q < 1:
         raise InvalidParameterError(f"mesh dimensions must be >= 1, got {p}x{q}")
     return comb(p + q - 2, p - 1)
+
+
+def band_reachability(
+    du: int,
+    dv: int,
+    xs_l: Sequence[np.ndarray],
+    ys_l: Sequence[np.ndarray],
+    kv_l: Sequence[np.ndarray],
+    ok_l: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Progress-node reachability over the permitted edges of a band DAG.
+
+    ``xs_l / ys_l / kv_l`` are a :meth:`CommDag.band_arrays`-shaped
+    geometry (per band: tail progress coordinates and a vertical-edge
+    mask) and ``ok_l[t]`` marks the edges of band ``t`` that may be used.
+    Returns writable ``(Δu+1) × (Δv+1)`` boolean grids ``(fwd, bwd)``:
+    ``fwd[x, y]`` marks nodes reachable from ``(0, 0)`` and ``bwd[x, y]``
+    nodes from which ``(Δu, Δv)`` is reachable, both through permitted
+    edges only.  This is the single sweep behind
+    :meth:`CommDag.live_reachability` (mesh fault masks) and the PR
+    heuristic's path-cleaning cascade (per-communication allowed masks).
+    """
+    fwd = np.zeros((du + 1, dv + 1), dtype=bool)
+    fwd[0, 0] = True
+    for t in range(len(ok_l)):
+        xs, ys, kv = xs_l[t], ys_l[t], kv_l[t]
+        ok = ok_l[t] & fwd[xs, ys]
+        hx = np.where(kv, xs + 1, xs)
+        hy = np.where(kv, ys, ys + 1)
+        fwd[hx[ok], hy[ok]] = True
+    bwd = np.zeros((du + 1, dv + 1), dtype=bool)
+    bwd[du, dv] = True
+    for t in range(len(ok_l) - 1, -1, -1):
+        xs, ys, kv = xs_l[t], ys_l[t], kv_l[t]
+        hx = np.where(kv, xs + 1, xs)
+        hy = np.where(kv, ys, ys + 1)
+        ok = ok_l[t] & bwd[hx, hy]
+        bwd[xs[ok], ys[ok]] = True
+    return fwd, bwd
 
 
 class Path:
@@ -221,6 +263,7 @@ class CommDag:
         "_bands",
         "_edge_info",
         "_band_arrays",
+        "_live",
     )
 
     def __init__(self, mesh: Mesh, src: Coord, snk: Coord):
@@ -252,6 +295,7 @@ class CommDag:
                     self._edge_info[lid] = (x, y, MOVE_H)
             self._bands.append(band)
         self._band_arrays = None
+        self._live = _UNSET
 
     # geometry -----------------------------------------------------------
     def node_core(self, x: int, y: int) -> Coord:
@@ -372,8 +416,47 @@ class CommDag:
         """Number of distinct Manhattan paths (``C(Δu+Δv, Δu)``)."""
         return count_paths(self.du, self.dv)
 
+    # fault-aware reachability -------------------------------------------
+    def live_reachability(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray] | None:
+        """Progress-node reachability over *alive* links, or ``None``.
+
+        Returns ``None`` on pristine meshes (every node trivially live).
+        Otherwise a pair of read-only ``(Δu+1) × (Δv+1)`` boolean grids
+        ``(fwd, bwd)``: ``fwd[x, y]`` marks nodes reachable from the source
+        and ``bwd[x, y]`` nodes from which the sink is reachable, both
+        using only links the mesh's fault mask allows.  Cached per DAG (and
+        therefore shared through the problem's DAG pool).
+        """
+        if self._live is _UNSET:
+            alive = self.mesh.link_mask
+            if alive is None:
+                self._live = None
+            else:
+                lids_l, xs_l, ys_l, kv_l = self.band_arrays()
+                fwd, bwd = band_reachability(
+                    self.du,
+                    self.dv,
+                    xs_l,
+                    ys_l,
+                    kv_l,
+                    [alive[lids] for lids in lids_l],
+                )
+                fwd.setflags(write=False)
+                bwd.setflags(write=False)
+                self._live = (fwd, bwd)
+        return self._live
+
+    def has_live_path(self) -> bool:
+        """True when at least one Manhattan path avoids every dead link."""
+        live = self.live_reachability()
+        return live is None or bool(live[0][self.du, self.dv])
+
     # path enumeration ---------------------------------------------------
-    def enumerate_moves(self, limit: int | None = None) -> Iterator[str]:
+    def enumerate_moves(
+        self, limit: int | None = None, *, alive_only: bool = False
+    ) -> Iterator[str]:
         """Yield all move strings, lexicographically ('H' < 'V').
 
         Parameters
@@ -382,35 +465,76 @@ class CommDag:
             Optional hard cap; raises :class:`InvalidParameterError` if the
             total count exceeds it (protects exhaustive solvers from
             combinatorial blow-up).
+        alive_only:
+            Restrict the enumeration to paths avoiding every dead link of
+            the mesh's fault mask.  Yields nothing when no live path
+            exists; a no-op on pristine meshes.
         """
         total = self.path_count()
         if limit is not None and total > limit:
             raise InvalidParameterError(
                 f"{total} Manhattan paths exceed the requested limit {limit}"
             )
+        live = self.live_reachability() if alive_only else None
+        if alive_only and live is not None and not live[0][self.du, self.dv]:
+            return iter(())
+        alive = self.mesh.link_mask if live is not None else None
+
+        def usable(x: int, y: int, kind: str, x2: int, y2: int) -> bool:
+            if alive is None:
+                return True
+            return bool(alive[self._link_of(x, y, kind)]) and bool(
+                live[1][x2, y2]
+            )
 
         def rec(x: int, y: int, prefix: List[str]) -> Iterator[str]:
             if x == self.du and y == self.dv:
                 yield "".join(prefix)
                 return
-            if y < self.dv:
+            if y < self.dv and usable(x, y, MOVE_H, x, y + 1):
                 prefix.append(MOVE_H)
                 yield from rec(x, y + 1, prefix)
                 prefix.pop()
-            if x < self.du:
+            if x < self.du and usable(x, y, MOVE_V, x + 1, y):
                 prefix.append(MOVE_V)
                 yield from rec(x + 1, y, prefix)
                 prefix.pop()
 
         return rec(0, 0, [])
 
-    def enumerate_paths(self, limit: int | None = None) -> Iterator[Path]:
+    def enumerate_paths(
+        self, limit: int | None = None, *, alive_only: bool = False
+    ) -> Iterator[Path]:
         """Yield all Manhattan paths as :class:`Path` objects."""
-        for moves in self.enumerate_moves(limit=limit):
+        for moves in self.enumerate_moves(limit=limit, alive_only=alive_only):
             yield Path(self.mesh, self.src, self.snk, moves)
 
-    def random_moves(self, rng: np.random.Generator) -> str:
-        """Draw a uniformly random Manhattan move string."""
+    def random_moves(
+        self, rng: np.random.Generator, *, alive_only: bool = False
+    ) -> str:
+        """Draw a random Manhattan move string.
+
+        The default draws uniformly over all ``C(Δu+Δv, Δu)`` paths.  With
+        ``alive_only`` (and a faulty mesh with a surviving path) the draw
+        walks the live DAG, choosing uniformly among the viable hops of
+        each node — every live path has positive probability, though not
+        necessarily uniform.  Falls back to the unconstrained draw when no
+        live path exists.
+        """
+        if alive_only and self.mesh.link_mask is not None and self.has_live_path():
+            alive = self.mesh.link_mask
+            _, bwd = self.live_reachability()
+            x = y = 0
+            out: List[str] = []
+            while (x, y) != (self.du, self.dv):
+                viable = []
+                if x < self.du and alive[self._link_of(x, y, MOVE_V)] and bwd[x + 1, y]:
+                    viable.append((MOVE_V, x + 1, y))
+                if y < self.dv and alive[self._link_of(x, y, MOVE_H)] and bwd[x, y + 1]:
+                    viable.append((MOVE_H, x, y + 1))
+                mv, x, y = viable[int(rng.integers(len(viable)))]
+                out.append(mv)
+            return "".join(out)
         slots = [MOVE_V] * self.du + [MOVE_H] * self.dv
         rng.shuffle(slots)
         return "".join(slots)

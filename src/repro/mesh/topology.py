@@ -14,18 +14,35 @@ every link in the chip fits in one flat ``numpy`` vector:
 
 All id arithmetic is O(1); the reverse mapping and per-link coordinate
 arrays are precomputed once per mesh.
+
+Beyond the paper's pristine fabric, a mesh may carry an immutable *link
+profile* for the scenario engine (:mod:`repro.scenarios`):
+
+* ``link_mask`` — per-link availability; a ``False`` entry is a faulty /
+  disabled link that no routing may use (any traffic on it makes the
+  routing invalid);
+* ``link_scale`` — per-link power multiplier modelling heterogeneous or
+  derated regions (hotspot stripes, border derating): link ``l`` dissipates
+  ``link_scale[l]`` times the homogeneous model's power for its load.
+
+Both default to ``None`` — the pristine ``(p, q)`` mesh — in which case no
+arrays are allocated, equality/hash reduce to ``(p, q)`` exactly as before
+and every fast path in the kernel and heuristics stays untouched.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.utils.validation import InvalidParameterError
 
 Coord = Tuple[int, int]
+
+#: a dead link named either by id or by its (tail, head) coordinates
+LinkRef = Union[int, Tuple[Coord, Coord]]
 
 
 class Orientation(enum.Enum):
@@ -51,10 +68,20 @@ class Mesh:
     q:
         Number of columns (``v`` coordinate runs over ``0..q-1``).
 
+    link_mask:
+        Optional per-link availability vector (``True`` = usable).  ``None``
+        (default) means all links are available; an all-``True`` vector is
+        normalised to ``None``.
+    link_scale:
+        Optional per-link power multiplier vector (all entries ``> 0``).
+        ``None`` (default) means homogeneous; an all-ones vector is
+        normalised to ``None``.
+
     Notes
     -----
-    The mesh is immutable.  Two meshes with equal ``(p, q)`` compare equal
-    and hash equally, so meshes can key caches.
+    The mesh is immutable.  Two pristine meshes with equal ``(p, q)``
+    compare equal and hash equally, so meshes can key caches; profiled
+    meshes additionally compare their mask/scale vectors bit for bit.
     """
 
     __slots__ = (
@@ -62,6 +89,10 @@ class Mesh:
         "q",
         "num_cores",
         "num_links",
+        "link_mask",
+        "link_scale",
+        "_dead_mask",
+        "_hash",
         "_ne",
         "_ns",
         "_tail_u",
@@ -71,7 +102,13 @@ class Mesh:
         "_horizontal_mask",
     )
 
-    def __init__(self, p: int, q: int):
+    def __init__(
+        self,
+        p: int,
+        q: int,
+        link_mask: Optional[np.ndarray] = None,
+        link_scale: Optional[np.ndarray] = None,
+    ):
         if not (isinstance(p, (int, np.integer)) and isinstance(q, (int, np.integer))):
             raise InvalidParameterError(f"p and q must be integers, got {p!r}, {q!r}")
         if p < 1 or q < 1:
@@ -83,6 +120,7 @@ class Mesh:
         self._ns = (self.p - 1) * self.q  # count of S (also of N) links
         self.num_links = 2 * (self._ne + self._ns)
         self._build_link_arrays()
+        self._init_profile(link_mask, link_scale)
 
     def _build_link_arrays(self) -> None:
         """Precompute tail/head coordinates and orientation per link id."""
@@ -102,6 +140,132 @@ class Mesh:
         self._tail_u, self._tail_v = tail_u, tail_v
         self._head_u, self._head_v = head_u, head_v
         self._horizontal_mask = horiz
+
+    def _init_profile(
+        self,
+        link_mask: Optional[np.ndarray],
+        link_scale: Optional[np.ndarray],
+    ) -> None:
+        """Validate, normalise and freeze the optional link profile."""
+        n = self.num_links
+        if link_mask is not None:
+            mask = np.asarray(link_mask)
+            if mask.shape != (n,):
+                raise InvalidParameterError(
+                    f"link_mask must have shape ({n},), got {mask.shape}"
+                )
+            if mask.dtype != bool:
+                raise InvalidParameterError(
+                    f"link_mask must be boolean, got dtype {mask.dtype}"
+                )
+            if mask.all():
+                link_mask = None  # pristine in disguise
+            else:
+                link_mask = mask.copy()
+                link_mask.setflags(write=False)
+        if link_scale is not None:
+            scale = np.asarray(link_scale, dtype=np.float64)
+            if scale.shape != (n,):
+                raise InvalidParameterError(
+                    f"link_scale must have shape ({n},), got {scale.shape}"
+                )
+            if not np.all(np.isfinite(scale)) or np.any(scale <= 0):
+                raise InvalidParameterError(
+                    "link_scale entries must be finite and > 0"
+                )
+            if np.all(scale == 1.0):
+                link_scale = None  # homogeneous in disguise
+            else:
+                link_scale = scale.copy()
+                link_scale.setflags(write=False)
+        self.link_mask = link_mask
+        self.link_scale = link_scale
+        if link_mask is None:
+            self._dead_mask = None
+        else:
+            dead = ~link_mask
+            dead.setflags(write=False)
+            self._dead_mask = dead
+        key: Tuple = ("Mesh", self.p, self.q)
+        if link_mask is not None or link_scale is not None:
+            key = key + (
+                None if link_mask is None else link_mask.tobytes(),
+                None if link_scale is None else link_scale.tobytes(),
+            )
+        self._hash = hash(key)
+
+    # ------------------------------------------------------------------
+    # link profile (scenario engine)
+    # ------------------------------------------------------------------
+    @property
+    def is_pristine(self) -> bool:
+        """True when the mesh carries no fault mask and no power scaling."""
+        return self.link_mask is None and self.link_scale is None
+
+    @property
+    def dead_mask(self) -> Optional[np.ndarray]:
+        """Boolean vector marking faulty links, or ``None`` when none are."""
+        return self._dead_mask
+
+    def is_alive(self, lid: int) -> bool:
+        """True when link ``lid`` is available for routing."""
+        if not 0 <= lid < self.num_links:
+            raise InvalidParameterError(
+                f"link id {lid} out of range [0, {self.num_links})"
+            )
+        return self.link_mask is None or bool(self.link_mask[lid])
+
+    def dead_link_ids(self) -> List[int]:
+        """Sorted ids of every faulty link (empty for pristine meshes)."""
+        if self._dead_mask is None:
+            return []
+        return [int(l) for l in np.nonzero(self._dead_mask)[0]]
+
+    def _resolve_link(self, ref: LinkRef) -> int:
+        if isinstance(ref, (int, np.integer)):
+            lid = int(ref)
+            if not 0 <= lid < self.num_links:
+                raise InvalidParameterError(
+                    f"link id {lid} out of range [0, {self.num_links})"
+                )
+            return lid
+        tail, head = ref
+        return self.link_between(tuple(tail), tuple(head))
+
+    def with_faults(self, dead: Iterable[LinkRef]) -> "Mesh":
+        """Copy of this mesh with the given links additionally disabled.
+
+        ``dead`` entries are link ids or ``(tail, head)`` coordinate pairs
+        (each names one *directed* link; disable both directions of an
+        adjacency by listing both).  Existing faults and scaling are kept.
+        """
+        mask = (
+            np.ones(self.num_links, dtype=bool)
+            if self.link_mask is None
+            else self.link_mask.copy()
+        )
+        for ref in dead:
+            mask[self._resolve_link(ref)] = False
+        return Mesh(self.p, self.q, mask, self.link_scale)
+
+    def with_link_scale(self, scale) -> "Mesh":
+        """Copy of this mesh with a per-link power-scale vector applied.
+
+        ``scale`` is either a full length-``num_links`` vector (replacing
+        the current one) or a ``{link ref: factor}`` mapping multiplied
+        onto the current scaling.  The fault mask is kept.
+        """
+        if isinstance(scale, dict):
+            vec = (
+                np.ones(self.num_links, dtype=np.float64)
+                if self.link_scale is None
+                else self.link_scale.copy()
+            )
+            for ref, factor in scale.items():
+                vec[self._resolve_link(ref)] *= float(factor)
+        else:
+            vec = np.asarray(scale, dtype=np.float64)
+        return Mesh(self.p, self.q, self.link_mask, vec)
 
     # ------------------------------------------------------------------
     # core indexing
@@ -288,10 +452,31 @@ class Mesh:
     # dunder plumbing
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - trivial
-        return f"Mesh(p={self.p}, q={self.q})"
+        extra = ""
+        if self.link_mask is not None:
+            extra += f", {int((~self.link_mask).sum())} dead links"
+        if self.link_scale is not None:
+            extra += ", scaled"
+        return f"Mesh(p={self.p}, q={self.q}{extra})"
+
+    @staticmethod
+    def _profile_eq(a: Optional[np.ndarray], b: Optional[np.ndarray]) -> bool:
+        if a is None or b is None:
+            return a is b
+        return np.array_equal(a, b)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Mesh) and (self.p, self.q) == (other.p, other.q)
+        return (
+            isinstance(other, Mesh)
+            and (self.p, self.q) == (other.p, other.q)
+            and self._profile_eq(self.link_mask, other.link_mask)
+            and self._profile_eq(self.link_scale, other.link_scale)
+        )
 
     def __hash__(self) -> int:
-        return hash(("Mesh", self.p, self.q))
+        return self._hash
+
+    def __reduce__(self):
+        # rebuild from the defining quadruple so caches are re-derived and
+        # the profile arrays come back frozen after unpickling
+        return (Mesh, (self.p, self.q, self.link_mask, self.link_scale))

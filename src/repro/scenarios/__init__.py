@@ -1,0 +1,40 @@
+"""Scenario engine: declarative fault/heterogeneity-aware experiments.
+
+Public surface:
+
+* :class:`~repro.scenarios.spec.MeshSpec` / :func:`~repro.scenarios.spec.duplex`
+  — picklable platform recipes (faults, derated regions);
+* :class:`~repro.scenarios.registry.Scenario` plus the string-keyed
+  registry (:func:`register_scenario`, :func:`get_scenario`,
+  :func:`available_scenarios`) with the built-in paper-baseline / faulty /
+  derated / narrow-mesh / hotspot scenarios;
+* :func:`~repro.scenarios.runner.run_scenario` and
+  :class:`~repro.scenarios.runner.ScenarioResult` — execution on the
+  Monte-Carlo sweep engine (serial or multi-process, bit-identical).
+
+See ``docs/scenarios.md`` for the workflow, including the golden
+regression corpus under ``tests/golden/``.
+"""
+
+from repro.scenarios.registry import (
+    POWER_REGIMES,
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios.runner import GOLDEN_FORMAT, ScenarioResult, run_scenario
+from repro.scenarios.spec import MeshSpec, duplex
+
+__all__ = [
+    "GOLDEN_FORMAT",
+    "MeshSpec",
+    "POWER_REGIMES",
+    "Scenario",
+    "ScenarioResult",
+    "available_scenarios",
+    "duplex",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+]

@@ -1,0 +1,216 @@
+"""Named, reproducible experiment scenarios and their string-keyed registry.
+
+A :class:`Scenario` composes a platform recipe (:class:`~repro.scenarios.
+spec.MeshSpec`), a picklable workload factory, a power regime and a
+heuristic roster into one frozen, picklable record.  Scenarios generalise
+the paper's pristine-mesh sweeps (Section 6) to the degraded and
+heterogeneous fabrics the NoC design-space-exploration literature studies:
+faulty links, derated hotspot regions, rectangular meshes and congested
+hotspot traffic.
+
+The registry maps scenario names to definitions; ``repro scenarios
+list|run`` and the golden regression corpus (``tests/golden/``) both
+consume it.  Register additional scenarios with :func:`register_scenario`
+(see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.power import PowerModel
+from repro.experiments.config import (
+    HotspotFactory,
+    UniformRandomFactory,
+    WorkloadFactory,
+)
+from repro.heuristics.best import PAPER_HEURISTICS
+from repro.mesh.topology import Mesh
+from repro.scenarios.spec import MeshSpec, duplex
+from repro.utils.validation import InvalidParameterError
+
+#: power regimes a scenario may name (picklable by key, not by closure)
+POWER_REGIMES: Dict[str, Callable[[], PowerModel]] = {
+    "kim-horowitz": PowerModel.kim_horowitz,
+    "continuous": PowerModel.continuous_kim_horowitz,
+    "fig2": PowerModel.fig2_example,
+}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully reproducible experiment configuration.
+
+    ``trials`` / ``seed`` are the scenario's *defaults* — the runner and
+    CLI can override them — and are deliberately tiny so the golden
+    regression corpus stays cheap; scale ``trials`` up for real studies.
+    """
+
+    name: str
+    description: str
+    mesh: MeshSpec
+    workload: WorkloadFactory
+    trials: int
+    seed: int
+    heuristics: Tuple[str, ...] = PAPER_HEURISTICS
+    power: str = "kim-horowitz"
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise InvalidParameterError(
+                f"scenario {self.name!r} needs trials >= 1, got {self.trials}"
+            )
+        if self.power not in POWER_REGIMES:
+            raise InvalidParameterError(
+                f"scenario {self.name!r} names unknown power regime "
+                f"{self.power!r}; choose from {sorted(POWER_REGIMES)}"
+            )
+        if not self.heuristics:
+            raise InvalidParameterError(
+                f"scenario {self.name!r} needs at least one heuristic"
+            )
+
+    def build_mesh(self) -> Mesh:
+        return self.mesh.build()
+
+    def power_model(self) -> PowerModel:
+        return POWER_REGIMES[self.power]()
+
+    def with_overrides(
+        self, *, trials: int | None = None, seed: int | None = None
+    ) -> "Scenario":
+        """Copy with the runner's trial/seed overrides applied."""
+        out = self
+        if trials is not None:
+            out = replace(out, trials=trials)
+        if seed is not None:
+            out = replace(out, seed=seed)
+        return out
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the registry (names are unique)."""
+    if scenario.name in _REGISTRY:
+        raise InvalidParameterError(
+            f"scenario {scenario.name!r} already registered"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from None
+
+
+def available_scenarios() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# built-in scenarios
+# ----------------------------------------------------------------------
+#: the mixed uniform workload of the Figure 7(b) regime, at 30 comms
+_MIXED_30 = UniformRandomFactory(30, 100.0, 2500.0)
+
+#: three scattered broken adjacencies (six directed dead links).  Straight
+#: (0-bend) communications crossing a broken adjacency have no surviving
+#: Manhattan path at all, so a scattered near-border pattern — rather than
+#: a contiguous centre patch — keeps most instances solvable while still
+#: forcing every heuristic to detour; the residual failures exercise the
+#: explicit-infeasibility path.
+_SCATTERED_FAULTS = duplex(
+    ((0, 1), (0, 2)),
+    ((7, 5), (7, 6)),
+    ((2, 0), (3, 0)),
+)
+
+register_scenario(
+    Scenario(
+        name="paper-baseline",
+        description="Pristine 8x8 mesh, mixed U(100,2500) workload — the "
+        "paper's Section 6 setting (pre-scenario behaviour, bit-for-bit)",
+        mesh=MeshSpec.pristine(8, 8),
+        workload=_MIXED_30,
+        trials=6,
+        seed=2012,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="faulty-links",
+        description="8x8 mesh with three broken adjacencies (6 directed "
+        "dead links); heuristics must route around them or fail explicitly",
+        mesh=MeshSpec(8, 8, dead_links=_SCATTERED_FAULTS),
+        workload=UniformRandomFactory(16, 100.0, 2500.0),
+        trials=6,
+        seed=2012,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hotspot-derate",
+        description="8x8 mesh whose central 3x3 region dissipates 1.6x "
+        "power per link (thermal derating); cool routes are cheaper",
+        mesh=MeshSpec.center_derated(8, 8, factor=1.6, radius=1),
+        workload=_MIXED_30,
+        trials=6,
+        seed=2012,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="narrow-mesh",
+        description="Rectangular 4x16 mesh — long thin fabrics stress the "
+        "row direction and shrink the Manhattan path space",
+        mesh=MeshSpec.pristine(4, 16),
+        workload=UniformRandomFactory(20, 100.0, 1500.0),
+        trials=6,
+        seed=7,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="hotspot-traffic",
+        description="Pristine 8x8 mesh under congested hotspot traffic: "
+        "half the cores send 300 Mb/s to the centre core",
+        mesh=MeshSpec.pristine(8, 8),
+        workload=HotspotFactory(rate=300.0, fraction=0.5),
+        trials=6,
+        seed=99,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="faulty-derated",
+        description="Worst of both: the scattered faults of faulty-links "
+        "plus a 1.5x derated border strip on the east edge",
+        mesh=MeshSpec(
+            8,
+            8,
+            dead_links=_SCATTERED_FAULTS,
+            scale_rects=((0, 6, 7, 7, 1.5),),
+        ),
+        workload=UniformRandomFactory(16, 100.0, 2000.0),
+        trials=6,
+        seed=4242,
+    )
+)

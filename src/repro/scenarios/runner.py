@@ -1,0 +1,124 @@
+"""Scenario execution on top of the Monte-Carlo sweep engine.
+
+:func:`run_scenario` resolves a scenario (by name or object), materialises
+its platform and runs every trial through the same
+:func:`repro.experiments.runner.run_point` path the figure sweeps use —
+serial by default, chunked across a process pool with ``jobs > 1``, with
+bit-identical aggregates either way.
+
+:class:`ScenarioResult` carries the scenario echo plus the per-heuristic
+aggregates and knows how to render itself as a text table or as the
+deterministic JSON document the golden regression corpus
+(``tests/golden/``) stores: every float is serialised with ``float.hex``
+so snapshot comparisons are exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.experiments.runner import PointResult, run_point
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.utils.tables import format_table
+
+#: golden corpus schema version (bump when the snapshot layout changes)
+GOLDEN_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """A completed scenario run: config echo + per-heuristic aggregates."""
+
+    scenario: Scenario
+    jobs: int
+    point: PointResult
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return self.point.stats
+
+    def to_jsonable(self) -> dict:
+        """Deterministic snapshot document (floats as exact hex strings).
+
+        Wall-clock fields (``mean_runtime_s``) are deliberately excluded —
+        they can never be reproduced bit for bit.
+        """
+        stats = {}
+        for name in sorted(self.point.stats):
+            st = self.point.stats[name]
+            stats[name] = {
+                "trials": st.trials,
+                "successes": st.successes,
+                "norm_power_inverse": st.norm_power_inverse.hex(),
+                "mean_power_inverse": st.mean_power_inverse.hex(),
+                "mean_static_fraction": st.mean_static_fraction.hex(),
+            }
+        return {
+            "format": GOLDEN_FORMAT,
+            "scenario": self.scenario.name,
+            "trials": self.scenario.trials,
+            "seed": self.scenario.seed,
+            "heuristics": list(self.scenario.heuristics),
+            "power": self.scenario.power,
+            "mesh": self.scenario.mesh.describe(),
+            "stats": stats,
+        }
+
+    def to_text(self) -> str:
+        """Human-readable per-heuristic table."""
+        rows = []
+        for name in list(self.scenario.heuristics) + ["BEST"]:
+            st = self.point.stats[name]
+            rows.append(
+                [
+                    name,
+                    f"{st.success_ratio:.2f}",
+                    f"{st.norm_power_inverse:.4f}",
+                    f"{st.mean_power_inverse * 1e3:.4f}",
+                    f"{st.mean_static_fraction:.3f}",
+                    f"{st.mean_runtime_s * 1e3:.1f}",
+                ]
+            )
+        header = [
+            "heuristic",
+            "success",
+            "norm 1/P",
+            "1/P (x1e3)",
+            "static frac",
+            "ms",
+        ]
+        sc = self.scenario
+        head = (
+            f"scenario {sc.name}: {sc.mesh.describe()}, {sc.trials} trials, "
+            f"seed {sc.seed}, power {sc.power}\n  {sc.description}\n"
+        )
+        return head + format_table(header, rows)
+
+
+def run_scenario(
+    scenario: Union[str, Scenario],
+    *,
+    jobs: int = 1,
+    trials: int | None = None,
+    seed: int | None = None,
+) -> ScenarioResult:
+    """Run a scenario (by registry name or definition) and aggregate it.
+
+    ``jobs > 1`` fans trial chunks out to a process pool; per-trial RNG
+    streams are pure functions of ``(seed, trial index)``, so serial and
+    parallel runs agree on every statistic except wall-clock runtime.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    scenario = scenario.with_overrides(trials=trials, seed=seed)
+    point = run_point(
+        scenario.build_mesh(),
+        scenario.power_model(),
+        scenario.workload,
+        trials=scenario.trials,
+        seed=scenario.seed,
+        heuristic_names=scenario.heuristics,
+        jobs=jobs,
+    )
+    return ScenarioResult(scenario=scenario, jobs=jobs, point=point)

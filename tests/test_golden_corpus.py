@@ -1,0 +1,57 @@
+"""Golden regression corpus: scenario outputs are pinned bit for bit.
+
+Every registered scenario has a committed snapshot under ``tests/golden/``
+(fixed seed, tiny trial count, floats serialised as exact hex).  These
+tests recompute each scenario and compare the snapshot documents for exact
+equality — any numerical drift anywhere in the mesh / kernel / power /
+heuristics / runner stack fails loudly here.
+
+The pristine scenarios (``paper-baseline``, ``narrow-mesh``,
+``hotspot-traffic``) were recorded against the pre-scenario-engine code,
+so they additionally prove the engine left pristine-mesh behaviour
+untouched.  Regenerate deliberately with ``python
+benchmarks/record_golden.py`` and commit the diff.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import available_scenarios, run_scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def load_golden(name: str) -> dict:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"no golden snapshot for scenario {name!r} — run "
+        f"'python benchmarks/record_golden.py {name}' and commit it"
+    )
+    return json.loads(path.read_text())
+
+
+def test_every_scenario_has_a_snapshot_and_vice_versa():
+    names = set(available_scenarios())
+    files = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert names == files
+
+
+@pytest.mark.parametrize("name", available_scenarios())
+def test_scenario_matches_golden_snapshot(name):
+    assert run_scenario(name).to_jsonable() == load_golden(name)
+
+
+@pytest.mark.parametrize("name", ["paper-baseline", "faulty-links"])
+def test_parallel_run_matches_golden_snapshot(name):
+    """jobs=2 must reproduce the serial snapshot bit for bit."""
+    assert run_scenario(name, jobs=2).to_jsonable() == load_golden(name)
+
+
+def test_snapshots_store_exact_hex_floats():
+    doc = load_golden("paper-baseline")
+    st = doc["stats"]["BEST"]
+    # hex round-trips exactly; a plain decimal repr would not guarantee it
+    assert float.fromhex(st["norm_power_inverse"]) == 1.0
+    assert st["trials"] == doc["trials"]

@@ -2,7 +2,8 @@
 
 Structural guarantees every heuristic must honour regardless of quality:
 single Manhattan path per communication, determinism, registry behaviour,
-and the graded-power plumbing they share.
+the graded-power plumbing they share — and, on faulty / heterogeneous
+scenario meshes, feasibility and the local-move polishing invariant.
 """
 
 import numpy as np
@@ -21,7 +22,10 @@ from repro.heuristics.base import (
     graded_power_delta,
     path_swap_deltas,
 )
+from repro.heuristics.local_moves import RoutingState, flip_positions
+from repro.scenarios import MeshSpec, duplex
 from repro.utils.validation import InvalidParameterError
+from repro.workloads import uniform_random_workload
 from tests.conftest import make_random_problem
 
 ALL_NAMES = tuple(PAPER_HEURISTICS) + ("YX",)
@@ -130,6 +134,107 @@ def test_property_heuristics_always_return_valid_structures(name, n, seed):
         for i, c in enumerate(prob.comms)
     )
     assert loads.sum() == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# scenario invariants: faulty and heterogeneous meshes
+# ----------------------------------------------------------------------
+_SCENARIO_SPECS = {
+    "faulty": MeshSpec(
+        6, 6, dead_links=duplex(((1, 1), (1, 2)), ((4, 3), (5, 3)))
+    ),
+    "derated": MeshSpec.center_derated(6, 6, factor=1.7, radius=1),
+    "faulty-derated": MeshSpec(
+        6,
+        6,
+        dead_links=duplex(((1, 1), (1, 2)), ((4, 3), (5, 3))),
+        scale_rects=((0, 4, 5, 5, 1.5),),
+    ),
+}
+
+#: heuristics with fixed paths cannot route around faults by design
+_FIXED_PATH = {"XY", "YX"}
+
+
+def scenario_problem(kind: str, *, n: int = 10, seed: int = 11):
+    """A deterministic instance on a profiled mesh.
+
+    On faulty meshes the workload is redrawn (deterministically) until
+    every communication keeps a live Manhattan path, so feasibility is
+    achievable and the fault-aware heuristics can be held to it.
+    """
+    mesh = _SCENARIO_SPECS[kind].build()
+    rng = np.random.default_rng(seed)
+    power = PowerModel.kim_horowitz()
+    for _ in range(100):
+        comms = uniform_random_workload(mesh, n, 100.0, 700.0, rng=rng)
+        problem = RoutingProblem(mesh, power, comms)
+        if all(problem.dag(i).has_live_path() for i in range(n)):
+            return problem
+    raise AssertionError("could not draw an all-live instance")
+
+
+def polish(state: RoutingState, max_passes: int = 20) -> RoutingState:
+    """First-improvement corner-flip descent until a local optimum."""
+    for _ in range(max_passes):
+        improved = False
+        for ci in state.mutable_comms():
+            applied = True
+            while applied:  # flip positions shift after every applied flip
+                applied = False
+                for j in flip_positions(state.moves[ci]):
+                    deltas, dcost = state.flip_delta(ci, j)
+                    if dcost < 0:
+                        state.apply_flip(ci, j, deltas, dcost)
+                        applied = improved = True
+                        break
+        if not improved:
+            break
+    return state
+
+
+@pytest.mark.parametrize("kind", sorted(_SCENARIO_SPECS))
+@pytest.mark.parametrize("name", sorted(available_heuristics()))
+class TestScenarioInvariants:
+    def test_structurally_legal_manhattan_routing(self, name, kind):
+        problem = scenario_problem(kind)
+        res = get_heuristic(name).solve(problem)
+        assert res.routing.is_single_path
+        for i, comm in enumerate(problem.comms):
+            (path,) = res.routing.paths(i)
+            assert path.length == comm.length
+            assert path.cores()[0] == comm.src
+            assert path.cores()[-1] == comm.snk
+        assert res.valid == res.routing.is_valid()
+        if res.valid:
+            assert res.power == pytest.approx(res.routing.total_power())
+            # a valid routing never touches a dead link (by definition)
+            if problem.mesh.dead_mask is not None:
+                loads = res.routing.link_loads()
+                assert not np.any(loads[problem.mesh.dead_mask] > 0)
+
+    def test_feasible_when_live_paths_exist(self, name, kind):
+        """Adaptive heuristics find valid routings on all-live instances."""
+        if name in _FIXED_PATH:
+            pytest.skip("fixed-path heuristics cannot avoid faults")
+        problem = scenario_problem(kind)
+        res = get_heuristic(name).solve(problem)
+        assert res.valid, f"{name} failed on an achievable {kind} instance"
+
+    def test_polishing_never_increases_power(self, name, kind):
+        """Local-move descent from any heuristic's output only helps."""
+        problem = scenario_problem(kind)
+        res = get_heuristic(name).solve(problem)
+        moves = [res.routing.paths(i)[0].moves for i in range(len(problem))]
+        state = RoutingState(problem, moves)
+        before_cost = state.cost
+        before_valid = res.valid
+        polish(state)
+        assert state.cost <= before_cost * (1 + 1e-12) + 1e-9
+        polished = state.to_routing()
+        if before_valid:
+            assert polished.is_valid()
+            assert polished.total_power() <= res.power * (1 + 1e-9)
 
 
 class TestSharedHelpers:

@@ -123,3 +123,54 @@ class TestWorkloadCsv:
     def test_rejects_empty(self):
         with pytest.raises(InvalidParameterError, match="empty"):
             workload_from_csv("\n\n")
+
+
+class TestProfiledMeshRoundTrip:
+    def test_problem_json_keeps_link_profile(self, tmp_path):
+        from repro.io.jsonio import problem_from_dict, problem_to_dict
+
+        mesh = (
+            Mesh(4, 4)
+            .with_faults([((0, 0), (0, 1)), ((0, 1), (0, 0))])
+            .with_link_scale({3: 1.5})
+        )
+        prob = RoutingProblem(
+            mesh,
+            PowerModel.kim_horowitz(),
+            [Communication((1, 0), (3, 3), 500.0)],
+        )
+        back = problem_from_dict(problem_to_dict(prob))
+        assert back.mesh == mesh
+        assert set(back.mesh.dead_link_ids()) == set(mesh.dead_link_ids())
+        assert back.mesh.link_scale[3] == 1.5
+
+    def test_pristine_problem_dict_has_no_profile_keys(self):
+        from repro.io.jsonio import problem_to_dict
+
+        prob = RoutingProblem(
+            Mesh(3, 3),
+            PowerModel.kim_horowitz(),
+            [Communication((0, 0), (2, 2), 100.0)],
+        )
+        d = problem_to_dict(prob)
+        assert "dead_links" not in d["mesh"]
+        assert "link_scale" not in d["mesh"]
+
+    def test_routing_roundtrip_on_faulty_mesh(self, tmp_path):
+        from repro.io import load_routing, save_routing
+        from repro.mesh.paths import Path
+
+        mesh = Mesh(4, 4).with_faults([((0, 0), (0, 1))])
+        prob = RoutingProblem(
+            mesh,
+            PowerModel.kim_horowitz(),
+            [Communication((0, 0), (2, 2), 500.0)],
+        )
+        routing = Routing.single_path(
+            prob, [Path.yx(mesh, (0, 0), (2, 2))]
+        )
+        path = tmp_path / "routing.json"
+        save_routing(routing, path)
+        back = load_routing(path)
+        assert back.problem.mesh == mesh
+        assert back.is_valid() == routing.is_valid()

@@ -131,3 +131,80 @@ class TestLinkIndexing:
             mesh8.link_endpoints(mesh8.num_links)
         with pytest.raises(InvalidParameterError):
             mesh8.is_horizontal(-1)
+
+
+class TestLinkProfile:
+    """Fault masks and power-scale vectors (the scenario engine's base)."""
+
+    def test_pristine_defaults(self, mesh8):
+        assert mesh8.is_pristine
+        assert mesh8.link_mask is None
+        assert mesh8.link_scale is None
+        assert mesh8.dead_mask is None
+        assert mesh8.dead_link_ids() == []
+        assert all(mesh8.is_alive(l) for l in mesh8.links())
+
+    def test_pristine_equality_and_hash_unchanged(self):
+        # profiled meshes must not perturb the (p, q) cache-key contract
+        assert Mesh(3, 4) == Mesh(3, 4)
+        assert hash(Mesh(3, 4)) == hash(("Mesh", 3, 4))
+
+    def test_all_true_profile_normalises_to_pristine(self):
+        m = Mesh(3, 4)
+        assert Mesh(3, 4, np.ones(m.num_links, dtype=bool)).is_pristine
+        assert Mesh(3, 4, None, np.ones(m.num_links)).is_pristine
+
+    def test_with_faults_by_id_and_by_coords(self):
+        m = Mesh(3, 4)
+        f = m.with_faults([0, ((0, 0), (1, 0))])
+        assert set(f.dead_link_ids()) == {0, m.link_south(0, 0)}
+        assert not f.is_alive(0)
+        assert f.is_alive(1)
+        assert np.array_equal(f.dead_mask, ~f.link_mask)
+
+    def test_with_faults_composes(self):
+        m = Mesh(3, 4).with_faults([0]).with_faults([1])
+        assert set(m.dead_link_ids()) == {0, 1}
+
+    def test_with_link_scale_dict_and_vector(self):
+        m = Mesh(3, 4)
+        s = m.with_link_scale({1: 2.0})
+        assert s.link_scale[1] == 2.0 and s.link_scale[0] == 1.0
+        s2 = s.with_link_scale({1: 1.5})  # composes multiplicatively
+        assert s2.link_scale[1] == 3.0
+        vec = np.full(m.num_links, 1.25)
+        assert np.array_equal(m.with_link_scale(vec).link_scale, vec)
+
+    def test_profiled_equality_and_hash(self):
+        a = Mesh(3, 4).with_faults([2])
+        b = Mesh(3, 4).with_faults([2])
+        c = Mesh(3, 4).with_faults([3])
+        assert a == b and hash(a) == hash(b)
+        assert a != c and a != Mesh(3, 4)
+
+    def test_profile_arrays_frozen(self):
+        f = Mesh(3, 4).with_faults([0]).with_link_scale({1: 2.0})
+        with pytest.raises(ValueError):
+            f.link_mask[0] = True
+        with pytest.raises(ValueError):
+            f.link_scale[0] = 9.0
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        f = Mesh(3, 4).with_faults([0]).with_link_scale({1: 2.0})
+        g = pickle.loads(pickle.dumps(f))
+        assert g == f
+        assert not g.link_mask.flags.writeable
+        assert not g.link_scale.flags.writeable
+
+    def test_validation_errors(self):
+        m = Mesh(3, 4)
+        with pytest.raises(InvalidParameterError):
+            Mesh(3, 4, np.ones(3, dtype=bool))
+        with pytest.raises(InvalidParameterError):
+            Mesh(3, 4, np.ones(m.num_links, dtype=np.int64))
+        with pytest.raises(InvalidParameterError):
+            m.with_link_scale(np.zeros(m.num_links))
+        with pytest.raises(InvalidParameterError):
+            m.with_faults([m.num_links])

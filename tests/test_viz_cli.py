@@ -130,6 +130,48 @@ class TestCli:
 
     def test_unknown_panel_is_clean_error(self, capsys):
         assert main(["figures", "figZZ"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "figZZ" in err
+
+    def test_panel_cannot_name_arbitrary_module_attrs(self, capsys):
+        # fig7_config is a real attribute of repro.experiments.figures but
+        # not a panel; it used to escape validation and raise a TypeError
+        assert main(["figures", "fig7_config"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_figures_invalid_jobs_is_clean_error(self, capsys):
+        assert main(["figures", "fig7c", "--jobs", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "--jobs" in err
+        assert main(["figures", "fig7c", "--jobs", "-3"]) == 2
+
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-baseline", "faulty-links", "hotspot-derate",
+                     "narrow-mesh", "hotspot-traffic"):
+            assert name in out
+
+    def test_scenarios_run_smoke(self, tmp_path, capsys):
+        snap = tmp_path / "snap.json"
+        assert main(
+            ["scenarios", "run", "narrow-mesh", "--trials", "2",
+             "--json", str(snap)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "BEST" in out and "narrow-mesh" in out
+        assert snap.exists()
+
+    def test_scenarios_unknown_name_is_clean_error(self, capsys):
+        assert main(["scenarios", "run", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "no-such-scenario" in err
+
+    def test_scenarios_invalid_jobs_and_trials_are_clean_errors(self, capsys):
+        assert main(["scenarios", "run", "narrow-mesh", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+        assert main(["scenarios", "run", "narrow-mesh", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
 
     def test_apps_subcommand(self, capsys):
         code = main(
@@ -176,3 +218,11 @@ class TestCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "fraction" in out and "delivered" in out
+
+    def test_unwritable_output_path_is_clean_error(self, capsys):
+        code = main(
+            ["scenarios", "run", "narrow-mesh", "--trials", "1",
+             "--json", "/nonexistent-dir/x.json"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
