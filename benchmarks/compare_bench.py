@@ -1,0 +1,87 @@
+"""Diff two ``BENCH_*.json`` baselines and print speedup ratios.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_A.json BENCH_B.json
+    python benchmarks/compare_bench.py BENCH_2.json        # self-diff
+
+With two files, A is the *before* side and B the *after* side; their
+suites must match.  With one file, the embedded ``before_median_ms``
+section (recorded with ``record_baseline.py --before``) is diffed
+against the file's own ``median_ms``.
+
+Exit status is 0 unless the inputs are unusable — the tool reports, it
+does not gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read {path}: {exc}")
+
+
+def diff(before: dict, after: dict, b_label: str, a_label: str) -> int:
+    rows = []
+    names = [n for n in before if n in after]
+    for name in names:
+        b, a = before[name], after[name]
+        ratio = b / a if a > 0 else float("inf")
+        rows.append((name, b, a, ratio))
+    width = max((len(n) for n in names), default=4)
+    print(f"{'':{width}}  {b_label:>12}  {a_label:>12}  {'speedup':>8}")
+    for name, b, a, ratio in rows:
+        print(f"{name:{width}}  {b:10.2f}ms  {a:10.2f}ms  {ratio:7.2f}x")
+    only_b = sorted(set(before) - set(after))
+    only_a = sorted(set(after) - set(before))
+    if only_b:
+        print(f"only in {b_label}: {', '.join(only_b)}")
+    if only_a:
+        print(f"only in {a_label}: {', '.join(only_a)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", type=pathlib.Path)
+    parser.add_argument("after", type=pathlib.Path, nargs="?", default=None)
+    args = parser.parse_args(argv)
+
+    doc_b = load(args.before)
+    if args.after is None:
+        if "before_median_ms" not in doc_b:
+            print(
+                f"{args.before} has no embedded before_median_ms section; "
+                "pass a second BENCH file to compare against",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"[{args.before.name}: embedded before vs after]")
+        return diff(
+            doc_b["before_median_ms"], doc_b["median_ms"], "before", "after"
+        )
+    doc_a = load(args.after)
+    if doc_b.get("suite") != doc_a.get("suite"):
+        print(
+            f"suite mismatch: {args.before} records "
+            f"{doc_b.get('suite')!r}, {args.after} records "
+            f"{doc_a.get('suite')!r}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[{args.before.name} -> {args.after.name}]")
+    return diff(
+        doc_b["median_ms"], doc_a["median_ms"], args.before.stem, args.after.stem
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,17 +2,28 @@
 
 Usage::
 
-    python benchmarks/record_baseline.py [n]
+    python benchmarks/record_baseline.py [n] [--suite heuristic|meta]
+                                         [--rounds R] [--before FILE]
 
-Times every paper heuristic on the standard E-SPEED instance (8×8 chip,
-40 mixed communications, the same instance as
-``benchmarks/test_heuristic_speed.py``) and writes the medians to
-``BENCH_<n>.json`` at the repository root (default ``n`` = 1 + the highest
-existing baseline).  See ``docs/performance.md`` for the convention.
+Suites (both run on the standard E-SPEED instance — 8×8 chip, 40 mixed
+communications, the same instance as ``benchmarks/test_heuristic_speed.py``):
+
+* ``heuristic`` (default) — the paper's constructive heuristics
+  (XY/SG/IG/TB/XYI/PR), solving the same problem object repeatedly.
+* ``meta`` (the **M-SPEED** suite) — the stochastic metaheuristics
+  (GA/SA/TABU) at their default search budgets, solving a freshly built
+  problem every round so per-instance caches (kernel, init routings,
+  DAGs) are paid honestly inside each timed solve.
+
+``--before FILE`` embeds a previously recorded run of the same suite as
+``before_median_ms`` and computes per-heuristic speedups — record the
+file from the pre-change commit (e.g. in a ``git worktree``), then record
+the after side from the working tree.  See ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import platform
@@ -27,7 +38,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro import Mesh, PowerModel, RoutingProblem  # noqa: E402
-from repro.heuristics import PAPER_HEURISTICS, get_heuristic  # noqa: E402
+from repro.heuristics import (  # noqa: E402
+    PAPER_HEURISTICS,
+    GeneticRouting,
+    SimulatedAnnealing,
+    TabuRouting,
+    get_heuristic,
+)
 from repro.workloads import uniform_random_workload  # noqa: E402
 
 #: the E-SPEED instance of benchmarks/test_heuristic_speed.py
@@ -38,27 +55,67 @@ WORKLOAD_SEED = 99
 ROUNDS = 15
 WARMUP = 3
 
+#: M-SPEED rows: fresh default-budget instances, fixed seed per round
+META_FACTORIES = {
+    "GA": lambda: GeneticRouting(seed=0),
+    "SA": lambda: SimulatedAnnealing(seed=0),
+    "TABU": lambda: TabuRouting(seed=0),
+}
 
-def measure() -> dict:
+
+def build_problem() -> RoutingProblem:
     mesh = Mesh(*MESH_SHAPE)
     power = PowerModel.kim_horowitz()
-    problem = RoutingProblem(
+    return RoutingProblem(
         mesh,
         power,
         uniform_random_workload(mesh, NUM_COMMS, *RATE_RANGE, rng=WORKLOAD_SEED),
     )
+
+
+def measure_heuristic(rounds: int) -> dict:
+    """E-SPEED: constructive heuristics on one shared problem object."""
+    problem = build_problem()
     medians = {}
     for name in PAPER_HEURISTICS:
         heuristic = get_heuristic(name)
         for _ in range(WARMUP):
             heuristic.solve(problem)
         times = []
-        for _ in range(ROUNDS):
+        for _ in range(rounds):
             t0 = time.perf_counter()
             heuristic.solve(problem)
             times.append(time.perf_counter() - t0)
         medians[name] = round(statistics.median(times) * 1e3, 4)
     return medians
+
+
+def measure_meta(rounds: int) -> dict:
+    """M-SPEED: metaheuristics, fresh problem and instance per round.
+
+    Rounds interleave the competitors (GA, SA, TABU, GA, …) so slow
+    machine-load drift hits every row evenly instead of one heuristic.
+    """
+    times: dict = {name: [] for name in META_FACTORIES}
+    for name, make in META_FACTORIES.items():  # warmup
+        make().solve(build_problem())
+    for _ in range(rounds):
+        for name, make in META_FACTORIES.items():
+            heuristic = make()
+            problem = build_problem()
+            t0 = time.perf_counter()
+            heuristic.solve(problem)
+            times[name].append(time.perf_counter() - t0)
+    return {
+        name: round(statistics.median(ts) * 1e3, 4)
+        for name, ts in times.items()
+    }
+
+
+SUITES = {
+    "heuristic": ("heuristic-speed", measure_heuristic),
+    "meta": ("meta-speed", measure_meta),
+}
 
 
 def next_bench_number() -> int:
@@ -70,12 +127,25 @@ def next_bench_number() -> int:
     return max(nums, default=0) + 1
 
 
-def main(argv: list[str]) -> int:
-    n = int(argv[1]) if len(argv) > 1 else next_bench_number()
-    medians = measure()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("n", nargs="?", type=int, default=None)
+    parser.add_argument("--suite", choices=sorted(SUITES), default="heuristic")
+    parser.add_argument("--rounds", type=int, default=ROUNDS)
+    parser.add_argument(
+        "--before",
+        type=pathlib.Path,
+        default=None,
+        help="previously recorded BENCH json of the same suite to embed "
+        "as the before side (with per-heuristic speedups)",
+    )
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else next_bench_number()
+    suite_name, measure = SUITES[args.suite]
+    medians = measure(args.rounds)
     payload = {
         "bench": n,
-        "suite": "heuristic-speed",
+        "suite": suite_name,
         "instance": {
             "mesh": f"{MESH_SHAPE[0]}x{MESH_SHAPE[1]}",
             "num_comms": NUM_COMMS,
@@ -83,7 +153,7 @@ def main(argv: list[str]) -> int:
             "workload_seed": WORKLOAD_SEED,
             "power_model": "kim_horowitz",
         },
-        "rounds": ROUNDS,
+        "rounds": args.rounds,
         "median_ms": medians,
         "host": {
             "python": platform.python_version(),
@@ -91,6 +161,21 @@ def main(argv: list[str]) -> int:
             "machine": platform.machine(),
         },
     }
+    if args.before is not None:
+        before = json.loads(args.before.read_text())
+        if before.get("suite") != suite_name:
+            print(
+                f"--before file records suite {before.get('suite')!r}, "
+                f"not {suite_name!r}",
+                file=sys.stderr,
+            )
+            return 1
+        payload["before_median_ms"] = before["median_ms"]
+        payload["speedup"] = {
+            name: round(before["median_ms"][name] / ms, 2)
+            for name, ms in medians.items()
+            if name in before["median_ms"] and ms > 0
+        }
     out = REPO_ROOT / f"BENCH_{n}.json"
     out.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
@@ -99,4 +184,4 @@ def main(argv: list[str]) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -91,7 +91,16 @@ class RoutingProblem:
         mesh.
     """
 
-    __slots__ = ("mesh", "power", "comms", "_dags", "_dag_pool", "_rates")
+    __slots__ = (
+        "mesh",
+        "power",
+        "comms",
+        "_dags",
+        "_dag_pool",
+        "_rates",
+        "_kernel",
+        "_initial_moves",
+    )
 
     def __init__(
         self, mesh: Mesh, power: PowerModel, comms: Sequence[Communication]
@@ -117,6 +126,8 @@ class RoutingProblem:
         self._dag_pool: dict = {}
         self._rates = np.asarray([c.rate for c in comms], dtype=np.float64)
         self._rates.setflags(write=False)
+        self._kernel = None
+        self._initial_moves: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -158,6 +169,49 @@ class RoutingProblem:
                 self._dag_pool[key] = dag
             self._dags[i] = dag
         return self._dags[i]
+
+    def kernel(self):
+        """Cached :class:`~repro.mesh.kernel.FlatRoutingKernel` of this instance.
+
+        Every batched evaluator — the GA's generation grading, the load
+        ledgers behind SA/TABU, population property tests — needs the
+        same flattened hop metadata; building it once per problem instead
+        of once per heuristic removes a per-trial fixed cost from the
+        Monte-Carlo engine.
+        """
+        if self._kernel is None:
+            from repro.mesh.kernel import FlatRoutingKernel
+
+            self._kernel = FlatRoutingKernel(
+                self.mesh,
+                [(c.src, c.snk) for c in self.comms],
+                self._rates,
+            )
+        return self._kernel
+
+    def initial_moves(self, init: str) -> Tuple[str, ...]:
+        """Memoised move strings of the named heuristic's routing.
+
+        Registered heuristics are deterministic on a fixed problem (the
+        stochastic ones carry fixed default seeds), so the first caller
+        pays for the solve and every other improver/metaheuristic seeded
+        from the same ``init`` on this instance reuses the result.
+        """
+        moves = self._initial_moves.get(init)
+        if moves is None:
+            from repro.heuristics.base import get_heuristic
+
+            result = get_heuristic(init).solve(self)
+            routing = result.routing
+            if not routing.is_single_path:
+                raise InvalidParameterError(
+                    f"init heuristic {init!r} produced a split routing"
+                )
+            moves = tuple(
+                routing.paths(i)[0].moves for i in range(self.num_comms)
+            )
+            self._initial_moves[init] = moves
+        return moves
 
     def diag_span(self, i: int) -> Tuple[int, int]:
         """0-based ``(k_src, k_snk)`` diagonal indices of communication ``i``.

@@ -29,9 +29,9 @@ import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
-from repro.heuristics.local_moves import RoutingState, flip_positions, initial_moves
+from repro.heuristics.local_moves import RoutingState, initial_moves
 from repro.mesh.paths import Path
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, StreamReplica, ensure_rng
 from repro.utils.validation import InvalidParameterError
 
 
@@ -108,7 +108,11 @@ class SimulatedAnnealing(Heuristic):
         best_moves = state.snapshot()
         best_cost = state.cost
         for _ in range(self.restarts):
-            rng = np.random.default_rng(self._rng.integers(2**63))
+            # the chain's draws run through the bit-exact stream replica:
+            # identical draw sequence, a fraction of the per-draw dispatch
+            rng = StreamReplica(
+                np.random.default_rng(self._rng.integers(2**63))
+            )
             state.restore(start)
             moves, cost = self._anneal(state, movable, rng)
             if cost < best_cost:
@@ -120,44 +124,64 @@ class SimulatedAnnealing(Heuristic):
         self,
         state: RoutingState,
         movable: List[int],
-        rng: np.random.Generator,
+        rng: StreamReplica,
     ) -> tuple[List[str], float]:
-        """One chain; returns the best-seen snapshot and its cost."""
+        """One chain; returns the best-seen snapshot and its cost.
+
+        The walk runs on the ledger's fast paths — O(1) flip geometry,
+        scalar graded deltas, trusted resample conversion — with the RNG
+        draw order and acceptance float math of the scalar reference
+        implementation preserved exactly (``tests/test_meta_probes.py``).
+        """
         t0 = self._calibrate_t0(state, movable, rng)
         cooling = self.t_end_frac ** (1.0 / max(1, self.iterations - 1))
         temp = t0
         best_moves = state.snapshot()
         best_cost = state.cost
         n_mov = len(movable)
+        integers = rng.integers
+        random = rng.random
+        exp = math.exp
+        resample_prob = self.resample_prob
+        problem = state.problem
+        # hot-loop bindings: the chain makes thousands of proposals whose
+        # per-step work is a handful of scalar operations each
+        dags = [problem.dag(i) for i in range(problem.num_comms)]
+        pos_lists = state._pos
+        move_strs = state._mstr
+        flip_dcost = state.flip_dcost
+        commit_flip = state.commit_flip
+        resample_eval = state.resample_eval
+        commit_resample = state.commit_resample
+        snapshot = state.snapshot
         for _ in range(self.iterations):
-            ci = movable[int(rng.integers(n_mov))]
-            if rng.random() < self.resample_prob:
-                dag = state.problem.dag(ci)
+            ci = movable[integers(n_mov)]
+            if random() < resample_prob:
                 # on faulty meshes propose live paths only (no-op — and the
                 # identical RNG draw — on pristine meshes)
-                new_mv = dag.random_moves(rng, alive_only=True)
-                if new_mv == "".join(state.moves[ci]):
+                new_mv = dags[ci].random_moves(rng, alive_only=True)
+                if new_mv == move_strs[ci]:
                     temp *= cooling
                     continue
-                new_links, deltas, dcost = state.resample_delta(ci, new_mv)
-                if dcost <= 0 or rng.random() < math.exp(
+                new_links, deltas, dcost = resample_eval(ci, new_mv)
+                if dcost <= 0 or random() < exp(
                     -min(dcost / max(temp, 1e-300), 700.0)
                 ):
-                    state.apply_resample(ci, new_mv, new_links, deltas, dcost)
+                    commit_resample(ci, new_mv, new_links, deltas, dcost)
             else:
-                pos = flip_positions(state.moves[ci])
+                pos = pos_lists[ci]
                 if not pos:  # straight-line path of a flippable comm
                     temp *= cooling
                     continue
-                j = pos[int(rng.integers(len(pos)))]
-                deltas, dcost = state.flip_delta(ci, j)
-                if dcost <= 0 or rng.random() < math.exp(
+                j = pos[integers(len(pos))]
+                dcost = flip_dcost(ci, j)
+                if dcost <= 0 or random() < exp(
                     -min(dcost / max(temp, 1e-300), 700.0)
                 ):
-                    state.apply_flip(ci, j, deltas, dcost)
+                    commit_flip(ci, j, dcost)
             if state.cost < best_cost:
                 best_cost = state.cost
-                best_moves = state.snapshot()
+                best_moves = snapshot()
             temp *= cooling
         return best_moves, best_cost
 
@@ -166,7 +190,7 @@ class SimulatedAnnealing(Heuristic):
         self,
         state: RoutingState,
         movable: List[int],
-        rng: np.random.Generator,
+        rng: StreamReplica,
         samples: int = 48,
     ) -> float:
         """Median uphill |Δcost| of random corner flips → starting temperature."""
@@ -174,11 +198,11 @@ class SimulatedAnnealing(Heuristic):
         n_mov = len(movable)
         for _ in range(samples):
             ci = movable[int(rng.integers(n_mov))]
-            pos = flip_positions(state.moves[ci])
+            pos = state.flip_pos(ci)
             if not pos:
                 continue
             j = pos[int(rng.integers(len(pos)))]
-            _, dcost = state.flip_delta(ci, j)
+            dcost = state.flip_dcost(ci, j)
             if dcost > 0:
                 ups.append(dcost)
         if not ups:

@@ -29,7 +29,7 @@ from repro.heuristics.base import Heuristic, register_heuristic
 from repro.heuristics.local_moves import flip_positions, initial_moves
 from repro.mesh.kernel import FlatRoutingKernel
 from repro.mesh.paths import Path
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, StreamReplica, ensure_rng
 from repro.utils.validation import InvalidParameterError
 
 Genome = Tuple[str, ...]
@@ -108,22 +108,32 @@ class GeneticRouting(Heuristic):
 
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
-        rng = np.random.default_rng(self._rng.integers(2**63))
-        kernel = self._kernel(problem)
+        # all of the GA's randomness — tournaments, crossover masks,
+        # mutation gates, path resamples — runs through the bit-exact
+        # stream replica (array draws consume the generator stream element
+        # by element, so the scalar replays are draw-for-draw identical)
+        rng = StreamReplica(np.random.default_rng(self._rng.integers(2**63)))
+        kernel = problem.kernel()
         pop = self._initial_population(problem, rng)
         fitness = self._population_fitness(problem, kernel, pop)
 
+        comms = problem.comms
+        straight = [c.delta_u == 0 or c.delta_v == 0 for c in comms]
+        dags = [
+            None if s else problem.dag(i) for i, s in enumerate(straight)
+        ]
         for _ in range(self.generations):
             order = np.argsort(fitness)
+            fitness_l = fitness.tolist()
             next_pop: List[Genome] = [pop[i] for i in order[: self.elite]]
             while len(next_pop) < self.population:
-                a = self._tournament_pick(fitness, rng)
+                a = self._tournament_pick(fitness_l, rng)
                 if rng.random() < self.crossover_prob:
-                    b = self._tournament_pick(fitness, rng)
+                    b = self._tournament_pick(fitness_l, rng)
                     child = self._crossover(pop[a], pop[b], rng)
                 else:
                     child = pop[a]
-                child = self._mutate(problem, child, rng)
+                child = self._mutate(child, rng, straight, dags)
                 next_pop.append(child)
             pop = next_pop
             fitness = self._population_fitness(problem, kernel, pop)
@@ -152,14 +162,6 @@ class GeneticRouting(Heuristic):
         return pop
 
     @staticmethod
-    def _kernel(problem: RoutingProblem) -> FlatRoutingKernel:
-        return FlatRoutingKernel(
-            problem.mesh,
-            [(c.src, c.snk) for c in problem.comms],
-            [c.rate for c in problem.comms],
-        )
-
-    @staticmethod
     def _population_fitness(
         problem: RoutingProblem,
         kernel: FlatRoutingKernel,
@@ -177,33 +179,52 @@ class GeneticRouting(Heuristic):
         vmask = kernel.population_vmask(pop)
         return kernel.graded_powers(problem.power, vmask)
 
-    def _tournament_pick(self, fitness: np.ndarray, rng: np.random.Generator) -> int:
-        contenders = rng.integers(len(fitness), size=self.tournament)
-        return int(contenders[np.argmin(fitness[contenders])])
+    def _tournament_pick(self, fitness_l: List[float], rng: StreamReplica) -> int:
+        """First-minimum tournament over ``tournament`` scalar draws.
+
+        Draw-for-draw identical to drawing the contender array in one
+        call and taking ``argmin`` (strict ``<`` keeps the earliest
+        minimum, like ``argmin``).
+        """
+        integers = rng.integers
+        n = len(fitness_l)
+        best = integers(n)
+        bf = fitness_l[best]
+        for _ in range(self.tournament - 1):
+            c = integers(n)
+            f = fitness_l[c]
+            if f < bf:
+                best, bf = c, f
+        return best
 
     @staticmethod
-    def _crossover(a: Genome, b: Genome, rng: np.random.Generator) -> Genome:
+    def _crossover(a: Genome, b: Genome, rng: StreamReplica) -> Genome:
         """Uniform per-communication exchange (paths are never spliced)."""
-        mask = rng.random(len(a)) < 0.5
-        return tuple(x if m else y for x, y, m in zip(a, b, mask))
+        random = rng.random
+        return tuple(x if random() < 0.5 else y for x, y in zip(a, b))
 
     def _mutate(
-        self, problem: RoutingProblem, genome: Genome, rng: np.random.Generator
+        self,
+        genome: Genome,
+        rng: StreamReplica,
+        straight: List[bool],
+        dags: List,
     ) -> Genome:
         out = list(genome)
-        for i in range(len(out)):
-            if rng.random() >= self.mutation_prob:
+        random = rng.random
+        integers = rng.integers
+        mutation_prob = self.mutation_prob
+        for i, is_straight in enumerate(straight):
+            if random() >= mutation_prob:
                 continue
-            comm = problem.comms[i]
-            if comm.delta_u == 0 or comm.delta_v == 0:
+            if is_straight:
                 continue  # unique Manhattan path; nothing to mutate
-            if rng.random() < 0.5:
-                out[i] = problem.dag(i).random_moves(rng, alive_only=True)
+            if random() < 0.5:
+                out[i] = dags[i].random_moves(rng, alive_only=True)
             else:
-                mv = list(out[i])
+                mv = out[i]
                 pos = flip_positions(mv)
                 if pos:
-                    j = pos[int(rng.integers(len(pos)))]
-                    mv[j], mv[j + 1] = mv[j + 1], mv[j]
-                    out[i] = "".join(mv)
+                    j = pos[integers(len(pos))]
+                    out[i] = mv[:j] + mv[j + 1] + mv[j] + mv[j + 2 :]
         return tuple(out)

@@ -12,36 +12,32 @@ routings through two elementary moves:
 * **path resample** — replace one communication's path by a uniformly
   random Manhattan path (an O(length) delta).
 
-:class:`RoutingState` owns the link-load vector and the graded total power
-(:meth:`repro.core.power.PowerModel.total_power_graded`), and keeps both
-consistent under moves via delta evaluation — the inner-loop primitive that
-makes thousands of annealing steps per second feasible in pure Python.
+:class:`RoutingState` is the problem-aware face of
+:class:`repro.mesh.batch.LoadLedger` — the batched metaheuristic engine
+that owns the link-load vector and the graded total power and keeps both
+consistent under moves via O(1) flip-link arithmetic, a scalar fast path
+for small graded deltas, and one-NumPy-pass grading of whole candidate
+neighbourhoods.  All of it is float-for-float identical to evaluating
+each move through :func:`repro.heuristics.base.graded_power_delta`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.core.routing import Routing
-from repro.heuristics.base import graded_power_delta, path_swap_deltas
-from repro.mesh.diagonals import direction_steps
-from repro.mesh.kernel import links_from_vmask, moves_to_vmask
-from repro.mesh.moves import MOVE_V, validate_moves
+from repro.mesh.batch import LoadLedger, flip_corners
+from repro.mesh.moves import validate_moves
 from repro.mesh.paths import Path
-from repro.utils.validation import InvalidParameterError
 
-Coord = Tuple[int, int]
-
-
-def flip_positions(moves: Sequence[str]) -> List[int]:
-    """Indices ``j`` where ``moves[j] != moves[j+1]`` (flippable corners)."""
-    return [j for j in range(len(moves) - 1) if moves[j] != moves[j + 1]]
+#: historical name of :func:`repro.mesh.batch.flip_corners`
+flip_positions = flip_corners
 
 
-class RoutingState:
+class RoutingState(LoadLedger):
     """A complete 1-MP routing under local-move mutation.
 
     Parameters
@@ -61,175 +57,51 @@ class RoutingState:
         graded overload penalty otherwise), maintained incrementally.
     """
 
-    __slots__ = (
-        "problem",
-        "mesh",
-        "power",
-        "scale",
-        "dead",
-        "moves",
-        "links",
-        "loads",
-        "cost",
-    )
+    __slots__ = ("problem",)
 
     def __init__(self, problem: RoutingProblem, moves_list: Sequence[str]):
-        if len(moves_list) != problem.num_comms:
-            raise InvalidParameterError(
-                f"expected {problem.num_comms} move strings, got {len(moves_list)}"
-            )
         self.problem = problem
-        self.mesh = problem.mesh
-        self.power = problem.power
-        # mesh link profile (None / None on pristine meshes): dead links are
-        # graded like zero-bandwidth overloads, so the metaheuristics
-        # driving this state evacuate them before optimising true power
-        self.scale = self.mesh.link_scale
-        self.dead = self.mesh.dead_mask
-        self.moves: List[List[str]] = []
-        self.links: List[List[int]] = []
-        self.loads = np.zeros(self.mesh.num_links, dtype=np.float64)
-        for i, mv in enumerate(moves_list):
-            comm = problem.comms[i]
-            validate_moves(comm.src, comm.snk, mv)
-            su, sv = direction_steps(comm.direction)
-            lids = links_from_vmask(
-                self.mesh, comm.src, su, sv, moves_to_vmask(mv)
-            ).tolist()
-            self.moves.append(list(mv))
-            self.links.append(lids)
-            for lid in lids:
-                self.loads[lid] += comm.rate
-        self.cost = self.power.total_power_graded(
-            self.loads, scale=self.scale, dead=self.dead
+        super().__init__(
+            problem.mesh,
+            problem.power,
+            [(c.src, c.snk) for c in problem.comms],
+            [c.rate for c in problem.comms],
+            moves_list,
+            kernel=problem.kernel(),
         )
 
     # ------------------------------------------------------------------
-    # geometry helpers
+    # validated public variant of the trusted resample evaluation
     # ------------------------------------------------------------------
-    def _core_at(self, ci: int, j: int) -> Coord:
-        """Core reached after the first ``j`` moves of communication ``ci``."""
-        comm = self.problem.comms[ci]
-        dag = self.problem.dag(ci)
-        x = y = 0
-        mv = self.moves[ci]
-        for m in mv[:j]:
-            if m == MOVE_V:
-                x += 1
-            else:
-                y += 1
-        return (comm.src[0] + dag.su * x, comm.src[1] + dag.sv * y)
+    def resample_delta(self, ci: int, new_moves: str):
+        """Deltas and cost change if ``ci`` switched to ``new_moves``.
 
-    def _step(self, ci: int, core: Coord, move: str) -> Coord:
-        dag = self.problem.dag(ci)
-        if move == MOVE_V:
-            return (core[0] + dag.su, core[1])
-        return (core[0], core[1] + dag.sv)
-
-    # ------------------------------------------------------------------
-    # corner flips
-    # ------------------------------------------------------------------
-    def flip_links(self, ci: int, j: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
-        """Old and new link pairs for the corner flip ``(ci, j)``.
-
-        Returns ``((old_j, old_j1), (new_j, new_j1))``.  Raises when the
-        two moves are equal (nothing to flip).
+        ``new_moves`` may come from anywhere, so it is validated; the
+        metaheuristic inner loops use the trusted
+        :meth:`~repro.mesh.batch.LoadLedger.resample_eval` (their
+        proposals are legal by construction).
         """
-        mv = self.moves[ci]
-        if not 0 <= j < len(mv) - 1:
-            raise InvalidParameterError(
-                f"flip position {j} out of range for a {len(mv)}-hop path"
-            )
-        if mv[j] == mv[j + 1]:
-            raise InvalidParameterError(
-                f"moves {j} and {j + 1} of communication {ci} are both "
-                f"{mv[j]!r}; corner flips need distinct moves"
-            )
-        c0 = self._core_at(ci, j)
-        mid_new = self._step(ci, c0, mv[j + 1])
-        end = self._step(ci, self._step(ci, c0, mv[j]), mv[j + 1])
-        new_j = self.mesh.link_between(c0, mid_new)
-        new_j1 = self.mesh.link_between(mid_new, end)
-        return (self.links[ci][j], self.links[ci][j + 1]), (new_j, new_j1)
-
-    def flip_delta(self, ci: int, j: int) -> Tuple[Dict[int, float], float]:
-        """Load deltas and graded-cost change of corner flip ``(ci, j)``."""
-        (o1, o2), (n1, n2) = self.flip_links(ci, j)
-        rate = self.problem.comms[ci].rate
-        deltas = path_swap_deltas((o1, o2), (n1, n2), rate)
-        return deltas, graded_power_delta(
-            self.power, self.loads, deltas, scale=self.scale, dead=self.dead
-        )
-
-    def apply_flip(self, ci: int, j: int, deltas: Dict[int, float], dcost: float) -> None:
-        """Commit a corner flip whose delta was already evaluated."""
-        (_, _), (n1, n2) = self.flip_links(ci, j)
-        mv = self.moves[ci]
-        mv[j], mv[j + 1] = mv[j + 1], mv[j]
-        self.links[ci][j] = n1
-        self.links[ci][j + 1] = n2
-        for lid, d in deltas.items():
-            self.loads[lid] += d
-            if self.loads[lid] < 0:
-                self.loads[lid] = 0.0
-        self.cost += dcost
-
-    # ------------------------------------------------------------------
-    # full-path resamples
-    # ------------------------------------------------------------------
-    def resample_delta(
-        self, ci: int, new_moves: str
-    ) -> Tuple[List[int], Dict[int, float], float]:
-        """Deltas and cost change if ``ci`` switched to ``new_moves``."""
         comm = self.problem.comms[ci]
         validate_moves(comm.src, comm.snk, new_moves)
-        su, sv = direction_steps(comm.direction)
-        new_links = links_from_vmask(
-            self.mesh, comm.src, su, sv, moves_to_vmask(new_moves)
-        ).tolist()
-        deltas = path_swap_deltas(self.links[ci], new_links, comm.rate)
-        return (
-            new_links,
-            deltas,
-            graded_power_delta(
-                self.power, self.loads, deltas, scale=self.scale, dead=self.dead
-            ),
-        )
+        return self.resample_eval(ci, new_moves)
 
     def apply_resample(
         self,
         ci: int,
         new_moves: str,
         new_links: List[int],
-        deltas: Dict[int, float],
+        deltas,
         dcost: float,
     ) -> None:
         """Commit a path resample whose delta was already evaluated."""
-        self.moves[ci] = list(new_moves)
-        self.links[ci] = list(new_links)
-        for lid, d in deltas.items():
-            self.loads[lid] += d
-            if self.loads[lid] < 0:
-                self.loads[lid] = 0.0
-        self.cost += dcost
+        self.commit_resample(ci, new_moves, new_links, deltas, dcost)
 
     # ------------------------------------------------------------------
     # export / bookkeeping
     # ------------------------------------------------------------------
-    def snapshot(self) -> List[str]:
-        """Current move strings (copy), one per communication."""
-        return ["".join(mv) for mv in self.moves]
-
     def restore(self, snapshot: Sequence[str]) -> None:
         """Reset to a previously captured snapshot (full rebuild)."""
-        self.__init__(self.problem, snapshot)
-
-    def recompute_cost(self) -> float:
-        """From-scratch graded cost (drift check; also resyncs ``cost``)."""
-        self.cost = self.power.total_power_graded(
-            self.loads, scale=self.scale, dead=self.dead
-        )
-        return self.cost
+        self._load(snapshot)
 
     def paths(self) -> List[Path]:
         """Materialise the current state as :class:`Path` objects.
@@ -245,7 +117,7 @@ class RoutingState:
                     self.mesh,
                     comm.src,
                     comm.snk,
-                    "".join(self.moves[i]),
+                    self.move_str(i),
                     np.asarray(self.links[i], dtype=np.int64),
                 )
             )
@@ -255,48 +127,15 @@ class RoutingState:
         """Materialise the current state as a single-path routing."""
         return Routing.single_path(self.problem, self.paths())
 
-    def mutable_comms(self) -> List[int]:
-        """Communications with more than one Manhattan path (flippable)."""
-        return [
-            i
-            for i, comm in enumerate(self.problem.comms)
-            if comm.delta_u > 0 and comm.delta_v > 0
-        ]
-
-    def comms_using(self, lid: int) -> List[int]:
-        """Communications whose current path crosses link ``lid``."""
-        return [ci for ci, lids in enumerate(self.links) if lid in lids]
-
-    def most_loaded_links(self, k: int = 1) -> List[int]:
-        """The ``k`` most loaded link ids, heaviest first (ties arbitrary)."""
-        if k < 1:
-            raise InvalidParameterError(f"k must be >= 1, got {k}")
-        k = min(k, int(np.count_nonzero(self.loads)))
-        if k == 0:
-            return []
-        idx = np.argpartition(self.loads, -k)[-k:]
-        return [int(i) for i in idx[np.argsort(self.loads[idx])[::-1]]]
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (
-            f"RoutingState({self.problem.num_comms} comms, "
-            f"cost={self.cost:.6g})"
-        )
-
 
 def initial_moves(problem: RoutingProblem, init: str) -> List[str]:
     """Move strings of the named registered heuristic's solution.
 
     ``init`` may be any registered heuristic name ("XY", "SG", "TB", ...);
     the heuristic is run on ``problem`` and its (single-path) routing is
-    converted to move strings.
+    converted to move strings.  The result is memoised on the problem
+    (every registered heuristic is deterministic for a fixed default
+    seed), so SA and TABU sharing an ``init`` on one instance pay for it
+    once.
     """
-    from repro.heuristics.base import get_heuristic  # local import: registry
-
-    result = get_heuristic(init).solve(problem)
-    routing = result.routing
-    if not routing.is_single_path:
-        raise InvalidParameterError(
-            f"init heuristic {init!r} produced a split routing"
-        )
-    return [routing.paths(i)[0].moves for i in range(problem.num_comms)]
+    return list(problem.initial_moves(init))

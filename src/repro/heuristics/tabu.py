@@ -21,9 +21,9 @@ import numpy as np
 
 from repro.core.problem import RoutingProblem
 from repro.heuristics.base import Heuristic, register_heuristic
-from repro.heuristics.local_moves import RoutingState, flip_positions, initial_moves
+from repro.heuristics.local_moves import RoutingState, initial_moves
 from repro.mesh.paths import Path
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, StreamReplica, ensure_rng
 from repro.utils.validation import InvalidParameterError
 
 #: a candidate move: ("flip", ci, j) — resamples are handled separately
@@ -84,7 +84,8 @@ class TabuRouting(Heuristic):
 
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
-        rng = np.random.default_rng(self._rng.integers(2**63))
+        # bit-exact draw sequence at a fraction of the scalar-draw cost
+        rng = StreamReplica(np.random.default_rng(self._rng.integers(2**63)))
         state = RoutingState(problem, initial_moves(problem, self.init))
         movable = state.mutable_comms()
         if not movable:
@@ -98,10 +99,10 @@ class TabuRouting(Heuristic):
             chosen = self._best_candidate(state, movable, tabu, best_cost, it, rng)
             if chosen is None:
                 break  # no admissible move in the sampled neighbourhood
-            ci, j, deltas, dcost = chosen
+            ci, j, dcost = chosen
             # forbid returning to the pre-move path of ci
-            tabu[(ci, "".join(state.moves[ci]))] = it + self.tenure
-            state.apply_flip(ci, j, deltas, dcost)
+            tabu[(ci, state.move_str(ci))] = it + self.tenure
+            state.commit_flip(ci, j, dcost)
             if state.cost < best_cost:
                 best_cost = state.cost
                 best_moves = state.snapshot()
@@ -118,49 +119,78 @@ class TabuRouting(Heuristic):
         tabu: Dict[Tuple[int, str], int],
         best_cost: float,
         it: int,
-        rng: np.random.Generator,
-    ) -> Optional[Tuple[int, int, Dict[int, float], float]]:
-        """Lowest-Δcost admissible flip among hot-link and random candidates."""
+        rng: StreamReplica,
+    ) -> Optional[Tuple[int, int, float]]:
+        """Lowest-Δcost admissible flip among hot-link and random candidates.
+
+        The whole candidate neighbourhood is graded in **one** batched
+        ledger pass (:meth:`~repro.mesh.batch.LoadLedger.
+        flip_dcost_batch`) — one ``link_power_graded`` call per iteration
+        instead of one per candidate — with per-candidate costs identical
+        to the scalar evaluation, then swept in candidate order with the
+        original tabu/aspiration logic.
+        """
         cands: List[Move] = []
         seen = set()
-
-        def add(ci: int, j: int) -> None:
-            if (ci, j) not in seen:
-                seen.add((ci, j))
-                cands.append((ci, j))
+        seen_add = seen.add
+        cands_append = cands.append
+        neighborhood = self.neighborhood
+        links = state.links
+        mstrs = state._mstr
+        pos_lists = state._pos
 
         # flips touching the hottest links first
         for lid in state.most_loaded_links(self.hot_links):
             for ci in state.comms_using(lid):
-                mv = state.moves[ci]
-                k = state.links[ci].index(lid)
+                mv = mstrs[ci]
+                k = links[ci].index(lid)
                 for j in (k - 1, k):
                     if 0 <= j < len(mv) - 1 and mv[j] != mv[j + 1]:
-                        add(ci, j)
-                if len(cands) >= self.neighborhood:
+                        key = (ci, j)
+                        if key not in seen:
+                            seen_add(key)
+                            cands_append(key)
+                if len(cands) >= neighborhood:
                     break
-            if len(cands) >= self.neighborhood:
+            if len(cands) >= neighborhood:
                 break
 
         # random exploration slice
         n_mov = len(movable)
         attempts = 0
-        while len(cands) < self.neighborhood and attempts < 4 * self.neighborhood:
+        max_attempts = 4 * neighborhood
+        integers = rng.integers
+        n_cands = len(cands)
+        while n_cands < neighborhood and attempts < max_attempts:
             attempts += 1
-            ci = movable[int(rng.integers(n_mov))]
-            pos = flip_positions(state.moves[ci])
+            ci = movable[integers(n_mov)]
+            pos = pos_lists[ci]
             if pos:
-                add(ci, pos[int(rng.integers(len(pos)))])
+                key = (ci, pos[integers(len(pos))])
+                if key not in seen:
+                    seen_add(key)
+                    cands_append(key)
+                    n_cands += 1
 
-        best: Optional[Tuple[int, int, Dict[int, float], float]] = None
-        for ci, j in cands:
-            deltas, dcost = state.flip_delta(ci, j)
+        if not cands:
+            return None
+        dcosts = state.flip_dcost_batch(cands)
+        # the committed move is the lowest-Δcost admissible candidate,
+        # ties resolved to the earliest candidate — i.e. the first
+        # admissible entry of the stable (Δcost, candidate-order) sort.
+        # Walking that order evaluates the tabu status (and builds the
+        # destination move string) of almost always just one candidate
+        # instead of the whole neighbourhood.
+        scost = state.cost
+        tabu_get = tabu.get
+        for k in np.argsort(dcosts, kind="stable"):
+            ci, j = cands[k]
+            dcost = dcosts[k]
             # the flip's destination path for ci
-            mv = state.moves[ci]
-            dest = "".join(mv[:j] + [mv[j + 1], mv[j]] + mv[j + 2 :])
-            is_tabu = tabu.get((ci, dest), -1) > it
-            if is_tabu and state.cost + dcost >= best_cost:
+            s = state.move_str(ci)
+            dest = s[:j] + s[j + 1] + s[j] + s[j + 2 :]
+            is_tabu = tabu_get((ci, dest), -1) > it
+            if is_tabu and scost + dcost >= best_cost:
                 continue  # tabu and no aspiration
-            if best is None or dcost < best[3]:
-                best = (ci, j, deltas, dcost)
-        return best
+            return (ci, j, float(dcost))
+        return None

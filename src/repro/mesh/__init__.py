@@ -40,6 +40,7 @@ from repro.mesh.kernel import (
     moves_to_vmask,
     stack_vmasks,
 )
+from repro.mesh.batch import LoadLedger, flip_corners
 
 __all__ = [
     "Mesh",
@@ -68,4 +69,6 @@ __all__ = [
     "moves_to_links_array",
     "moves_to_vmask",
     "stack_vmasks",
+    "LoadLedger",
+    "flip_corners",
 ]

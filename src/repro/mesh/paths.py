@@ -505,9 +505,15 @@ class CommDag:
     def enumerate_paths(
         self, limit: int | None = None, *, alive_only: bool = False
     ) -> Iterator[Path]:
-        """Yield all Manhattan paths as :class:`Path` objects."""
+        """Yield all Manhattan paths as :class:`Path` objects.
+
+        :meth:`enumerate_moves` walks the rectangle's DAG, so its move
+        strings are legal by construction and the trusted constructor
+        skips re-validation (the exhaustive optimum enumerates *every*
+        path of an instance through this).
+        """
         for moves in self.enumerate_moves(limit=limit, alive_only=alive_only):
-            yield Path(self.mesh, self.src, self.snk, moves)
+            yield Path.from_validated(self.mesh, self.src, self.snk, moves)
 
     def random_moves(
         self, rng: np.random.Generator, *, alive_only: bool = False

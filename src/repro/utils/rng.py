@@ -33,6 +33,155 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     )
 
 
+#: bit masks of the 32/64-bit words of numpy's bounded-draw kernels
+_M32 = 0xFFFFFFFF
+_M64 = (1 << 64) - 1
+
+#: the ``2**-53`` double-conversion constant of numpy's ``next_double``
+_TO_DOUBLE = 1.1102230246251565e-16
+
+
+class StreamReplica:
+    """Python-side replica of a PCG64 :class:`~numpy.random.Generator`.
+
+    Scalar ``Generator`` draws cost over a microsecond each in dispatch
+    overhead — the dominant cost of metaheuristic inner loops that make a
+    handful of bounded draws per proposal.  This replica consumes the
+    generator's **raw 64-bit output stream** in blocks (one vectorised
+    ``integers(0, 2**64)`` call per ``block`` words — full-range draws
+    are the raw words) and re-implements the exact word-consumption
+    discipline of numpy's scalar kernels in Python:
+
+    * ``random()`` — one raw word, ``(w >> 11) * 2**-53``;
+    * ``integers(n)`` — Lemire rejection; bounds below ``2**32`` use the
+      32-bit kernel fed by **half-words** (low half first, high half
+      buffered), exactly like numpy's buffered ``next_uint32``;
+    * ``shuffle(list)`` — Fisher–Yates with numpy's masked-rejection
+      ``random_interval`` (32-bit path for small bounds, same half-word
+      buffer).
+
+    The replica therefore produces **bit-identical draw sequences** to
+    calling the same methods on the wrapped generator directly, at a
+    fraction of the per-draw cost (``tests/test_stream_replica.py``
+    fuzzes the equivalence over hundreds of interleaving patterns).  Once
+    wrapped, the underlying generator must not be used directly — the
+    replica has already consumed words beyond the caller's position.
+
+    Only the methods the metaheuristics need are provided; extend the
+    replica (with its equivalence test) before handing it to new draw
+    sites.
+    """
+
+    __slots__ = ("_rng", "_block", "_buf", "_i", "_n", "_has32", "_u32")
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024):
+        self._rng = rng
+        self._block = block
+        self._buf: list = []
+        self._i = 0
+        self._n = 0
+        self._has32 = False
+        self._u32 = 0
+
+    def _refill(self) -> None:
+        self._buf = self._rng.integers(
+            0, 2**64, size=self._block, dtype=np.uint64
+        ).tolist()
+        self._i = 0
+        self._n = self._block
+
+    def _raw64(self) -> int:
+        if self._i >= self._n:
+            self._refill()
+        v = self._buf[self._i]
+        self._i += 1
+        return v
+
+    def _raw32(self) -> int:
+        # numpy's next_uint32 on a 64-bit generator: serve the low half
+        # first and buffer the high half for the next 32-bit draw
+        if self._has32:
+            self._has32 = False
+            return self._u32
+        if self._i >= self._n:
+            self._refill()
+        v = self._buf[self._i]
+        self._i += 1
+        self._has32 = True
+        self._u32 = v >> 32
+        return v & _M32
+
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        """Uniform double in [0, 1) — ``Generator.random()`` bit for bit."""
+        if self._i >= self._n:
+            self._refill()
+        v = self._buf[self._i]
+        self._i += 1
+        return (v >> 11) * _TO_DOUBLE
+
+    def integers(self, n: int) -> int:
+        """Uniform int in [0, n) — scalar ``Generator.integers(n)`` bit
+        for bit (int64 dtype: Lemire rejection, 32-bit kernel for small
+        bounds)."""
+        rng_ = n - 1
+        if rng_ <= 0:
+            if rng_ < 0:
+                # match Generator.integers: fail loudly instead of
+                # desynchronising the word stream with a bogus draw
+                raise ValueError(f"high <= 0 in integers({n})")
+            return 0
+        if rng_ <= _M32:
+            rng_excl = rng_ + 1
+            m = self._raw32() * rng_excl
+            leftover = m & _M32
+            if leftover < rng_excl:
+                threshold = (_M32 - rng_) % rng_excl
+                while leftover < threshold:
+                    m = self._raw32() * rng_excl
+                    leftover = m & _M32
+            return m >> 32
+        if rng_ == _M64:
+            return self._raw64()
+        rng_excl = rng_ + 1
+        m = self._raw64() * rng_excl
+        leftover = m & _M64
+        if leftover < rng_excl:
+            threshold = (_M64 - rng_) % rng_excl
+            while leftover < threshold:
+                m = self._raw64() * rng_excl
+                leftover = m & _M64
+        return m >> 64
+
+    def shuffle(self, x: list) -> None:
+        """In-place shuffle — ``Generator.shuffle`` on a plain sequence
+        bit for bit (masked-rejection ``random_interval`` per step)."""
+        interval = self._interval
+        for i in range(len(x) - 1, 0, -1):
+            j = interval(i)
+            x[i], x[j] = x[j], x[i]
+
+    def _interval(self, mx: int) -> int:
+        if mx == 0:
+            return 0
+        mask = mx
+        mask |= mask >> 1
+        mask |= mask >> 2
+        mask |= mask >> 4
+        mask |= mask >> 8
+        mask |= mask >> 16
+        mask |= mask >> 32
+        if mx <= _M32:
+            while True:
+                v = self._raw32() & mask
+                if v <= mx:
+                    return v
+        while True:
+            v = self._raw64() & mask
+            if v <= mx:
+                return v
+
+
 def spawn_rngs(seed: Optional[int], n: int) -> Sequence[np.random.Generator]:
     """Create ``n`` independent generators from a root ``seed``.
 

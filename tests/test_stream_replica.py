@@ -1,0 +1,104 @@
+"""Equivalence fuzz for :class:`repro.utils.rng.StreamReplica`.
+
+The replica re-implements numpy's scalar draw kernels (Lemire bounded
+integers with the buffered 32-bit half-word path, ``next_double``,
+``shuffle``'s masked-rejection intervals) on top of block-fetched raw
+64-bit words.  The metaheuristics' bit-compatibility rests on the replica
+producing the *exact* draw sequence of the wrapped generator, so these
+tests interleave every supported operation in random patterns and compare
+against a twin ``np.random.Generator`` draw for draw.
+
+If a numpy upgrade ever changes a kernel's word-consumption discipline,
+this file is the tripwire (and ``tests/test_meta_probes.py`` the
+backstop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import StreamReplica
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 2**32), block=st.sampled_from([1, 2, 7, 64]))
+def test_interleaved_draws_match_generator(seed, block):
+    ref = np.random.default_rng(seed)
+    rep = StreamReplica(np.random.default_rng(seed), block=block)
+    script = np.random.default_rng(seed ^ 0x5EED)
+    for _ in range(120):
+        op = script.integers(6)
+        if op == 0:
+            n = int(script.integers(1, 64))
+            assert rep.integers(n) == int(ref.integers(n))
+        elif op == 1:
+            assert rep.random() == ref.random()
+        elif op == 2:
+            n = int(script.integers(1, 24))
+            a = list(range(n))
+            b = list(range(n))
+            ref.shuffle(a)
+            rep.shuffle(b)
+            assert a == b
+        elif op == 3:
+            # bounds straddling the 32-bit kernel cutoff
+            n = int(script.integers(2**31, 2**36))
+            assert rep.integers(n) == int(ref.integers(n))
+        elif op == 4:
+            n = int(script.integers(1, 2**62))
+            assert rep.integers(n) == int(ref.integers(n))
+        else:
+            assert rep.integers(1) == int(ref.integers(1))
+
+
+def test_scalar_draws_match_array_draws():
+    """Array draws fill element-wise from the same stream — the property
+    that lets the GA replay its batched draws as scalars."""
+    g1 = np.random.default_rng(123)
+    g2 = np.random.default_rng(123)
+    for _ in range(50):
+        assert list(g1.integers(17, size=5)) == [
+            int(g2.integers(17)) for _ in range(5)
+        ]
+        assert list(g1.random(7)) == [g2.random() for _ in range(7)]
+
+
+def test_nonpositive_bound_raises():
+    rep = StreamReplica(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        rep.integers(0)
+    with pytest.raises(ValueError):
+        rep.integers(-3)
+
+
+def test_full_range_matches():
+    rep = StreamReplica(np.random.default_rng(9))
+    ref = np.random.default_rng(9)
+    for _ in range(20):
+        assert rep.integers(2**64) == int(ref.integers(0, 2**64, dtype=np.uint64))
+
+
+def test_underlying_generator_must_not_be_shared():
+    """Documented contract: the replica owns the stream once wrapped."""
+    base = np.random.default_rng(4)
+    rep = StreamReplica(base, block=8)
+    first = [rep.integers(100) for _ in range(4)]
+    twin = StreamReplica(np.random.default_rng(4), block=8)
+    assert first == [twin.integers(100) for _ in range(4)]
+    # drawing from `base` directly now desynchronises future replicas;
+    # nothing to assert beyond "it does not blow up" — the test encodes
+    # the usage rule for readers
+    base.random()
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 31, 1000, 2**31 - 1])
+def test_bounded_draw_distribution_sanity(n):
+    """Cheap sanity: draws land in range and hit more than one value."""
+    rep = StreamReplica(np.random.default_rng(0))
+    vals = {rep.integers(n) for _ in range(64)}
+    assert all(0 <= v < n for v in vals)
+    if n > 1:
+        assert len(vals) > 1
