@@ -7,8 +7,11 @@ Usage::
 
 With two files, A is the *before* side and B the *after* side; their
 suites must match.  With one file, the embedded ``before_median_ms``
-section (recorded with ``record_baseline.py --before``) is diffed
-against the file's own ``median_ms``.
+section (recorded with ``record_baseline.py --before``, or automatically
+by the N-SPEED ``noc`` suite) is diffed against the file's own
+``median_ms``.  N-SPEED rows are per-point: the keys are offered-load
+fractions rather than heuristic names, the before side is the reference
+simulator and the after side the array engine.
 
 Exit status is 0 unless the inputs are unusable — the tool reports, it
 does not gate.
@@ -20,6 +23,11 @@ import argparse
 import json
 import pathlib
 import sys
+
+#: per-suite labels for a file's embedded before/after pair
+SUITE_SIDES = {
+    "noc-speed": ("reference", "array"),
+}
 
 
 def load(path: pathlib.Path) -> dict:
@@ -64,9 +72,12 @@ def main(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 1
-        print(f"[{args.before.name}: embedded before vs after]")
+        b_label, a_label = SUITE_SIDES.get(
+            doc_b.get("suite"), ("before", "after")
+        )
+        print(f"[{args.before.name}: embedded {b_label} vs {a_label}]")
         return diff(
-            doc_b["before_median_ms"], doc_b["median_ms"], "before", "after"
+            doc_b["before_median_ms"], doc_b["median_ms"], b_label, a_label
         )
     doc_a = load(args.after)
     if doc_b.get("suite") != doc_a.get("suite"):

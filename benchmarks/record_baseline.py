@@ -2,18 +2,28 @@
 
 Usage::
 
-    python benchmarks/record_baseline.py [n] [--suite heuristic|meta]
+    python benchmarks/record_baseline.py [n] [--suite heuristic|meta|noc]
                                          [--rounds R] [--before FILE]
 
-Suites (both run on the standard E-SPEED instance — 8×8 chip, 40 mixed
-communications, the same instance as ``benchmarks/test_heuristic_speed.py``):
+Suites:
 
 * ``heuristic`` (default) — the paper's constructive heuristics
-  (XY/SG/IG/TB/XYI/PR), solving the same problem object repeatedly.
+  (XY/SG/IG/TB/XYI/PR) on the standard E-SPEED instance (8×8 chip, 40
+  mixed communications, the instance of
+  ``benchmarks/test_heuristic_speed.py``), solving the same problem
+  object repeatedly.
 * ``meta`` (the **M-SPEED** suite) — the stochastic metaheuristics
-  (GA/SA/TABU) at their default search budgets, solving a freshly built
-  problem every round so per-instance caches (kernel, init routings,
-  DAGs) are paid honestly inside each timed solve.
+  (GA/SA/TABU) at their default search budgets on the E-SPEED instance,
+  solving a freshly built problem every round so per-instance caches
+  (kernel, init routings, DAGs) are paid honestly inside each timed
+  solve.
+* ``noc`` (the **N-SPEED** suite) — one load–latency point per offered
+  fraction (4000 cycles, Bernoulli arrivals) of a provisioned PR routing
+  on the standard N-SPEED instance (8×8 chip, 12 mixed communications),
+  timed on the array flit engine *and* the reference simulator in the
+  same run.  The reference timings are embedded as ``before_median_ms``
+  with per-point speedups automatically (no ``--before`` needed), and
+  the two engines' curves are asserted bit-identical while timing.
 
 ``--before FILE`` embeds a previously recorded run of the same suite as
 ``before_median_ms`` and computes per-heuristic speedups — record the
@@ -55,6 +65,15 @@ WORKLOAD_SEED = 99
 ROUNDS = 15
 WARMUP = 3
 
+#: the N-SPEED instance: a PR-provisioned 8×8 routing under load sweep
+NOC_NUM_COMMS = 12
+NOC_RATE_RANGE = (100.0, 1200.0)
+NOC_WORKLOAD_SEED = 0
+NOC_FRACTIONS = (0.5, 1.0, 2.0)
+NOC_CYCLES = 4000
+NOC_WARMUP = 800
+NOC_SIM_SEED = 20260611
+
 #: M-SPEED rows: fresh default-budget instances, fixed seed per round
 META_FACTORIES = {
     "GA": lambda: GeneticRouting(seed=0),
@@ -73,7 +92,7 @@ def build_problem() -> RoutingProblem:
     )
 
 
-def measure_heuristic(rounds: int) -> dict:
+def measure_heuristic(rounds: int) -> tuple[dict, dict]:
     """E-SPEED: constructive heuristics on one shared problem object."""
     problem = build_problem()
     medians = {}
@@ -87,10 +106,10 @@ def measure_heuristic(rounds: int) -> dict:
             heuristic.solve(problem)
             times.append(time.perf_counter() - t0)
         medians[name] = round(statistics.median(times) * 1e3, 4)
-    return medians
+    return medians, {}
 
 
-def measure_meta(rounds: int) -> dict:
+def measure_meta(rounds: int) -> tuple[dict, dict]:
     """M-SPEED: metaheuristics, fresh problem and instance per round.
 
     Rounds interleave the competitors (GA, SA, TABU, GA, …) so slow
@@ -109,13 +128,82 @@ def measure_meta(rounds: int) -> dict:
     return {
         name: round(statistics.median(ts) * 1e3, 4)
         for name, ts in times.items()
+    }, {}
+
+
+def build_noc_routing():
+    """The N-SPEED routing: PR on the standard instance, provisioned."""
+    mesh = Mesh(*MESH_SHAPE)
+    power = PowerModel.kim_horowitz()
+    problem = RoutingProblem(
+        mesh,
+        power,
+        uniform_random_workload(
+            mesh, NOC_NUM_COMMS, *NOC_RATE_RANGE, rng=NOC_WORKLOAD_SEED
+        ),
+    )
+    result = get_heuristic("PR").solve(problem)
+    assert result.valid, "N-SPEED instance must be PR-routable"
+    return result.routing
+
+
+def measure_noc(rounds: int) -> tuple[dict, dict]:
+    """N-SPEED: one latency point per fraction, array vs reference engine.
+
+    Rounds interleave fractions and engines so machine-load drift hits
+    every cell evenly.  The two engines' points are asserted equal while
+    timing — a benchmark that silently compared different curves would be
+    meaningless.
+    """
+    from repro.noc import latency_sweep
+
+    routing = build_noc_routing()
+    kw = dict(
+        cycles=NOC_CYCLES,
+        warmup=NOC_WARMUP,
+        injection="bernoulli",
+        seed=NOC_SIM_SEED,
+    )
+    times: dict = {
+        engine: {frac: [] for frac in NOC_FRACTIONS}
+        for engine in ("array", "reference")
+    }
+    for frac in NOC_FRACTIONS:  # warmup + equivalence gate
+        a = latency_sweep(routing, [frac], engine="array", **kw)
+        b = latency_sweep(routing, [frac], engine="reference", **kw)
+        assert a == b, f"engines disagree at fraction {frac}"
+    for _ in range(rounds):
+        for frac in NOC_FRACTIONS:
+            for engine in ("array", "reference"):
+                t0 = time.perf_counter()
+                latency_sweep(routing, [frac], engine=engine, **kw)
+                times[engine][frac].append(time.perf_counter() - t0)
+    medians = {
+        engine: {
+            f"{frac:g}": round(statistics.median(ts) * 1e3, 4)
+            for frac, ts in per.items()
+        }
+        for engine, per in times.items()
+    }
+    after, before = medians["array"], medians["reference"]
+    return after, {
+        "before_median_ms": before,
+        "speedup": {
+            point: round(before[point] / ms, 2)
+            for point, ms in after.items()
+            if ms > 0
+        },
     }
 
 
 SUITES = {
     "heuristic": ("heuristic-speed", measure_heuristic),
     "meta": ("meta-speed", measure_meta),
+    "noc": ("noc-speed", measure_noc),
 }
+
+#: suites that embed their own before side (reject a conflicting --before)
+SELF_BEFORE_SUITES = {"noc"}
 
 
 def next_bench_number() -> int:
@@ -142,17 +230,39 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     n = args.n if args.n is not None else next_bench_number()
     suite_name, measure = SUITES[args.suite]
-    medians = measure(args.rounds)
-    payload = {
-        "bench": n,
-        "suite": suite_name,
-        "instance": {
+    if args.before is not None and args.suite in SELF_BEFORE_SUITES:
+        print(
+            f"--before is not supported for the {args.suite!r} suite: it "
+            "records its own before side (the reference engine)",
+            file=sys.stderr,
+        )
+        return 1
+    medians, extras = measure(args.rounds)
+    if args.suite == "noc":
+        instance = {
+            "mesh": f"{MESH_SHAPE[0]}x{MESH_SHAPE[1]}",
+            "num_comms": NOC_NUM_COMMS,
+            "rates": list(NOC_RATE_RANGE),
+            "workload_seed": NOC_WORKLOAD_SEED,
+            "power_model": "kim_horowitz",
+            "routing": "PR",
+            "cycles": NOC_CYCLES,
+            "warmup": NOC_WARMUP,
+            "injection": "bernoulli",
+            "sim_seed": NOC_SIM_SEED,
+        }
+    else:
+        instance = {
             "mesh": f"{MESH_SHAPE[0]}x{MESH_SHAPE[1]}",
             "num_comms": NUM_COMMS,
             "rates": list(RATE_RANGE),
             "workload_seed": WORKLOAD_SEED,
             "power_model": "kim_horowitz",
-        },
+        }
+    payload = {
+        "bench": n,
+        "suite": suite_name,
+        "instance": instance,
         "rounds": args.rounds,
         "median_ms": medians,
         "host": {
@@ -161,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             "machine": platform.machine(),
         },
     }
+    payload.update(extras)
     if args.before is not None:
         before = json.loads(args.before.read_text())
         if before.get("suite") != suite_name:

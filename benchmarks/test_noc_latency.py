@@ -6,6 +6,11 @@ routing, drive it with Bernoulli packet arrivals at a growing fraction of
 the nominal rates, and record packet latency and delivered throughput
 (the classic NoC evaluation curve).
 
+Curves run on the array flit engine (the ``latency_sweep`` default); one
+point is re-run on the reference simulator as a cross-engine spot check —
+the two are cycle-exact, so the recorded table is identical to the
+pre-engine output (see BENCH_3.json for the speed side).
+
 On an instance where both XY and PR are valid, expectations:
 
 * both stay stable at least up to the nominal point (fraction 1.0) —
@@ -89,3 +94,12 @@ def test_noc_latency_curves(benchmark):
         assert finite[0] == min(finite), name
     # shortest paths: zero-load latency of PR within 25% of XY's
     assert curves["PR"][0].mean_latency <= curves["XY"][0].mean_latency * 1.25
+
+
+def test_engines_agree_on_a_point():
+    """Cross-engine spot check: one sweep point, bit-identical curves."""
+    _, xy, _ = _find_instance()
+    kw = dict(cycles=1500, warmup=300, injection="bernoulli", seed=20260611)
+    array = latency_sweep(xy.routing, [1.0], engine="array", **kw)
+    reference = latency_sweep(xy.routing, [1.0], engine="reference", **kw)
+    assert array == reference

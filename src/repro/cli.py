@@ -8,6 +8,8 @@ Commands
 ``scenarios``  list or run registered scenarios (faulty / derated / ...)
 ``theory``     print the Theorem 1 / Lemma 2 separation tables
 ``simulate``   run a saved routing on the flit-level NoC simulator
+``noc sweep``  load–latency curve of a saved routing or a registry
+               scenario on the array flit engine (``--jobs``/``--engine``)
 
 Every command is a thin shell over the library API; ``main(argv)`` returns
 a process exit code so the CLI is unit-testable.  User errors (unknown
@@ -285,6 +287,84 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fractions(text: str) -> List[float]:
+    try:
+        fractions = [float(f) for f in text.split(",") if f.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--fractions must be comma-separated numbers, got {text!r}"
+        ) from None
+    if not fractions:
+        raise ReproError("--fractions must name at least one fraction")
+    return fractions
+
+
+def _cmd_noc_sweep(args: argparse.Namespace) -> int:
+    from repro.noc import latency_sweep, points_table, saturation_fraction
+
+    _check_jobs(args.jobs)
+    if args.cycles < 1:
+        raise ReproError(f"--cycles must be >= 1, got {args.cycles}")
+    fractions = _parse_fractions(args.fractions)
+    if bool(args.routing) == bool(args.scenario):
+        raise ReproError(
+            "pass exactly one input: a routing JSON path or --scenario NAME"
+        )
+    if args.scenario:
+        from repro.scenarios import scenario_latency_curve
+
+        result = scenario_latency_curve(
+            args.scenario,
+            heuristic=args.heuristic,
+            fractions=fractions,
+            cycles=args.cycles,
+            warmup=args.cycles // 5,
+            injection=args.injection,
+            seed=args.seed,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+        print(result.to_text())
+        doc = result.to_jsonable()
+    else:
+        from repro.io import load_routing
+
+        routing = load_routing(args.routing)
+        points = latency_sweep(
+            routing,
+            fractions,
+            cycles=args.cycles,
+            warmup=args.cycles // 5,
+            injection=args.injection,
+            seed=args.seed if args.seed is not None else 0,
+            jobs=args.jobs,
+            engine=args.engine,
+        )
+        print(points_table(points))
+        sat = saturation_fraction(points)
+        print(
+            f"saturation fraction: {sat:.2f}"
+            if sat != float("inf")
+            else "no saturation inside the sweep"
+        )
+        doc = {
+            "routing": args.routing,
+            "engine": args.engine,
+            "injection": args.injection,
+            "cycles": args.cycles,
+            "seed": args.seed if args.seed is not None else 0,
+            "points": [pt.to_jsonable() for pt in points],
+        }
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"latency curve saved to {args.json}")
+    return 0
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     from repro.heuristics import PAPER_HEURISTICS, get_heuristic
     from repro.utils.tables import format_table
@@ -485,6 +565,49 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--buffer-flits", type=int, default=4)
     s.add_argument("--packet-flits", type=int, default=8)
     s.set_defaults(func=_cmd_simulate)
+
+    n = sub.add_parser(
+        "noc", help="flit-engine NoC evaluation (load-latency sweeps)"
+    )
+    n_sub = n.add_subparsers(dest="action", required=True)
+    n_sweep = n_sub.add_parser(
+        "sweep",
+        help="load-latency curve of a saved routing or a registry scenario",
+    )
+    n_sweep.add_argument(
+        "routing", nargs="?", default=None,
+        help="routing JSON path (omit when using --scenario)",
+    )
+    n_sweep.add_argument(
+        "--scenario", default=None,
+        help="sweep a registry scenario's trial-0 instance instead "
+        "(see 'scenarios list')",
+    )
+    n_sweep.add_argument(
+        "--heuristic", default="BEST",
+        help="heuristic deployed for --scenario (default: BEST)",
+    )
+    n_sweep.add_argument("--fractions", default="0.2,0.5,0.8,1.0,1.5,2.0")
+    n_sweep.add_argument("--cycles", type=int, default=4000)
+    n_sweep.add_argument(
+        "--injection",
+        choices=("deterministic", "bernoulli", "burst"),
+        default="bernoulli",
+    )
+    n_sweep.add_argument("--seed", type=int, default=None)
+    n_sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes, one sweep point each (default: serial)",
+    )
+    n_sweep.add_argument(
+        "--engine", choices=("array", "reference"), default="array",
+        help="flit engine (the cycle-exact 'reference' oracle is slower)",
+    )
+    n_sweep.add_argument(
+        "--json", default=None,
+        help="also save the exact (hex-float) latency curve to this path",
+    )
+    n_sweep.set_defaults(func=_cmd_noc_sweep)
 
     l = sub.add_parser(
         "latency", help="load-latency sweep of a saved routing"

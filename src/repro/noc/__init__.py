@@ -9,14 +9,20 @@ table-driven deployment.  This package closes that loop:
   (a resource-ordering scheme: every Manhattan path of direction ``d``
   only ever turns between the two link orientations of its quadrant, so
   giving each direction its own VC makes every per-VC CDG acyclic);
-* :mod:`repro.noc.simulator` — a cycle-based wormhole simulator that
-  executes a routing's tables with DVFS-scaled link speeds, measuring
-  per-flow throughput, packet latency and per-link utilisation — and
-  demonstrating real deadlock when the CDG analysis says so;
+* :mod:`repro.noc.simulator` — the cycle-based wormhole *reference*
+  simulator that executes a routing's tables with DVFS-scaled link
+  speeds, measuring per-flow throughput, packet latency and per-link
+  utilisation — and demonstrating real deadlock when the CDG analysis
+  says so;
+* :mod:`repro.noc.engine` — the structure-of-arrays wormhole engine,
+  cycle-exact with the reference (probe-pinned and fuzz-proven) at a
+  fraction of the cost; the default engine of every sweep;
 * :mod:`repro.noc.traffic` — deterministic / Bernoulli / bursty arrival
-  processes, all meeting the demanded rates in expectation;
+  processes, all meeting the demanded rates in expectation, plus the
+  batched arrival precomputation the array engine injects from;
 * :mod:`repro.noc.sweep` — load–latency curves of a provisioned routing
-  (offered traffic swept past nominal, link DVFS held fixed);
+  (offered traffic swept past nominal, link DVFS held fixed), with an
+  ``engine=`` switch and a one-process-per-fraction parallel runner;
 * :mod:`repro.noc.router_power` — Orion-style buffer/crossbar/arbiter
   energy plus router leakage, to re-examine XY vs Manhattan under total
   network power rather than link power alone.
@@ -25,21 +31,26 @@ table-driven deployment.  This package closes that loop:
 from repro.noc.deadlock import (
     build_cdg,
     cdg_cycles,
+    comm_vcs,
     is_deadlock_free,
     direction_class_vc,
     single_vc,
 )
 from repro.noc.simulator import (
     FlitSimulator,
+    FlowTable,
     SimulationReport,
     FlowStats,
     PacketRecord,
     DeadlockError,
+    build_flow_table,
 )
+from repro.noc.engine import ArrayFlitSimulator
 from repro.noc.reorder import ReorderStats, reorder_stats, worst_reorder_buffer
 from repro.noc.tables import (
     TableConflict,
     destination_table_conflicts,
+    flow_link_table,
     router_tables,
     source_routes,
 )
@@ -49,7 +60,13 @@ from repro.noc.traffic import (
     BurstInjection,
     DeterministicInjection,
 )
-from repro.noc.sweep import LatencyPoint, latency_sweep, saturation_fraction
+from repro.noc.sweep import (
+    ENGINES,
+    LatencyPoint,
+    latency_sweep,
+    points_table,
+    saturation_fraction,
+)
 from repro.noc.router_power import (
     NetworkPowerReport,
     RouterPowerModel,
@@ -61,10 +78,16 @@ from repro.noc.router_power import (
 __all__ = [
     "TableConflict",
     "destination_table_conflicts",
+    "flow_link_table",
     "router_tables",
     "source_routes",
+    "ArrayFlitSimulator",
+    "FlowTable",
+    "build_flow_table",
+    "ENGINES",
     "build_cdg",
     "cdg_cycles",
+    "comm_vcs",
     "is_deadlock_free",
     "direction_class_vc",
     "single_vc",
@@ -78,6 +101,7 @@ __all__ = [
     "BurstInjection",
     "LatencyPoint",
     "latency_sweep",
+    "points_table",
     "saturation_fraction",
     "RouterPowerModel",
     "NetworkPowerReport",

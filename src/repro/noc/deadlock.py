@@ -40,6 +40,28 @@ def single_vc(comm_index: int, direction: int) -> int:
     return 0
 
 
+def comm_vcs(
+    routing: Routing, vc_of: VcAssignment = direction_class_vc
+) -> List[int]:
+    """Per-communication VC assignment of ``routing`` under ``vc_of``.
+
+    ``direction_of`` is memoised per endpoint pair and ``vc_of`` evaluated
+    once per communication — the single home of the VC flattening shared
+    by the CDG analysis and both flit engines (via
+    :func:`repro.noc.simulator.build_flow_table`).
+    """
+    dir_memo: Dict[Tuple, int] = {}
+    out: List[int] = []
+    for i, comm in enumerate(routing.problem.comms):
+        key = (comm.src, comm.snk)
+        d = dir_memo.get(key)
+        if d is None:
+            d = direction_of(comm.src, comm.snk)
+            dir_memo[key] = d
+        out.append(vc_of(i, d))
+    return out
+
+
 def build_cdg(
     routing: Routing, vc_of: VcAssignment = direction_class_vc
 ) -> Dict[Channel, Set[Channel]]:
@@ -50,9 +72,9 @@ def build_cdg(
     is constant along a path under per-flow assignments).
     """
     adj: Dict[Channel, Set[Channel]] = {}
+    vcs = comm_vcs(routing, vc_of)
     for i, flows in enumerate(routing.flows):
-        d = direction_of(routing.problem.comms[i].src, routing.problem.comms[i].snk)
-        vc = vc_of(i, d)
+        vc = vcs[i]
         if vc < 0:
             raise InvalidParameterError(f"vc assignment returned {vc} < 0")
         for flow in flows:

@@ -23,6 +23,11 @@ With a single VC, routings whose channel dependency graph is cyclic can
 and do deadlock — the simulator detects global no-progress and raises
 :class:`DeadlockError`.  With the direction-class VC assignment (see
 :mod:`repro.noc.deadlock`) every Manhattan routing is deadlock-free.
+
+This module is the **reference** implementation — the readable oracle the
+structure-of-arrays engine (:mod:`repro.noc.engine`) is proven
+cycle-exact against.  Prefer the engine (or the ``engine=`` default of
+:func:`repro.noc.sweep.latency_sweep`) for anything measured in seconds.
 """
 
 from __future__ import annotations
@@ -34,8 +39,8 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.routing import Routing
-from repro.mesh.diagonals import direction_of
-from repro.noc.deadlock import VcAssignment, direction_class_vc
+from repro.noc.deadlock import VcAssignment, comm_vcs, direction_class_vc
+from repro.noc.tables import flow_link_table
 from repro.noc.traffic import injection_factory
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import InvalidParameterError, ReproError
@@ -43,6 +48,69 @@ from repro.utils.validation import InvalidParameterError, ReproError
 
 class DeadlockError(ReproError):
     """The network made no progress for the configured window."""
+
+
+@dataclass(frozen=True)
+class FlowTable:
+    """Flattened per-flow deployment metadata, shared by both flit engines.
+
+    Flattening a routing — communications in problem order, each
+    communication's flows in routing order — yields one traffic class per
+    flow: its hop table (link ids via the flat kernel arithmetic of
+    :func:`repro.noc.tables.flow_link_table`), its owning communication,
+    its virtual channel and its *raw* rate in Mb/s.  Rate scaling and the
+    bandwidth division happen in the simulators (``rate * rate_scale /
+    BW``, in exactly that order) so a shared table cannot perturb the
+    float math of any sweep point.
+
+    Build once with :func:`build_flow_table` and pass the same table to
+    every simulator of a sweep — the flattening (direction lookups, VC
+    assignment, hop-table arithmetic) is then paid once per routing
+    instead of once per sweep point.
+    """
+
+    num_vcs: int
+    paths: Tuple[Tuple[int, ...], ...]  #: link ids per hop, per flow
+    comm: Tuple[int, ...]  #: owning communication index per flow
+    vc: Tuple[int, ...]  #: virtual channel per flow
+    rates: Tuple[float, ...]  #: raw flow rates (Mb/s), unscaled
+
+
+def build_flow_table(
+    routing: Routing,
+    *,
+    num_vcs: int = 4,
+    vc_of: VcAssignment = direction_class_vc,
+) -> FlowTable:
+    """Flatten ``routing`` into a :class:`FlowTable`.
+
+    ``direction_of`` lookups are memoised per endpoint pair and the VC
+    assignment is evaluated once per communication
+    (:func:`repro.noc.deadlock.comm_vcs`), matching the reference
+    flattening bit for bit.
+    """
+    paths = flow_link_table(routing)
+    comm: List[int] = []
+    vcs: List[int] = []
+    rates: List[float] = []
+    per_comm_vc = comm_vcs(routing, vc_of)
+    for i, flows in enumerate(routing.flows):
+        vc = per_comm_vc[i]
+        if not 0 <= vc < num_vcs:
+            raise InvalidParameterError(
+                f"vc assignment returned {vc}, outside [0, {num_vcs})"
+            )
+        for f in flows:
+            comm.append(i)
+            vcs.append(vc)
+            rates.append(f.rate)
+    return FlowTable(
+        num_vcs=num_vcs,
+        paths=tuple(paths),
+        comm=tuple(comm),
+        vc=tuple(vcs),
+        rates=tuple(rates),
+    )
 
 
 @dataclass(frozen=True)
@@ -58,8 +126,17 @@ class FlowStats:
 
     @property
     def achieved_fraction(self) -> float:
-        """Delivered/demanded throughput ratio (measured over the run)."""
-        return self.delivered_flits / self.injected_flits if self.injected_flits else 0.0
+        """Delivered/demanded throughput ratio (measured over the run).
+
+        Zero-injection convention: a flow that injected nothing during the
+        measured window demanded nothing, so its ratio is **1.0**
+        (vacuously achieved) — the same convention as
+        :attr:`repro.noc.sweep.LatencyPoint.delivered_ratio`, so idle flows
+        never drag aggregate minima to zero.
+        """
+        if self.injected_flits == 0:
+            return 1.0
+        return self.delivered_flits / self.injected_flits
 
 
 @dataclass(frozen=True)
@@ -131,6 +208,10 @@ class FlitSimulator:
         :mod:`repro.noc.sweep`).
     seed:
         RNG seed for stochastic injection models.
+    flow_table:
+        Optional pre-built :class:`FlowTable` (``build_flow_table``) so a
+        sweep pays the routing flattening once; must have been built with
+        the same ``num_vcs``.  When given, ``vc_of`` is ignored.
     """
 
     def __init__(
@@ -146,6 +227,7 @@ class FlitSimulator:
         rate_scale: float = 1.0,
         seed: RngLike = 0,
         collect_packets: bool = False,
+        flow_table: Optional[FlowTable] = None,
     ):
         if num_vcs < 1:
             raise InvalidParameterError(f"num_vcs must be >= 1, got {num_vcs}")
@@ -185,26 +267,21 @@ class FlitSimulator:
         self.packet_flits = packet_flits
         self.deadlock_window = deadlock_window
 
-        # flatten flows
-        self.flow_paths: List[List[int]] = []
-        self.flow_comm: List[int] = []
-        self.flow_vc: List[int] = []
-        self.flow_rate_frac: List[float] = []
-        for i, flows in enumerate(routing.flows):
-            comm = problem.comms[i]
-            d = direction_of(comm.src, comm.snk)
-            vc = vc_of(i, d)
-            if not 0 <= vc < num_vcs:
-                raise InvalidParameterError(
-                    f"vc assignment returned {vc}, outside [0, {num_vcs})"
-                )
-            for f in flows:
-                self.flow_paths.append([int(x) for x in f.path.link_ids])
-                self.flow_comm.append(i)
-                self.flow_vc.append(vc)
-                self.flow_rate_frac.append(
-                    f.rate * rate_scale / power.bandwidth
-                )
+        # flatten flows (memoised direction/VC lookups; reusable per sweep)
+        if flow_table is None:
+            flow_table = build_flow_table(routing, num_vcs=num_vcs, vc_of=vc_of)
+        elif flow_table.num_vcs != num_vcs:
+            raise InvalidParameterError(
+                f"flow table was built for {flow_table.num_vcs} VCs, "
+                f"simulator runs {num_vcs}"
+            )
+        self.flow_table = flow_table
+        self.flow_paths: List[List[int]] = [list(p) for p in flow_table.paths]
+        self.flow_comm: List[int] = list(flow_table.comm)
+        self.flow_vc: List[int] = list(flow_table.vc)
+        self.flow_rate_frac: List[float] = [
+            rate * rate_scale / power.bandwidth for rate in flow_table.rates
+        ]
 
         # per link: the (flow, upstream link) pairs that may feed it
         # (upstream None = the flow's injection queue)

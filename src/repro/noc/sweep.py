@@ -13,22 +13,48 @@ abstracts away: two routings with equal (or similar) *power* can behave
 differently under bursty arrivals because their queueing headroom
 differs.  ``benchmarks/test_noc_latency.py`` uses it to compare XY and
 PR routings of the same instance.
+
+Execution engines
+-----------------
+
+Each point runs on the array flit engine
+(:class:`~repro.noc.engine.ArrayFlitSimulator`, ``engine="array"``, the
+default) or the reference simulator (``engine="reference"``) — the two
+are cycle-exact, so the choice never changes a curve, only its cost.
+``jobs > 1`` fans the points of one sweep out to a process pool, one
+task per offered-load fraction; every point's simulator is seeded
+identically either way, so serial and parallel sweeps are bit-identical
+point for point.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.routing import Routing
-from repro.noc.simulator import DeadlockError, FlitSimulator, SimulationReport
+from repro.noc.engine import ArrayFlitSimulator
+from repro.noc.simulator import (
+    DeadlockError,
+    FlitSimulator,
+    FlowTable,
+    SimulationReport,
+    build_flow_table,
+)
 from repro.utils.rng import RngLike
 from repro.utils.validation import InvalidParameterError
 
 #: latency reported for a point that deadlocked or delivered nothing
 UNSTABLE = float("inf")
+
+#: engine name → simulator class (the reference simulator is the oracle)
+ENGINES = {
+    "array": ArrayFlitSimulator,
+    "reference": FlitSimulator,
+}
 
 
 @dataclass(frozen=True)
@@ -44,7 +70,13 @@ class LatencyPoint:
 
     @property
     def delivered_ratio(self) -> float:
-        """Delivered/injected over the measured window (≈1 below saturation)."""
+        """Delivered/injected over the measured window (≈1 below saturation).
+
+        Zero-injection convention: a point whose measured window saw no
+        injected traffic delivered everything it was offered, so the ratio
+        is **1.0** (vacuously) — the same convention as
+        :attr:`repro.noc.simulator.FlowStats.achieved_fraction`.
+        """
         if self.injected_flits == 0:
             return 1.0
         return self.delivered_flits / self.injected_flits
@@ -53,6 +85,39 @@ class LatencyPoint:
     def stable(self) -> bool:
         """Heuristic stability flag: most injected traffic got through."""
         return not self.deadlocked and self.delivered_ratio >= 0.9
+
+    def to_jsonable(self) -> dict:
+        """Exact (hex-float) snapshot of this point — the single schema
+        used by every saved latency curve (CLI ``--json``, scenario
+        results)."""
+        return {
+            "fraction": self.fraction.hex(),
+            "injected_flits": self.injected_flits,
+            "delivered_flits": self.delivered_flits,
+            "mean_latency": self.mean_latency.hex(),
+            "max_link_utilization": self.max_link_utilization.hex(),
+            "deadlocked": self.deadlocked,
+        }
+
+
+def points_table(points: Sequence["LatencyPoint"]) -> str:
+    """Human-readable latency-curve table — the single renderer shared by
+    the CLI and the scenario results."""
+    from repro.utils.tables import format_table
+
+    rows = [
+        [
+            f"{pt.fraction:.2f}",
+            f"{pt.mean_latency:.1f}" if pt.mean_latency < 1e12 else "-",
+            f"{pt.delivered_ratio:.2f}",
+            f"{pt.max_link_utilization:.2f}",
+            "DEADLOCK" if pt.deadlocked else ("ok" if pt.stable else "sat"),
+        ]
+        for pt in points
+    ]
+    return format_table(
+        ["fraction", "latency", "delivered", "max util", "state"], rows
+    )
 
 
 def _aggregate(report: SimulationReport, fraction: float) -> LatencyPoint:
@@ -80,6 +145,51 @@ def _aggregate(report: SimulationReport, fraction: float) -> LatencyPoint:
     )
 
 
+def _sweep_point(
+    routing: Routing,
+    fraction: float,
+    *,
+    cycles: int,
+    warmup: int,
+    injection,
+    packet_flits: int,
+    buffer_flits: int,
+    num_vcs: int,
+    seed: RngLike,
+    engine: str,
+    flow_table: Optional[FlowTable] = None,
+) -> LatencyPoint:
+    """Run one offered-load fraction and fold it into a point."""
+    sim = ENGINES[engine](
+        routing,
+        injection=injection,
+        rate_scale=fraction,
+        packet_flits=packet_flits,
+        buffer_flits=buffer_flits,
+        num_vcs=num_vcs,
+        seed=seed,
+        flow_table=flow_table,
+    )
+    try:
+        report = sim.run(cycles, warmup=warmup)
+    except DeadlockError:
+        return LatencyPoint(
+            fraction=fraction,
+            injected_flits=0,
+            delivered_flits=0,
+            mean_latency=UNSTABLE,
+            max_link_utilization=1.0,
+            deadlocked=True,
+        )
+    return _aggregate(report, fraction)
+
+
+def _sweep_point_task(args) -> LatencyPoint:
+    """Module-level process-pool entry (one task per fraction)."""
+    routing, fraction, kwargs = args
+    return _sweep_point(routing, fraction, **kwargs)
+
+
 def latency_sweep(
     routing: Routing,
     fractions: Sequence[float],
@@ -91,6 +201,8 @@ def latency_sweep(
     buffer_flits: int = 4,
     num_vcs: int = 4,
     seed: RngLike = 0,
+    engine: str = "array",
+    jobs: int = 1,
 ) -> List[LatencyPoint]:
     """Run the simulator at each offered-load fraction of ``routing``.
 
@@ -99,38 +211,52 @@ def latency_sweep(
     VC assignments) are reported with ``deadlocked=True`` rather than
     raised, so a sweep can document where an unprotected configuration
     collapses.
+
+    ``engine`` selects the array flit engine (default) or the cycle-exact
+    ``"reference"`` oracle; ``jobs > 1`` runs the points on a process
+    pool, one worker task per fraction, with bit-identical results in
+    fraction order (parallel execution needs a picklable ``routing`` and
+    ``injection`` — registry names always are).
     """
     if not fractions:
         raise InvalidParameterError("fractions must be non-empty")
-    points: List[LatencyPoint] = []
     for frac in fractions:
         if frac <= 0:
             raise InvalidParameterError(f"fractions must be > 0, got {frac}")
-        sim = FlitSimulator(
-            routing,
-            injection=injection,
-            rate_scale=frac,
-            packet_flits=packet_flits,
-            buffer_flits=buffer_flits,
-            num_vcs=num_vcs,
-            seed=seed,
+    if engine not in ENGINES:
+        raise InvalidParameterError(
+            f"unknown engine {engine!r}; choose from {sorted(ENGINES)}"
         )
-        try:
-            report = sim.run(cycles, warmup=warmup)
-        except DeadlockError:
-            points.append(
-                LatencyPoint(
-                    fraction=frac,
-                    injected_flits=0,
-                    delivered_flits=0,
-                    mean_latency=UNSTABLE,
-                    max_link_utilization=1.0,
-                    deadlocked=True,
-                )
-            )
-            continue
-        points.append(_aggregate(report, frac))
-    return points
+    if jobs < 1:
+        raise InvalidParameterError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and isinstance(seed, np.random.Generator):
+        # a live generator is shared (and advanced) across the serial
+        # points but would be *copied* to every worker — the two could
+        # never be bit-identical, so refuse rather than silently diverge
+        raise InvalidParameterError(
+            "parallel sweeps need a reproducible seed (int, SeedSequence "
+            "or None), not a live numpy Generator"
+        )
+    kwargs = dict(
+        cycles=cycles,
+        warmup=warmup,
+        injection=injection,
+        packet_flits=packet_flits,
+        buffer_flits=buffer_flits,
+        num_vcs=num_vcs,
+        seed=seed,
+        engine=engine,
+    )
+    if jobs == 1 or len(fractions) == 1:
+        # pay the routing flattening once for the whole curve
+        table = build_flow_table(routing, num_vcs=num_vcs)
+        return [
+            _sweep_point(routing, frac, flow_table=table, **kwargs)
+            for frac in fractions
+        ]
+    tasks = [(routing, frac, kwargs) for frac in fractions]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(fractions))) as pool:
+        return list(pool.map(_sweep_point_task, tasks))
 
 
 def saturation_fraction(

@@ -14,6 +14,10 @@ computed routing:
   need different output ports at one router cannot share a plain
   destination-indexed table entry; the conflicts returned are the routers
   where per-flow (or VC-disambiguated) tables are actually required.
+* :func:`flow_link_table` — the flit engines' ``(flow, hop) → link id``
+  tables, computed with the flat kernel's O(1) id arithmetic
+  (:func:`repro.mesh.kernel.direction_link_bases`) instead of per-hop
+  ``link_between`` walks.
 """
 
 from __future__ import annotations
@@ -22,6 +26,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.routing import Routing
+from repro.mesh.diagonals import direction_of, direction_steps
+from repro.mesh.kernel import links_from_vmask, moves_to_vmask
 from repro.mesh.topology import Mesh, Orientation
 
 Coord = Tuple[int, int]
@@ -78,6 +84,35 @@ def router_tables(routing: Routing) -> Dict[Coord, Dict[Tuple[int, int], str]]:
             for a, b in zip(cores, cores[1:]):
                 tables.setdefault(a, {})[(i, j)] = _port_of(mesh, a, b)
     return tables
+
+
+def flow_link_table(routing: Routing) -> List[Tuple[int, ...]]:
+    """Per-flow hop tables: ``table[f][h]`` is the link id of hop ``h``.
+
+    Flows are flattened in the simulators' order (communications in
+    problem order, each communication's flows in routing order), so
+    ``table[f]`` is exactly the ``(flow, hop) → link id`` lookup both flit
+    engines deploy.  Link ids are produced by the flat kernel's
+    :func:`~repro.mesh.kernel.direction_link_bases` arithmetic — one
+    vectorised :func:`~repro.mesh.kernel.links_from_vmask` call per flow,
+    no per-hop ``link_between`` walks.
+    """
+    mesh = routing.problem.mesh
+    out: List[Tuple[int, ...]] = []
+    steps_memo: Dict[Tuple[Coord, Coord], Tuple[int, int]] = {}
+    for flows in routing.flows:
+        for f in flows:
+            key = (f.path.src, f.path.snk)
+            steps = steps_memo.get(key)
+            if steps is None:
+                steps = direction_steps(direction_of(*key))
+                steps_memo[key] = steps
+            lids = links_from_vmask(
+                mesh, f.path.src, steps[0], steps[1],
+                moves_to_vmask(f.path.moves),
+            )
+            out.append(tuple(int(x) for x in lids))
+    return out
 
 
 def destination_table_conflicts(routing: Routing) -> List[TableConflict]:

@@ -22,10 +22,11 @@ the latency sweeps of :mod:`repro.noc.sweep` quantify.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from repro.utils.rng import StreamReplica
 from repro.utils.validation import InvalidParameterError
 
 
@@ -153,6 +154,76 @@ INJECTION_MODELS: dict[str, InjectionFactory] = {
     "bernoulli": BernoulliInjection,
     "burst": BurstInjection,
 }
+
+
+def _replay_burst(proc: BurstInjection, cycles: int) -> np.ndarray:
+    """Replay the MMBP state machine on block-fetched raw words.
+
+    ``proc`` has already drawn its initial-state word from its generator;
+    the per-cycle draws are served by a :class:`~repro.utils.rng.
+    StreamReplica` wrapped around the *same* generator, so the word stream
+    is consumed in exactly the order ``packets()`` would consume it.
+    """
+    rep = StreamReplica(proc.rng)
+    random = rep.random
+    p_on, stay_on, stay_off = proc.p_on, proc.stay_on, proc.stay_off
+    on = proc.on
+    counts = [0] * cycles
+    for t in range(cycles):
+        if on:
+            if random() < p_on:
+                counts[t] = 1
+            if random() > stay_on:
+                on = False
+        elif random() > stay_off:
+            on = True
+    return np.asarray(counts, dtype=np.int64)
+
+
+def precompute_arrivals(
+    factory: InjectionFactory,
+    rate_fracs: Sequence[float],
+    packet_flits: int,
+    rng: np.random.Generator,
+    cycles: int,
+) -> List[np.ndarray]:
+    """Per-flow packet-arrival schedules for an open-loop run.
+
+    Returns ``arrivals`` with ``arrivals[f][t]`` = packets flow ``f``
+    injects at cycle ``t`` — **bit-identical** to constructing the
+    injection processes inside :meth:`FlitSimulator.run
+    <repro.noc.simulator.FlitSimulator.run>` and calling ``packets()``
+    once per cycle.  Arrival processes are open loop (they never observe
+    network state), so the whole schedule can be drawn up front; this is
+    what lets the array engine batch injection.
+
+    The RNG draw-order contract of the reference simulator is replayed
+    exactly: one ``rng.integers(2**63)`` seeding draw per flow, in flow
+    order, each feeding a private child generator; Bernoulli flows then
+    draw one vectorised ``random(cycles)`` block (the same words, in the
+    same order, as ``cycles`` scalar draws), and burst flows replay their
+    two-state machine on a :class:`~repro.utils.rng.StreamReplica` over
+    the child stream.  Every other factory — the draw-free deterministic
+    model included — is driven through ``packets()`` directly, which is
+    bit-identical by construction.
+    """
+    out: List[np.ndarray] = []
+    for rate_frac in rate_fracs:
+        child = np.random.default_rng(rng.integers(2**63))
+        proc = factory(rate_frac, packet_flits, child)
+        if factory is BernoulliInjection:
+            out.append((child.random(cycles) < proc.p).astype(np.int64))
+        elif factory is BurstInjection:
+            out.append(_replay_burst(proc, cycles))
+        else:
+            out.append(
+                np.fromiter(
+                    (proc.packets() for _ in range(cycles)),
+                    dtype=np.int64,
+                    count=cycles,
+                )
+            )
+    return out
 
 
 def injection_factory(name_or_factory) -> InjectionFactory:

@@ -10,7 +10,11 @@ Public surface:
   derated / narrow-mesh / hotspot scenarios;
 * :func:`~repro.scenarios.runner.run_scenario` and
   :class:`~repro.scenarios.runner.ScenarioResult` — execution on the
-  Monte-Carlo sweep engine (serial or multi-process, bit-identical).
+  Monte-Carlo sweep engine (serial or multi-process, bit-identical);
+* :func:`~repro.scenarios.runner.scenario_latency_curve` and
+  :class:`~repro.scenarios.runner.ScenarioLatencyResult` — the
+  deployment-side load–latency curve of a scenario's trial-0 instance on
+  the flit engine (``repro noc sweep --scenario``).
 
 See ``docs/scenarios.md`` for the workflow, including the golden
 regression corpus under ``tests/golden/``.
@@ -23,18 +27,28 @@ from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
 )
-from repro.scenarios.runner import GOLDEN_FORMAT, ScenarioResult, run_scenario
+from repro.scenarios.runner import (
+    GOLDEN_FORMAT,
+    LATENCY_FRACTIONS,
+    ScenarioLatencyResult,
+    ScenarioResult,
+    run_scenario,
+    scenario_latency_curve,
+)
 from repro.scenarios.spec import MeshSpec, duplex
 
 __all__ = [
     "GOLDEN_FORMAT",
+    "LATENCY_FRACTIONS",
     "MeshSpec",
     "POWER_REGIMES",
     "Scenario",
+    "ScenarioLatencyResult",
     "ScenarioResult",
     "available_scenarios",
     "duplex",
     "get_scenario",
     "register_scenario",
     "run_scenario",
+    "scenario_latency_curve",
 ]

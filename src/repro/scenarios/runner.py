@@ -11,16 +11,33 @@ aggregates and knows how to render itself as a text table or as the
 deterministic JSON document the golden regression corpus
 (``tests/golden/``) stores: every float is serialised with ``float.hex``
 so snapshot comparisons are exact, not approximate.
+
+:func:`scenario_latency_curve` closes the deployment loop for any
+registered scenario: it routes the scenario's trial-0 instance (the same
+``(seed, 0)`` RNG stream the Monte-Carlo runner uses), provisions the
+links for the result and records its load–latency curve on the flit
+engine — so every platform in the registry (faulty, derated, narrow,
+hotspot, …) can be characterised end to end with one call or one
+``repro noc sweep --scenario`` command.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Union
+from typing import Dict, Sequence, Tuple, Union
 
+from repro.core.problem import RoutingProblem
 from repro.experiments.runner import PointResult, run_point
+from repro.noc.sweep import (
+    LatencyPoint,
+    latency_sweep,
+    points_table,
+    saturation_fraction,
+)
 from repro.scenarios.registry import Scenario, get_scenario
+from repro.utils.rng import spawn_rngs
 from repro.utils.tables import format_table
+from repro.utils.validation import InvalidParameterError
 
 #: golden corpus schema version (bump when the snapshot layout changes)
 GOLDEN_FORMAT = 1
@@ -122,3 +139,125 @@ def run_scenario(
         jobs=jobs,
     )
     return ScenarioResult(scenario=scenario, jobs=jobs, point=point)
+
+
+# ----------------------------------------------------------------------
+# scenario-integrated load–latency curves
+# ----------------------------------------------------------------------
+
+#: default offered-load fractions of a scenario latency curve
+LATENCY_FRACTIONS = (0.2, 0.5, 0.8, 1.0, 1.3, 1.8, 2.5)
+
+
+@dataclass(frozen=True)
+class ScenarioLatencyResult:
+    """A scenario's load–latency curve: config echo + per-fraction points."""
+
+    scenario: Scenario
+    heuristic: str
+    engine: str
+    jobs: int
+    injection: str
+    cycles: int
+    warmup: int
+    routing_power: float  #: graded power of the deployed routing (mW)
+    points: Tuple[LatencyPoint, ...]
+
+    @property
+    def saturation(self) -> float:
+        return saturation_fraction(self.points)
+
+    def to_jsonable(self) -> dict:
+        """Deterministic snapshot document (floats as exact hex strings)."""
+        return {
+            "scenario": self.scenario.name,
+            "mesh": self.scenario.mesh.describe(),
+            "heuristic": self.heuristic,
+            "engine": self.engine,
+            "injection": self.injection,
+            "cycles": self.cycles,
+            "warmup": self.warmup,
+            "seed": self.scenario.seed,
+            "routing_power_hex": float(self.routing_power).hex(),
+            "points": [pt.to_jsonable() for pt in self.points],
+        }
+
+    def to_text(self) -> str:
+        """Human-readable latency-curve table."""
+        sc = self.scenario
+        sat = self.saturation
+        head = (
+            f"scenario {sc.name}: {sc.mesh.describe()}, {self.heuristic} "
+            f"routing ({self.routing_power:.1f} mW), {self.injection} "
+            f"arrivals, seed {sc.seed}, {self.engine} engine\n"
+        )
+        tail = (
+            f"\nsaturation fraction: {sat:.2f}"
+            if sat != float("inf")
+            else "\nno saturation inside the sweep"
+        )
+        return head + points_table(self.points) + tail
+
+
+def scenario_latency_curve(
+    scenario: Union[str, Scenario],
+    *,
+    heuristic: str = "BEST",
+    fractions: Sequence[float] = LATENCY_FRACTIONS,
+    cycles: int = 4000,
+    warmup: int = 800,
+    injection: str = "bernoulli",
+    seed: int | None = None,
+    jobs: int = 1,
+    engine: str = "array",
+) -> ScenarioLatencyResult:
+    """Deploy a scenario's trial-0 instance and record its latency curve.
+
+    The instance is drawn from the same per-trial RNG stream the
+    Monte-Carlo runner uses (``spawn_rngs(seed, 1)[0]``), routed with
+    ``heuristic`` (``"BEST"`` runs the whole roster and deploys the
+    winner), provisioned, and swept over ``fractions`` with the scenario
+    seed feeding the injection processes.  ``jobs``/``engine`` are passed
+    through to :func:`repro.noc.sweep.latency_sweep`, so serial and
+    parallel curves are bit-identical.
+    """
+    from repro.heuristics import BestOf, get_heuristic
+
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    scenario = scenario.with_overrides(seed=seed)
+    mesh = scenario.build_mesh()
+    power = scenario.power_model()
+    rng = spawn_rngs(scenario.seed, 1)[0]
+    comms = scenario.workload(mesh, rng)
+    problem = RoutingProblem(mesh, power, comms)
+    if heuristic == "BEST":
+        result = BestOf(names=scenario.heuristics).solve(problem)
+    else:
+        result = get_heuristic(heuristic).solve(problem)
+    if not result.valid:
+        raise InvalidParameterError(
+            f"scenario {scenario.name!r}: {heuristic} found no valid routing "
+            "for the trial-0 instance, nothing to deploy"
+        )
+    points = latency_sweep(
+        result.routing,
+        list(fractions),
+        cycles=cycles,
+        warmup=warmup,
+        injection=injection,
+        seed=scenario.seed,
+        jobs=jobs,
+        engine=engine,
+    )
+    return ScenarioLatencyResult(
+        scenario=scenario,
+        heuristic=heuristic,
+        engine=engine,
+        jobs=jobs,
+        injection=injection,
+        cycles=cycles,
+        warmup=warmup,
+        routing_power=float(result.power),
+        points=tuple(points),
+    )
