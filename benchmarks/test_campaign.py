@@ -1,0 +1,61 @@
+"""Registry-driven artifact checks — the collapsed benchmark suite.
+
+Every committed ``results/<name>.txt`` is owned by one experiment in
+``repro.experiments.campaign.registry``.  This single parametrized test
+replaces the 20 retired per-figure/per-ablation generator modules: for
+each registry entry it
+
+1. executes the experiment through the content-addressed cache
+   (``.repro-cache/`` at the repo root — the first run pays the compute,
+   later runs are served bit-identically from the store),
+2. asserts the rendered artifact is **byte-identical** to the committed
+   file (the same gate as ``repro campaign check``), and
+3. re-asserts the experiment's qualitative pins (the paper findings the
+   retired benchmark modules used to check) via ``Experiment.verify``.
+
+To (re)record artifacts after an intentional change:
+``repro campaign run --all``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.campaign import (
+    ArtifactStore,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "results"
+
+
+def _store() -> ArtifactStore:
+    # anchor the cache at the repo root regardless of pytest's cwd
+    # (ArtifactStore still honours REPRO_CACHE_DIR when callers set it)
+    import os
+
+    if os.environ.get("REPRO_CACHE_DIR"):
+        return ArtifactStore()
+    return ArtifactStore(REPO_ROOT / ".repro-cache")
+
+
+def test_registry_covers_every_committed_artifact():
+    committed = {p.stem for p in RESULTS_DIR.glob("*.txt")}
+    assert committed == set(available_experiments())
+
+
+@pytest.mark.parametrize("name", available_experiments())
+def test_campaign_artifact(name):
+    report = run_experiment(name, store=_store())
+    committed = (RESULTS_DIR / f"{name}.txt").read_text()
+    assert committed == report.text + "\n", (
+        f"{name}: committed artifact differs from the registry output — "
+        f"regenerate with 'repro campaign run {name}' if the change is "
+        "intentional"
+    )
+    get_experiment(name).verify(report.payload)

@@ -59,8 +59,7 @@ from repro.core import (
     evaluate_routing,
 )
 from repro.mesh import CommDag, Mesh, Path
-
-__version__ = "1.0.0"
+from repro.version import __version__
 
 __all__ = [
     "Mesh",

@@ -1,0 +1,206 @@
+"""The ``repro campaign`` subcommand: list / run / check / clean.
+
+``run`` regenerates committed artifacts (``results/<name>.txt``) through
+the content-addressed cache; ``check`` regenerates and byte-compares
+without writing; ``clean`` drops cache entries.  Exit codes: 0 on
+success, 1 when ``check`` finds a diff, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List
+
+from repro.cli.helpers import check_jobs, check_trials
+from repro.utils.validation import ReproError
+
+
+def _store(args: argparse.Namespace):
+    from repro.experiments.campaign import ArtifactStore
+
+    return ArtifactStore(args.cache_dir) if args.cache_dir else ArtifactStore()
+
+
+def _select_names(args: argparse.Namespace, *, default_all: bool) -> List[str]:
+    from repro.experiments.campaign import (
+        FAST_SUBSET,
+        available_experiments,
+        get_experiment,
+    )
+
+    chosen: List[str] = []
+    if getattr(args, "fast", False):
+        chosen += list(FAST_SUBSET)
+    for name in args.names:
+        get_experiment(name)  # validates; raises ReproError on unknown
+        if name not in chosen:
+            chosen.append(name)
+    if getattr(args, "all", False) or (not chosen and default_all):
+        return available_experiments()
+    if not chosen:
+        raise ReproError(
+            "name at least one experiment, or pass --all / --fast "
+            "(see 'repro campaign list')"
+        )
+    return chosen
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        check_experiment,
+        get_experiment,
+        run_experiment,
+        write_artifact,
+    )
+
+    if args.action == "list":
+        from repro.experiments.campaign import available_experiments
+
+        store = _store(args)
+        for name in available_experiments():
+            exp = get_experiment(name)
+            shards = exp.shards()
+            # existence probe only — re-hashing every record payload just
+            # to count cache entries would reread the whole cache
+            cached = sum(1 for s in shards if store.has_shard(exp, s.key))
+            print(
+                f"{name:>24}  [{cached}/{len(shards)} shards cached]  "
+                f"{exp.title}"
+            )
+        return 0
+
+    if args.action == "clean":
+        store = _store(args)
+        if args.all:
+            removed = store.clean()
+        else:
+            names = _select_names(args, default_all=False)
+            removed = sum(store.clean(name) for name in names)
+        print(f"removed {removed} cache entries under {store.root}")
+        return 0
+
+    check_jobs(args.jobs)
+    store = _store(args)
+
+    if args.action == "run":
+        check_trials(args.trials)
+        names = _select_names(args, default_all=False)
+        for name in names:
+            exp = get_experiment(name)
+            overridden = False
+            if args.trials is not None:
+                new = exp.with_trials(args.trials)
+                if new is exp:
+                    print(
+                        f"note: {name} has no trial count; "
+                        f"--trials {args.trials} ignored"
+                    )
+                overridden = new is not exp and new != exp
+                exp = new
+            report = run_experiment(
+                exp, jobs=args.jobs, store=store, use_cache=not args.no_cache
+            )
+            print(report.summary())
+            if overridden:
+                # a non-spec trial count never overwrites the committed
+                # artifact — print the table instead
+                print(report.text)
+                print(
+                    f"note: --trials {args.trials} overrides the spec; "
+                    f"artifact {name}.txt not written"
+                )
+            else:
+                path = write_artifact(report, args.results_dir)
+                print(f"wrote {path}")
+        return 0
+
+    # check
+    names = _select_names(args, default_all=True)
+    failures = 0
+    for name in names:
+        outcome = check_experiment(
+            name, jobs=args.jobs, store=store, results_dir=args.results_dir
+        )
+        status = "ok" if outcome.ok else "DIFF"
+        print(f"{status:>4}  {name}  ({outcome.run.summary()})")
+        if not outcome.ok:
+            failures += 1
+            print(f"      {outcome.message}")
+    print(
+        f"campaign check: {len(names) - failures}/{len(names)} artifacts "
+        "byte-identical"
+    )
+    return 1 if failures else 0
+
+
+def add_campaign_parser(sub) -> None:
+    """Wire ``campaign list|run|check|clean`` into the main parser."""
+    camp = sub.add_parser(
+        "campaign",
+        help="declarative experiment campaigns (the results/ artifacts)",
+    )
+    camp_sub = camp.add_subparsers(dest="action", required=True)
+
+    c_list = camp_sub.add_parser(
+        "list", help="show every registered experiment and its cache state"
+    )
+    c_list.add_argument("--cache-dir", default=None)
+    c_list.set_defaults(func=cmd_campaign)
+
+    common = dict(
+        jobs=(
+            ("--jobs",),
+            dict(
+                type=int,
+                default=1,
+                help="worker processes for missing shards (default: serial)",
+            ),
+        ),
+        cache=(("--cache-dir",), dict(default=None)),
+        results=(
+            ("--results-dir",),
+            dict(default=None, help="artifact directory (default: results/)"),
+        ),
+    )
+
+    c_run = camp_sub.add_parser(
+        "run", help="regenerate artifacts through the cache"
+    )
+    c_run.add_argument("names", nargs="*", help="experiment names")
+    c_run.add_argument("--all", action="store_true")
+    c_run.add_argument(
+        "--fast", action="store_true", help="the small CI subset"
+    )
+    c_run.add_argument(
+        "--trials", type=int, default=None,
+        help="override the spec trial count (artifact is NOT written)",
+    )
+    c_run.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute everything, do not read or write the cache",
+    )
+    for flags, kw in common.values():
+        c_run.add_argument(*flags, **kw)
+    c_run.set_defaults(func=cmd_campaign)
+
+    c_check = camp_sub.add_parser(
+        "check",
+        help="regenerate and byte-compare artifacts (default: all)",
+    )
+    c_check.add_argument("names", nargs="*", help="experiment names")
+    c_check.add_argument("--all", action="store_true")
+    c_check.add_argument(
+        "--fast", action="store_true", help="the small CI subset"
+    )
+    for flags, kw in common.values():
+        c_check.add_argument(*flags, **kw)
+    c_check.set_defaults(func=cmd_campaign)
+
+    c_clean = camp_sub.add_parser("clean", help="drop cache entries")
+    c_clean.add_argument("names", nargs="*", help="experiment names")
+    c_clean.add_argument("--all", action="store_true")
+    c_clean.add_argument(
+        "--fast", action="store_true", help="the small CI subset"
+    )
+    c_clean.add_argument("--cache-dir", default=None)
+    c_clean.set_defaults(func=cmd_campaign)

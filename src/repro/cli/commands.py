@@ -1,56 +1,29 @@
-"""Command-line interface: ``python -m repro <command> ...``.
+"""Implementations of the non-campaign subcommands.
 
-Commands
---------
-``generate``   draw a workload (random / length-targeted / pattern) to CSV
-``route``      route a workload with one heuristic (or BEST/ALL) and report
-``figures``    regenerate paper figure panels (fig7a..fig9c, summary)
-``scenarios``  list or run registered scenarios (faulty / derated / ...)
-``theory``     print the Theorem 1 / Lemma 2 separation tables
-``simulate``   run a saved routing on the flit-level NoC simulator
-``noc sweep``  load–latency curve of a saved routing or a registry
-               scenario on the array flit engine (``--jobs``/``--engine``)
-
-Every command is a thin shell over the library API; ``main(argv)`` returns
-a process exit code so the CLI is unit-testable.  User errors (unknown
-scenario or panel names, out-of-domain ``--jobs`` values, malformed
-inputs) exit with code 2 and a one-line ``error:`` message — never a
-traceback.
+Each ``cmd_*`` function is a thin shell over the library API; argument
+validation goes through :mod:`repro.cli.helpers` so every subcommand
+reports domain errors identically (exit code 2, one-line message).
 """
 
 from __future__ import annotations
 
 import argparse
-import sys
-from typing import List, Optional, Sequence
 
-from repro import Mesh, PowerModel, RoutingProblem
+from repro import RoutingProblem
+from repro.cli.helpers import (
+    check_jobs,
+    check_min,
+    check_trials,
+    parse_fractions,
+    parse_mesh,
+    parse_model,
+    save_json,
+)
 from repro.utils.validation import ReproError
 
 
-def _parse_mesh(text: str) -> Mesh:
-    try:
-        p, q = text.lower().split("x")
-        return Mesh(int(p), int(q))
-    except (ValueError, AttributeError):
-        raise ReproError(f"mesh must look like '8x8', got {text!r}") from None
-
-
-def _parse_model(name: str) -> PowerModel:
-    models = {
-        "kim-horowitz": PowerModel.kim_horowitz,
-        "continuous": PowerModel.continuous_kim_horowitz,
-        "fig2": PowerModel.fig2_example,
-    }
-    if name not in models:
-        raise ReproError(
-            f"unknown power model {name!r}; choose from {sorted(models)}"
-        )
-    return models[name]()
-
-
 # ----------------------------------------------------------------------
-def _cmd_generate(args: argparse.Namespace) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     from repro.io import workload_to_csv
     from repro.workloads import (
         hotspot_pattern,
@@ -59,7 +32,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         uniform_random_workload,
     )
 
-    mesh = _parse_mesh(args.mesh)
+    mesh = parse_mesh(args.mesh)
     if args.kind == "random":
         comms = uniform_random_workload(
             mesh, args.n, args.rate_min, args.rate_max, rng=args.seed
@@ -83,13 +56,15 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_route(args: argparse.Namespace) -> int:
+def cmd_route(args: argparse.Namespace) -> int:
+    from typing import Sequence
+
     from repro.heuristics import PAPER_HEURISTICS, BestOf, get_heuristic
     from repro.io import save_routing, workload_from_csv
     from repro.utils.tables import format_table
 
-    mesh = _parse_mesh(args.mesh)
-    power = _parse_model(args.model)
+    mesh = parse_mesh(args.mesh)
+    power = parse_model(args.model)
     comms = workload_from_csv(args.workload)
     problem = RoutingProblem(mesh, power, comms)
 
@@ -157,15 +132,10 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0 if best_result.valid else 1
 
 
-def _check_jobs(jobs: int) -> None:
-    if jobs < 1:
-        raise ReproError(f"--jobs must be >= 1, got {jobs}")
-
-
-def _cmd_figures(args: argparse.Namespace) -> int:
+def cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments import figures, sweep_to_text
 
-    _check_jobs(args.jobs)
+    check_jobs(args.jobs)
     if args.panel != "summary" and args.panel not in figures.PANELS:
         raise ReproError(
             f"unknown panel {args.panel!r}; choose from "
@@ -173,6 +143,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         )
     # pass trials explicitly rather than through REPRO_TRIALS — mutating
     # os.environ would leak into everything else running in this process
+    check_trials(args.trials)
     kw = {}
     if args.trials:
         kw["trials"] = args.trials
@@ -203,7 +174,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenarios(args: argparse.Namespace) -> int:
+def cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios import available_scenarios, get_scenario, run_scenario
 
     if args.action == "list":
@@ -212,24 +183,18 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             print(f"{name:>16}  [{sc.mesh.describe()}]  {sc.description}")
         return 0
     # run
-    _check_jobs(args.jobs)
-    if args.trials is not None and args.trials < 1:
-        raise ReproError(f"--trials must be >= 1, got {args.trials}")
+    check_jobs(args.jobs)
+    check_trials(args.trials)
     result = run_scenario(
         args.name, jobs=args.jobs, trials=args.trials, seed=args.seed
     )
     print(result.to_text())
     if args.json:
-        import json
-
-        with open(args.json, "w") as fh:
-            json.dump(result.to_jsonable(), fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"snapshot saved to {args.json}")
+        save_json(args.json, result.to_jsonable(), "snapshot")
     return 0
 
 
-def _cmd_theory(args: argparse.Namespace) -> int:
+def cmd_theory(args: argparse.Namespace) -> int:
     from repro.theory import lemma2_powers, theorem1_powers
     from repro.utils.tables import format_table
 
@@ -251,13 +216,13 @@ def _cmd_theory(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_latency(args: argparse.Namespace) -> int:
+def cmd_latency(args: argparse.Namespace) -> int:
     from repro.io import load_routing
     from repro.noc import latency_sweep, saturation_fraction
     from repro.utils.tables import format_table
 
+    fractions = parse_fractions(args.fractions)  # validate before any I/O
     routing = load_routing(args.routing)
-    fractions = [float(f) for f in args.fractions.split(",")]
     points = latency_sweep(
         routing,
         fractions,
@@ -287,25 +252,12 @@ def _cmd_latency(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_fractions(text: str) -> List[float]:
-    try:
-        fractions = [float(f) for f in text.split(",") if f.strip()]
-    except ValueError:
-        raise ReproError(
-            f"--fractions must be comma-separated numbers, got {text!r}"
-        ) from None
-    if not fractions:
-        raise ReproError("--fractions must name at least one fraction")
-    return fractions
-
-
-def _cmd_noc_sweep(args: argparse.Namespace) -> int:
+def cmd_noc_sweep(args: argparse.Namespace) -> int:
     from repro.noc import latency_sweep, points_table, saturation_fraction
 
-    _check_jobs(args.jobs)
-    if args.cycles < 1:
-        raise ReproError(f"--cycles must be >= 1, got {args.cycles}")
-    fractions = _parse_fractions(args.fractions)
+    check_jobs(args.jobs)
+    check_min(args.cycles, "--cycles")
+    fractions = parse_fractions(args.fractions)
     if bool(args.routing) == bool(args.scenario):
         raise ReproError(
             "pass exactly one input: a routing JSON path or --scenario NAME"
@@ -356,16 +308,11 @@ def _cmd_noc_sweep(args: argparse.Namespace) -> int:
             "points": [pt.to_jsonable() for pt in points],
         }
     if args.json:
-        import json
-
-        with open(args.json, "w") as fh:
-            json.dump(doc, fh, indent=1, sort_keys=True)
-            fh.write("\n")
-        print(f"latency curve saved to {args.json}")
+        save_json(args.json, doc, "latency curve")
     return 0
 
 
-def _cmd_apps(args: argparse.Namespace) -> int:
+def cmd_apps(args: argparse.Namespace) -> int:
     from repro.heuristics import PAPER_HEURISTICS, get_heuristic
     from repro.utils.tables import format_table
     from repro.workloads import (
@@ -376,8 +323,8 @@ def _cmd_apps(args: argparse.Namespace) -> int:
         region_split,
     )
 
-    mesh = _parse_mesh(args.mesh)
-    power = _parse_model(args.model)
+    mesh = parse_mesh(args.mesh)
+    power = parse_model(args.model)
     apps = [published_app(n, scale=args.scale) for n in args.apps.split(",")]
     regions = region_split(mesh, [a.num_tasks for a in apps])
     placements = []
@@ -417,12 +364,13 @@ def _cmd_apps(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_open_problem(args: argparse.Namespace) -> int:
+def cmd_open_problem(args: argparse.Namespace) -> int:
+    from repro import PowerModel
     from repro.core.problem import Communication
     from repro.optimal import same_endpoint_gap
     from repro.utils.tables import format_table
 
-    mesh = _parse_mesh(args.mesh)
+    mesh = parse_mesh(args.mesh)
     power = PowerModel.dynamic_only(alpha=args.alpha, bandwidth=float("inf"))
     rates = [float(r) for r in args.rates.split(",")]
     problem = RoutingProblem(
@@ -453,7 +401,7 @@ def _cmd_open_problem(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.io import load_routing
     from repro.noc import FlitSimulator, direction_class_vc, is_deadlock_free
 
@@ -474,198 +422,3 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{sum(ach) / len(ach):.2f}"
     )
     return 0
-
-
-# ----------------------------------------------------------------------
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Power-aware Manhattan routing on chip multiprocessors",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    g = sub.add_parser("generate", help="draw a workload to CSV")
-    g.add_argument("--mesh", default="8x8")
-    g.add_argument(
-        "--kind", choices=("random", "length", "transpose", "hotspot"),
-        default="random",
-    )
-    g.add_argument("--n", type=int, default=20)
-    g.add_argument("--length", type=int, default=6)
-    g.add_argument("--rate-min", type=float, default=100.0)
-    g.add_argument("--rate-max", type=float, default=2500.0)
-    g.add_argument("--seed", type=int, default=None)
-    g.add_argument("--out", default=None)
-    g.set_defaults(func=_cmd_generate)
-
-    r = sub.add_parser("route", help="route a CSV workload")
-    r.add_argument("workload", help="workload CSV path")
-    r.add_argument("--mesh", default="8x8")
-    r.add_argument("--model", default="kim-horowitz")
-    r.add_argument("--heuristic", default="ALL",
-                   help="XY|SG|IG|TB|XYI|PR|YX|BEST|ALL")
-    r.add_argument("--out", default=None, help="save best routing JSON here")
-    r.add_argument("--show-map", action="store_true")
-    r.add_argument(
-        "--svg", default=None, help="save an SVG link-load heat map here"
-    )
-    r.set_defaults(func=_cmd_route)
-
-    sc = sub.add_parser(
-        "scenarios", help="list or run registered scenarios"
-    )
-    sc_sub = sc.add_subparsers(dest="action", required=True)
-    sc_list = sc_sub.add_parser("list", help="show every registered scenario")
-    sc_list.set_defaults(func=_cmd_scenarios)
-    sc_run = sc_sub.add_parser("run", help="run one scenario and report")
-    sc_run.add_argument("name", help="registry name (see 'scenarios list')")
-    sc_run.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the Monte-Carlo trials (default: serial)",
-    )
-    sc_run.add_argument(
-        "--trials", type=int, default=None,
-        help="override the scenario's default trial count",
-    )
-    sc_run.add_argument(
-        "--seed", type=int, default=None,
-        help="override the scenario's default seed",
-    )
-    sc_run.add_argument(
-        "--json", default=None,
-        help="also save the exact (hex-float) snapshot to this path",
-    )
-    sc_run.set_defaults(func=_cmd_scenarios)
-
-    f = sub.add_parser("figures", help="regenerate paper figures")
-    f.add_argument("panel", help="fig7a..fig9c or 'summary'")
-    f.add_argument("--trials", type=int, default=None)
-    f.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the Monte-Carlo sweep (default: serial)",
-    )
-    f.add_argument(
-        "--svg-dir",
-        default=None,
-        help="also render the sweep to SVG charts in this directory",
-    )
-    f.set_defaults(func=_cmd_figures)
-
-    t = sub.add_parser("theory", help="Theorem 1 / Lemma 2 tables")
-    t.add_argument("--sizes", type=int, nargs="*", default=None)
-    t.set_defaults(func=_cmd_theory)
-
-    s = sub.add_parser("simulate", help="flit-simulate a saved routing")
-    s.add_argument("routing", help="routing JSON path")
-    s.add_argument("--cycles", type=int, default=20000)
-    s.add_argument("--buffer-flits", type=int, default=4)
-    s.add_argument("--packet-flits", type=int, default=8)
-    s.set_defaults(func=_cmd_simulate)
-
-    n = sub.add_parser(
-        "noc", help="flit-engine NoC evaluation (load-latency sweeps)"
-    )
-    n_sub = n.add_subparsers(dest="action", required=True)
-    n_sweep = n_sub.add_parser(
-        "sweep",
-        help="load-latency curve of a saved routing or a registry scenario",
-    )
-    n_sweep.add_argument(
-        "routing", nargs="?", default=None,
-        help="routing JSON path (omit when using --scenario)",
-    )
-    n_sweep.add_argument(
-        "--scenario", default=None,
-        help="sweep a registry scenario's trial-0 instance instead "
-        "(see 'scenarios list')",
-    )
-    n_sweep.add_argument(
-        "--heuristic", default="BEST",
-        help="heuristic deployed for --scenario (default: BEST)",
-    )
-    n_sweep.add_argument("--fractions", default="0.2,0.5,0.8,1.0,1.5,2.0")
-    n_sweep.add_argument("--cycles", type=int, default=4000)
-    n_sweep.add_argument(
-        "--injection",
-        choices=("deterministic", "bernoulli", "burst"),
-        default="bernoulli",
-    )
-    n_sweep.add_argument("--seed", type=int, default=None)
-    n_sweep.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes, one sweep point each (default: serial)",
-    )
-    n_sweep.add_argument(
-        "--engine", choices=("array", "reference"), default="array",
-        help="flit engine (the cycle-exact 'reference' oracle is slower)",
-    )
-    n_sweep.add_argument(
-        "--json", default=None,
-        help="also save the exact (hex-float) latency curve to this path",
-    )
-    n_sweep.set_defaults(func=_cmd_noc_sweep)
-
-    l = sub.add_parser(
-        "latency", help="load-latency sweep of a saved routing"
-    )
-    l.add_argument("routing", help="routing JSON path")
-    l.add_argument("--fractions", default="0.2,0.5,0.8,1.0,1.5,2.0")
-    l.add_argument("--cycles", type=int, default=4000)
-    l.add_argument(
-        "--injection",
-        choices=("deterministic", "bernoulli", "burst"),
-        default="bernoulli",
-    )
-    l.add_argument("--seed", type=int, default=0)
-    l.set_defaults(func=_cmd_latency)
-
-    a = sub.add_parser(
-        "apps", help="route the published multimedia task graphs"
-    )
-    a.add_argument("--apps", default="vopd,mpeg4,mwd,pip",
-                   help="comma-separated: vopd,mpeg4,mwd,pip")
-    a.add_argument("--mesh", default="8x8")
-    a.add_argument("--model", default="kim-horowitz")
-    a.add_argument("--scale", type=float, default=3.0,
-                   help="Mb/s per published MB/s")
-    a.add_argument(
-        "--mapping",
-        choices=("annealed", "greedy", "row-major"),
-        default="annealed",
-    )
-    a.add_argument("--seed", type=int, default=0)
-    a.set_defaults(func=_cmd_apps)
-
-    o = sub.add_parser(
-        "open-problem",
-        help="shared-endpoint ladder: XY vs exact 1-MP vs max-MP",
-    )
-    o.add_argument("--mesh", default="8x8")
-    o.add_argument("--rates", default="500,500,500,500",
-                   help="comma-separated Mb/s, all corner-to-corner")
-    o.add_argument("--alpha", type=float, default=2.95)
-    o.set_defaults(func=_cmd_open_problem)
-    return parser
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except OSError as exc:
-        # unwritable --out/--json/--svg paths, unreadable inputs, ...
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-
-
-if __name__ == "__main__":  # pragma: no cover
-    sys.exit(main())

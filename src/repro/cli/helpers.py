@@ -1,0 +1,86 @@
+"""Shared argument validation and output plumbing for every subcommand.
+
+One place for the checks each subcommand used to hand-roll: ``--jobs`` /
+``--trials`` / ``--cycles`` domains, fraction-list parsing, mesh / power
+model parsing, and the deterministic JSON snapshot writer.  All failures
+raise :class:`~repro.utils.validation.ReproError`, which ``main`` turns
+into a one-line ``error:`` message and exit code 2 — never a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.validation import ReproError
+
+
+def check_min(value: int, flag: str, minimum: int = 1) -> None:
+    """Validate an integer CLI flag's lower bound."""
+    if value < minimum:
+        raise ReproError(f"{flag} must be >= {minimum}, got {value}")
+
+
+def check_jobs(jobs: int) -> None:
+    """Validate ``--jobs`` (worker process count)."""
+    check_min(jobs, "--jobs")
+
+
+def check_trials(trials: "int | None") -> None:
+    """Validate an *optional* ``--trials`` override."""
+    if trials is not None:
+        check_min(trials, "--trials")
+
+
+def parse_fractions(text: str) -> List[float]:
+    """Parse a ``--fractions`` comma-separated list of offered loads."""
+    try:
+        fractions = [float(f) for f in text.split(",") if f.strip()]
+    except ValueError:
+        raise ReproError(
+            f"--fractions must be comma-separated numbers, got {text!r}"
+        ) from None
+    if not fractions:
+        raise ReproError("--fractions must name at least one fraction")
+    return fractions
+
+
+def parse_mesh(text: str):
+    """Parse an ``8x8``-style ``--mesh`` argument into a :class:`Mesh`."""
+    from repro import Mesh
+
+    try:
+        p, q = text.lower().split("x")
+        return Mesh(int(p), int(q))
+    except (ValueError, AttributeError):
+        raise ReproError(f"mesh must look like '8x8', got {text!r}") from None
+
+
+def parse_model(name: str):
+    """Resolve a ``--model`` name into a :class:`PowerModel`."""
+    from repro import PowerModel
+
+    models = {
+        "kim-horowitz": PowerModel.kim_horowitz,
+        "continuous": PowerModel.continuous_kim_horowitz,
+        "fig2": PowerModel.fig2_example,
+    }
+    if name not in models:
+        raise ReproError(
+            f"unknown power model {name!r}; choose from {sorted(models)}"
+        )
+    return models[name]()
+
+
+def save_json(path: str, doc: dict, label: str) -> None:
+    """Write a deterministic JSON snapshot and announce it.
+
+    The shared ``--json`` plumbing: ``indent=1, sort_keys=True`` plus a
+    trailing newline, exactly the format the golden corpus and the
+    campaign store use.
+    """
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"{label} saved to {path}")

@@ -8,6 +8,9 @@
 * :mod:`repro.experiments.figures` — ready-made entry points
   ``fig7a() .. fig9c()``, plus the Section 6.4 summary statistics.
 * :mod:`repro.experiments.report` — text/CSV rendering of sweep results.
+* :mod:`repro.experiments.campaign` — the declarative experiment
+  registry + content-addressed artifact store behind every committed
+  ``results/*.txt`` (``repro campaign list|run|check|clean``).
 """
 
 from repro.experiments.config import (

@@ -1,0 +1,69 @@
+"""Declarative experiment campaigns with content-addressed caching.
+
+The campaign layer unifies every reproduced artifact of the repository —
+the Figure 7/8/9 sweeps, the §6.4 summary, the ablations, the extension
+studies and the NoC latency curves — behind one execution engine:
+
+* :mod:`~repro.experiments.campaign.spec` — declarative
+  :class:`Experiment` specs with canonical content hashes and shard
+  decomposition;
+* :mod:`~repro.experiments.campaign.store` — the ``.repro-cache/``
+  artifact store: exact hex-float snapshots, provenance manifests,
+  checksum-verified loads;
+* :mod:`~repro.experiments.campaign.engine` — sharded, resumable
+  execution (serial or process-pool) with bit-identical aggregation;
+* :mod:`~repro.experiments.campaign.registry` — the string-keyed
+  registry, one entry per committed ``results/*.txt``.
+
+CLI: ``repro campaign list | run | check | clean``.
+"""
+
+from repro.experiments.campaign.engine import (
+    CampaignCheckReport,
+    CampaignRunReport,
+    artifact_path,
+    check_experiment,
+    prefetch_shards,
+    run_experiment,
+    write_artifact,
+)
+from repro.experiments.campaign.registry import (
+    EXPERIMENTS,
+    FAST_SUBSET,
+    available_experiments,
+    get_experiment,
+)
+from repro.experiments.campaign.spec import (
+    CACHE_FORMAT,
+    Experiment,
+    Shard,
+    canonical_json,
+)
+from repro.experiments.campaign.store import (
+    ArtifactStore,
+    from_wire,
+    normalize,
+    to_wire,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_FORMAT",
+    "CampaignCheckReport",
+    "CampaignRunReport",
+    "EXPERIMENTS",
+    "Experiment",
+    "FAST_SUBSET",
+    "Shard",
+    "artifact_path",
+    "available_experiments",
+    "canonical_json",
+    "check_experiment",
+    "from_wire",
+    "get_experiment",
+    "normalize",
+    "prefetch_shards",
+    "run_experiment",
+    "to_wire",
+    "write_artifact",
+]

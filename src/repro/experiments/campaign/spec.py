@@ -1,0 +1,137 @@
+"""Declarative experiment specs and their canonical content hashes.
+
+An :class:`Experiment` describes one reproducible artifact (one
+``results/<name>.txt`` file) completely: every parameter that influences
+its numbers lives in dataclass fields, so the canonical JSON of those
+fields — the *spec* — hashes to a stable content address.  The artifact
+store keys its cache entries by that hash: change any parameter (seed,
+trial count, sweep grid, ...) and the experiment lands in a fresh cache
+slot; leave the spec alone and re-runs are served from cache bit for bit.
+
+Execution is split into *shards*: independent, picklable units of work
+(a chunk of Monte-Carlo trials, one sweep point, one pattern, one mesh
+size) that the engine runs serially or on a process pool, caches
+individually, and folds **in shard order** through
+:meth:`Experiment.finalize` — so an interrupted campaign resumes from the
+completed shards and still aggregates bit-identically to a serial run.
+
+Shard workers return *wire-safe* structures only (dicts / lists / str /
+int / bool / None / float, numpy scalars coerced) — see
+:mod:`repro.experiments.campaign.store` for the exact-float encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Callable, ClassVar, List, Tuple
+
+from repro.utils.validation import InvalidParameterError
+
+#: bump when the cache layout / wire format changes incompatibly
+CACHE_FORMAT = 1
+
+#: shard keys must stay filesystem- and manifest-safe
+_KEY_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One cacheable unit of work: a picklable worker and its payload."""
+
+    key: str
+    func: Callable[[Any], Any]
+    payload: Any
+
+    def __post_init__(self) -> None:
+        if not _KEY_RE.match(self.key):
+            raise InvalidParameterError(
+                f"shard key {self.key!r} must match {_KEY_RE.pattern}"
+            )
+
+
+def canonical_json(obj: Any) -> str:
+    """Canonical JSON used for spec hashes and payload checksums."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """Base class for declarative experiment specs.
+
+    Subclasses are frozen dataclasses whose fields are the experiment's
+    *complete* parameter set (primitives and tuples only — the fields are
+    hashed).  They implement :meth:`shards`, :meth:`finalize` and
+    :meth:`render`; :meth:`verify` optionally pins the qualitative
+    findings the old benchmark asserts used to check.
+    """
+
+    name: str
+    title: str
+
+    #: family code revision, folded into the spec hash.  Dataclass fields
+    #: cover the declared parameters; anything else that shapes the
+    #: numbers — module-level constants (rate grids, leak scales,
+    #: metaheuristic hyperparameters), worker algorithms — is code, and
+    #: editing it MUST come with a ``code_version`` bump in the family,
+    #: or stale cache entries recorded under the old code would still be
+    #: served as if nothing changed.
+    code_version: ClassVar[int] = 1
+
+    # ------------------------------------------------------------------
+    def spec(self) -> dict:
+        """The canonical parameter dictionary (hashed for the cache key).
+
+        ``title`` is cosmetic (shown by ``campaign list`` only, never
+        rendered into artifacts) and is excluded — rewording a title
+        must not discard an experiment's cached shards.
+        """
+        d = asdict(self)
+        del d["title"]
+        d["family"] = type(self).__name__
+        d["code_version"] = type(self).code_version
+        d["format"] = CACHE_FORMAT
+        return d
+
+    def spec_hash(self) -> str:
+        """Content address of this spec (sha256 of its canonical JSON)."""
+        return hashlib.sha256(canonical_json(self.spec()).encode()).hexdigest()
+
+    # ------------------------------------------------------------------
+    def shards(self) -> Tuple[Shard, ...]:
+        raise NotImplementedError
+
+    def finalize(self, shard_records: List[Any]) -> Any:
+        """Fold per-shard records (in shard order) into the payload."""
+        raise NotImplementedError
+
+    def render(self, payload: Any) -> str:
+        """The artifact text (no trailing newline; the store adds one)."""
+        raise NotImplementedError
+
+    def verify(self, payload: Any) -> None:
+        """Assert the qualitative pins of the artifact (optional)."""
+
+    # ------------------------------------------------------------------
+    def with_trials(self, trials: int) -> "Experiment":
+        """A copy with an overridden trial count, when the family has one.
+
+        Deterministic experiments (no ``trials`` field) are returned
+        unchanged — the override is meaningless for them.
+        """
+        if trials < 1:
+            raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+        if any(f.name == "trials" for f in fields(self)):
+            return replace(self, trials=trials)
+        return self
+
+
+def chunk_bounds(trials: int, chunk: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` trial chunks of at most ``chunk`` trials."""
+    if trials < 1:
+        raise InvalidParameterError(f"trials must be >= 1, got {trials}")
+    if chunk < 1:
+        raise InvalidParameterError(f"chunk must be >= 1, got {chunk}")
+    return [(lo, min(lo + chunk, trials)) for lo in range(0, trials, chunk)]

@@ -1,0 +1,266 @@
+"""Content-addressed artifact store under ``.repro-cache/``.
+
+Layout
+------
+::
+
+    .repro-cache/
+      <experiment name>/
+        <spec hash>/
+          shards/<shard key>.json   one cached shard result each
+          result.json               final payload + text + manifest
+
+Every file carries a manifest header: the experiment name, the full
+canonical spec, its hash, the repro version, and a sha256 checksum of the
+stored records.  :meth:`ArtifactStore.load_shard` re-verifies all of it on
+read — a corrupted file, a checksum mismatch (hand-edited records) or a
+stale ``spec_hash`` (file copied across spec changes) is treated as a
+cache **miss** and the shard is recomputed, never served.
+
+Exact floats
+------------
+Shard records and payloads are stored through :func:`to_wire` /
+:func:`from_wire`: every float is serialised as its ``float.hex`` string
+(wrapped in a ``{"__float__": ...}`` marker), so a cache round-trip is
+bit-exact — including ``inf``/``nan`` — and numpy scalars are coerced to
+plain Python on the way in.  Tuples become lists; experiment code only
+ever sees wire-normalised records, whether they came from the cache or
+from a fresh worker, so cached and fresh runs cannot diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.experiments.campaign.spec import (
+    CACHE_FORMAT,
+    Experiment,
+    canonical_json,
+)
+from repro.utils.validation import ReproError
+from repro.version import __version__
+
+#: environment override for the cache root (tests, CI)
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default cache root, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: marker key of the exact-float wire encoding
+_FLOAT_KEY = "__float__"
+
+
+# ----------------------------------------------------------------------
+# exact-float wire encoding
+# ----------------------------------------------------------------------
+def to_wire(obj: Any) -> Any:
+    """Encode records for storage: hex floats, plain containers."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (str, int)):
+        return obj
+    if isinstance(obj, float):
+        return {_FLOAT_KEY: obj.hex()}
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return {_FLOAT_KEY: float(obj).hex()}
+    if isinstance(obj, dict):
+        out = {}
+        for k, v in obj.items():
+            if not isinstance(k, str):
+                raise ReproError(
+                    f"wire dict keys must be str, got {type(k).__name__}"
+                )
+            if k == _FLOAT_KEY:
+                raise ReproError(f"wire dict key {_FLOAT_KEY!r} is reserved")
+            out[k] = to_wire(v)
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [to_wire(v) for v in obj]
+    raise ReproError(
+        f"object of type {type(obj).__name__} is not wire-safe: {obj!r}"
+    )
+
+
+def from_wire(obj: Any) -> Any:
+    """Decode stored records: hex strings back to exact floats."""
+    if isinstance(obj, dict):
+        if set(obj) == {_FLOAT_KEY}:
+            return float.fromhex(obj[_FLOAT_KEY])
+        return {k: from_wire(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [from_wire(v) for v in obj]
+    return obj
+
+
+def normalize(obj: Any) -> Any:
+    """Round-trip through the wire format (what a cache hit would return)."""
+    return from_wire(to_wire(obj))
+
+
+def _checksum(wire_records: Any) -> str:
+    return hashlib.sha256(canonical_json(wire_records).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# store
+# ----------------------------------------------------------------------
+class ArtifactStore:
+    """Filesystem-backed, content-addressed cache of experiment results."""
+
+    def __init__(self, root: "Path | str | None" = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    def spec_dir(self, experiment: Experiment) -> Path:
+        return self.root / experiment.name / experiment.spec_hash()
+
+    def shard_path(self, experiment: Experiment, key: str) -> Path:
+        return self.spec_dir(experiment) / "shards" / f"{key}.json"
+
+    def result_path(self, experiment: Experiment) -> Path:
+        return self.spec_dir(experiment) / "result.json"
+
+    # ------------------------------------------------------------------
+    def _manifest(self, experiment: Experiment) -> dict:
+        return {
+            "format": CACHE_FORMAT,
+            "experiment": experiment.name,
+            "spec": experiment.spec(),
+            "spec_hash": experiment.spec_hash(),
+            "repro_version": __version__,
+        }
+
+    def _write(self, path: Path, doc: dict) -> None:
+        import tempfile
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # unique tmp name per writer: concurrent runs recording the same
+        # shard must not race on a shared tmp path; the atomic replace
+        # means interrupts never leave half a file either way
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load(self, path: Path, experiment: Experiment) -> Optional[dict]:
+        """Read + verify a cache file; any defect is a miss (None)."""
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and the UnicodeDecodeError
+            # a binary-corrupted file raises before JSON parsing starts
+            return None
+        if not isinstance(doc, dict):
+            return None
+        manifest = doc.get("manifest")
+        if not isinstance(manifest, dict):
+            return None
+        if manifest.get("format") != CACHE_FORMAT:
+            return None
+        if manifest.get("spec_hash") != experiment.spec_hash():
+            return None  # stale: spec changed under the file
+        if "records" not in doc:
+            return None
+        if doc.get("records_sha256") != _checksum(doc["records"]):
+            return None  # corrupted / hand-edited records
+        return doc
+
+    # ------------------------------------------------------------------
+    def save_shard(self, experiment: Experiment, key: str, records: Any) -> Any:
+        """Persist one shard's records; returns their normalised form."""
+        wire = to_wire(records)
+        self._write(
+            self.shard_path(experiment, key),
+            {
+                "manifest": {**self._manifest(experiment), "shard": key},
+                "records_sha256": _checksum(wire),
+                "records": wire,
+            },
+        )
+        return from_wire(wire)
+
+    def has_shard(self, experiment: Experiment, key: str) -> bool:
+        """Cheap existence probe (no checksum verification) for listings."""
+        return self.shard_path(experiment, key).is_file()
+
+    def load_shard(self, experiment: Experiment, key: str) -> Optional[Any]:
+        """Cached records of one shard, or ``None`` on miss/corrupt/stale."""
+        doc = self._load(self.shard_path(experiment, key), experiment)
+        if doc is None:
+            return None
+        if doc["manifest"].get("shard") != key:
+            return None  # a file copied under another shard's name
+        return from_wire(doc["records"])
+
+    # ------------------------------------------------------------------
+    def save_result(
+        self,
+        experiment: Experiment,
+        payload: Any,
+        text: str,
+        *,
+        wall_time_s: float,
+        shards_cached: int,
+        shards_computed: int,
+    ) -> None:
+        """Persist the finished artifact with its provenance manifest."""
+        wire = to_wire(payload)
+        self._write(
+            self.result_path(experiment),
+            {
+                "manifest": {
+                    **self._manifest(experiment),
+                    "wall_time_s": wall_time_s,
+                    "shards_cached": shards_cached,
+                    "shards_computed": shards_computed,
+                },
+                "records_sha256": _checksum(wire),
+                "records": wire,
+                "text": text,
+            },
+        )
+
+    def load_result(self, experiment: Experiment) -> Optional[dict]:
+        """The stored artifact document (manifest/records/text), if valid."""
+        doc = self._load(self.result_path(experiment), experiment)
+        if doc is None:
+            return None
+        doc["records"] = from_wire(doc["records"])
+        return doc
+
+    # ------------------------------------------------------------------
+    def clean(self, name: Optional[str] = None) -> int:
+        """Drop cache entries (one experiment, or everything); returns count."""
+        targets = []
+        if name is None:
+            if self.root.is_dir():
+                targets = [p for p in self.root.iterdir() if p.is_dir()]
+        else:
+            p = self.root / name
+            if p.is_dir():
+                targets = [p]
+        for p in targets:
+            shutil.rmtree(p)
+        return len(targets)

@@ -1,0 +1,169 @@
+"""Campaign families for the deterministic theory artifacts.
+
+The Figure 2 worked example (Section 3.5) and the Theorem 1 / Lemma 2
+separation tables (Section 4) have no Monte-Carlo component — their
+shards are pure functions of the spec (one shard per mesh size for the
+growth tables, a single shard for Figure 2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.experiments.campaign.spec import Experiment, Shard
+from repro.utils.tables import format_table
+from repro.utils.validation import InvalidParameterError
+
+
+# ----------------------------------------------------------------------
+# Figure 2 (Section 3.5): XY = 128, best 1-MP = 56, best 2-MP = 32
+# ----------------------------------------------------------------------
+def _fig2_shard(_payload: Tuple) -> List[float]:
+    from repro import (
+        Communication,
+        Mesh,
+        PowerModel,
+        RoutedFlow,
+        Routing,
+        RoutingProblem,
+    )
+    from repro.mesh.paths import Path
+    from repro.optimal import optimal_single_path
+
+    mesh = Mesh(2, 2)
+    problem = RoutingProblem(
+        mesh,
+        PowerModel.fig2_example(),
+        [
+            Communication((0, 0), (1, 1), 1.0),
+            Communication((0, 0), (1, 1), 3.0),
+        ],
+    )
+    p_xy = Routing.xy(problem).total_power()
+    p_1mp = optimal_single_path(problem).power
+    two_mp = Routing(
+        problem,
+        [
+            [RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0)],
+            [
+                RoutedFlow(Path.xy(mesh, (0, 0), (1, 1)), 1.0),
+                RoutedFlow(Path.yx(mesh, (0, 0), (1, 1)), 2.0),
+            ],
+        ],
+    )
+    return [float(p_xy), float(p_1mp), float(two_mp.total_power())]
+
+
+@dataclass(frozen=True)
+class Fig2Experiment(Experiment):
+    """The Section 3.5 worked example, exactly."""
+
+    def shards(self) -> Tuple[Shard, ...]:
+        return (Shard(key="fig2", func=_fig2_shard, payload=()),)
+
+    def finalize(self, shard_records: List[Any]) -> dict:
+        p_xy, p_1mp, p_2mp = shard_records[0]
+        return {"xy": p_xy, "one_mp": p_1mp, "two_mp": p_2mp}
+
+    def render(self, payload: dict) -> str:
+        return format_table(
+            ["routing rule", "paper", "measured"],
+            [
+                ["XY", 128, payload["xy"]],
+                ["best 1-MP", 56, payload["one_mp"]],
+                ["best 2-MP", 32, payload["two_mp"]],
+            ],
+            ndigits=1,
+        )
+
+    def verify(self, payload: dict) -> None:
+        assert abs(payload["xy"] - 128.0) < 1e-9
+        assert abs(payload["one_mp"] - 56.0) < 1e-9
+        assert abs(payload["two_mp"] - 32.0) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 / Lemma 2 growth tables
+# ----------------------------------------------------------------------
+def _theory_shard(payload: Tuple) -> dict:
+    kind, p = payload
+    if kind == "theorem1":
+        from repro.theory import theorem1_powers
+
+        r = theorem1_powers(p)
+    elif kind == "lemma2":
+        from repro.theory import lemma2_powers
+
+        r = lemma2_powers(p)
+    else:  # pragma: no cover - spec validation catches this earlier
+        raise InvalidParameterError(f"unknown theory table {kind!r}")
+    return {k: float(v) for k, v in r.items()}
+
+
+@dataclass(frozen=True)
+class TheoryRatioExperiment(Experiment):
+    """One Section 4 separation table, one shard per mesh size."""
+
+    kind: str  # "theorem1" | "lemma2"
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("theorem1", "lemma2"):
+            raise InvalidParameterError(
+                f"kind must be theorem1|lemma2, got {self.kind!r}"
+            )
+
+    def shards(self) -> Tuple[Shard, ...]:
+        return tuple(
+            Shard(
+                key=f"p{p:03d}",
+                func=_theory_shard,
+                payload=(self.kind, p),
+            )
+            for p in self.sizes
+        )
+
+    def finalize(self, shard_records: List[Any]) -> dict:
+        return {"sizes": list(self.sizes), "results": shard_records}
+
+    def render(self, payload: dict) -> str:
+        if self.kind == "theorem1":
+            rows = [
+                [
+                    p,
+                    f"{r['p_xy']:.1f}",
+                    f"{r['p_manhattan']:.3f}",
+                    f"{r['ratio']:.2f}",
+                ]
+                for p, r in zip(payload["sizes"], payload["results"])
+            ]
+            return (
+                "Theorem 1: P_XY / P_maxMP on p x p, single pair (alpha = 3)\n"
+                + format_table(["p", "P_XY", "P_maxMP", "ratio"], rows)
+            )
+        rows = [
+            [p, f"{r['p_xy']:.0f}", f"{r['p_yx']:.0f}", f"{r['ratio']:.1f}"]
+            for p, r in zip(payload["sizes"], payload["results"])
+        ]
+        return (
+            "Lemma 2: P_XY / P_YX on the staircase instance (alpha = 3)\n"
+            + format_table(["p", "P_XY", "P_YX", "ratio"], rows)
+        )
+
+    def verify(self, payload: dict) -> None:
+        ratios = [r["ratio"] for r in payload["results"]]
+        if self.kind == "theorem1":
+            # Θ(p): each doubling of p roughly doubles the ratio
+            for a, b in zip(ratios, ratios[1:]):
+                assert 1.5 < b / a < 2.5
+            # the constructed power stays bounded (paper: <= 4 K^alpha/half)
+            assert all(r["p_manhattan"] <= 8.0 for r in payload["results"])
+        else:
+            sizes = payload["sizes"]
+            exponent = math.log(ratios[-1] / ratios[0]) / math.log(
+                sizes[-1] / sizes[0]
+            )
+            # Θ(p^{α-1}) with α = 3: exponent ≈ 2
+            assert 1.7 < exponent < 2.3

@@ -23,8 +23,9 @@ Name      Strategy                                        Section
 
 The three metaheuristics are extensions beyond the paper; they share the
 incremental-cost :class:`~repro.heuristics.local_moves.RoutingState`
-machinery and are benchmarked against the paper's heuristics in
-``benchmarks/test_meta_heuristics.py``.
+machinery and are benchmarked against the paper's heuristics by the
+``meta_heuristics`` campaign experiment (``repro campaign run
+meta_heuristics``).
 """
 
 from repro.heuristics.base import (

@@ -2,8 +2,8 @@
 
 The paper sorts communications by decreasing weight (rate) and reports that
 alternatives — decreasing length, decreasing weight/length density — were
-tried and found worse.  The orderings are exposed here so the ablation
-bench (``benchmarks/test_ablation_ordering.py``) can reproduce that claim.
+tried and found worse.  The orderings are exposed here so the
+``ablation_ordering`` campaign experiment can reproduce that claim.
 """
 
 from __future__ import annotations

@@ -16,7 +16,7 @@ XY-vs-Manhattan comparison can be re-examined under total network power:
   use.  Manhattan routings spread traffic over more links and routers
   than XY, so their static share grows; sweeping the leak coefficient
   locates where XY's concentration advantage offsets its dynamic-power
-  loss (``benchmarks/test_ablation_router_power.py``).
+  loss (the ``ablation_router_power`` campaign experiment).
 
 Default coefficients are representative of published 65 nm router power
 breakdowns (buffer ≈ 45 %, crossbar ≈ 30 %, arbitration ≈ 10 % of

@@ -11,8 +11,8 @@ falling below 1.
 This quantifies a deployment property the paper's system-level model
 abstracts away: two routings with equal (or similar) *power* can behave
 differently under bursty arrivals because their queueing headroom
-differs.  ``benchmarks/test_noc_latency.py`` uses it to compare XY and
-PR routings of the same instance.
+differs.  The ``noc_latency`` campaign experiment uses it to compare XY
+and PR routings of the same instance.
 
 Execution engines
 -----------------

@@ -29,7 +29,7 @@ Both reduce dramatically in the shared-endpoint case:
 
 :func:`same_endpoint_gap` bundles XY, the DP 1-MP optimum, the flow
 sandwich and the ideal-spread bound into one record — the quantitative
-answer to open question 1 (see ``benchmarks/test_open_problem.py``).
+answer to open question 1 (the ``open_problem`` campaign experiment).
 """
 
 from __future__ import annotations

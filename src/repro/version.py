@@ -1,0 +1,46 @@
+"""Single source of truth for the package version.
+
+The version is resolved from installed package metadata when the package
+is installed (``pip install -e .``), and falls back to parsing
+``pyproject.toml`` for source-tree runs (``PYTHONPATH=src``).  The
+campaign artifact store embeds this value in every provenance manifest,
+and ``repro --version`` prints it.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+#: the distribution name in pyproject.toml
+DIST_NAME = "repro-manhattan-routing"
+
+
+def _from_metadata() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - py>=3.10 always has it
+        return None
+    try:
+        return version(DIST_NAME)
+    except PackageNotFoundError:
+        return None
+
+
+def _from_pyproject() -> str | None:
+    # src/repro/version.py -> src/repro -> src -> repo root
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        text = pyproject.read_text()
+    except OSError:
+        return None
+    m = re.search(r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE)
+    return m.group(1) if m else None
+
+
+def resolve_version() -> str:
+    """Best-effort package version (metadata, then pyproject, then stub)."""
+    return _from_metadata() or _from_pyproject() or "0+unknown"
+
+
+__version__ = resolve_version()

@@ -1,0 +1,49 @@
+"""Shared fixtures-in-code for the campaign store/engine/CLI tests.
+
+Not a test module: both ``test_campaign_store.py`` and
+``test_campaign_engine.py`` import the synthetic experiment from here so
+there is exactly one ``CounterExperiment`` class object regardless of how
+pytest imports the test files themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+from repro.experiments.campaign import Experiment, Shard
+from repro.experiments.campaign.spec import chunk_bounds
+
+
+def counter_shard(payload: Tuple) -> List[float]:
+    lo, hi = payload
+    return [math.sin(i) * 0.1 for i in range(lo, hi)]
+
+
+@dataclass(frozen=True)
+class CounterExperiment(Experiment):
+    """A deterministic toy experiment: 3 shards of exact floats."""
+
+    trials: int = 6
+    chunk: int = 2
+
+    def shards(self):
+        return tuple(
+            Shard(
+                key=f"trials-{lo}-{hi}",
+                func=counter_shard,
+                payload=(lo, hi),
+            )
+            for lo, hi in chunk_bounds(self.trials, self.chunk)
+        )
+
+    def finalize(self, shard_records: List[Any]) -> dict:
+        return {"total": sum(x for chunk in shard_records for x in chunk)}
+
+    def render(self, payload: dict) -> str:
+        return f"counter total {payload['total']:.12f} over {self.trials}"
+
+
+def make_counter(**kw) -> CounterExperiment:
+    return CounterExperiment(name="counter", title="test counter", **kw)

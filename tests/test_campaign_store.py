@@ -1,0 +1,221 @@
+"""Tests for the campaign wire encoding and the artifact store."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import (
+    ArtifactStore,
+    Shard,
+    from_wire,
+    normalize,
+    to_wire,
+)
+from repro.experiments.campaign.store import CACHE_DIR_ENV
+from repro.utils.validation import ReproError
+from tests.campaign_testlib import CounterExperiment, counter_shard, make_counter
+
+
+# ----------------------------------------------------------------------
+# wire encoding
+# ----------------------------------------------------------------------
+class TestWire:
+    def test_roundtrip_exact_floats(self):
+        values = [0.1, 1.0 / 3.0, -2.5e-308, 1.7976931348623157e308, 0.0]
+        assert from_wire(to_wire(values)) == values
+
+    def test_roundtrip_inf(self):
+        out = from_wire(to_wire([float("inf"), float("-inf")]))
+        assert out == [float("inf"), float("-inf")]
+
+    def test_roundtrip_nan(self):
+        (out,) = from_wire(to_wire([float("nan")]))
+        assert math.isnan(out)
+
+    def test_roundtrip_nested(self):
+        doc = {"a": [1, True, None, "x", {"b": 0.25}], "c": (1.5, 2)}
+        out = from_wire(to_wire(doc))
+        assert out == {"a": [1, True, None, "x", {"b": 0.25}], "c": [1.5, 2]}
+
+    def test_numpy_scalars_coerced(self):
+        out = from_wire(
+            to_wire([np.float64(0.1), np.int64(7), np.bool_(True)])
+        )
+        assert out == [0.1, 7, True]
+        assert isinstance(out[0], float)
+        assert isinstance(out[1], int)
+        assert isinstance(out[2], bool)
+
+    def test_floats_become_hex_tagged(self):
+        assert to_wire(0.5) == {"__float__": (0.5).hex()}
+
+    def test_bool_not_confused_with_int(self):
+        out = from_wire(to_wire({"t": True, "one": 1}))
+        assert out["t"] is True and out["one"] == 1
+
+    def test_reserved_key_rejected(self):
+        with pytest.raises(ReproError):
+            to_wire({"__float__": "0x1p+0"})
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(ReproError):
+            to_wire({1: 2.0})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ReproError):
+            to_wire(object())
+
+    def test_normalize_idempotent(self):
+        doc = {"x": [0.1, (2, 3.5)], "inf": float("inf")}
+        once = normalize(doc)
+        assert normalize(once) == once
+
+
+# the synthetic experiment lives in campaign_testlib so the engine tests
+# share the exact same class object
+_exp = make_counter
+
+
+# ----------------------------------------------------------------------
+# spec hashing
+# ----------------------------------------------------------------------
+class TestSpecHash:
+    def test_stable_for_equal_specs(self):
+        assert _exp().spec_hash() == _exp().spec_hash()
+
+    def test_parameters_change_the_hash(self):
+        assert _exp().spec_hash() != _exp(trials=8).spec_hash()
+        assert _exp().spec_hash() != _exp(chunk=3).spec_hash()
+
+    def test_family_name_in_spec(self):
+        assert _exp().spec()["family"] == "CounterExperiment"
+
+    def test_code_version_changes_the_hash(self):
+        class Bumped(CounterExperiment):
+            code_version = 2
+
+        bumped = Bumped(name="counter", title="test counter")
+        assert bumped.spec()["code_version"] == 2
+        assert bumped.spec_hash() != _exp().spec_hash()
+
+    def test_with_trials_changes_hash_only_when_field_exists(self):
+        assert _exp().with_trials(9).spec_hash() != _exp().spec_hash()
+        from repro.experiments.campaign import get_experiment
+
+        fig2 = get_experiment("fig2_example")
+        assert fig2.with_trials(9) is fig2  # no trials field: unchanged
+
+    def test_with_trials_validates(self):
+        with pytest.raises(Exception):
+            _exp().with_trials(0)
+
+    def test_shard_key_validated(self):
+        with pytest.raises(Exception):
+            Shard(key="bad key/with stuff", func=counter_shard, payload=())
+
+
+# ----------------------------------------------------------------------
+# artifact store
+# ----------------------------------------------------------------------
+class TestArtifactStore:
+    def test_shard_roundtrip_exact(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        records = [0.1, float("inf"), [1, {"a": 2.5}]]
+        saved = store.save_shard(exp, "trials-0-2", records)
+        loaded = store.load_shard(exp, "trials-0-2")
+        assert loaded == saved == normalize(records)
+
+    def test_missing_is_none(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        assert store.load_shard(_exp(), "trials-0-2") is None
+
+    def test_corrupt_json_is_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        store.save_shard(exp, "trials-0-2", [1.0])
+        path = store.shard_path(exp, "trials-0-2")
+        path.write_text("{not json")
+        assert store.load_shard(exp, "trials-0-2") is None
+
+    def test_binary_corrupt_file_is_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        store.save_shard(exp, "trials-0-2", [1.0])
+        store.shard_path(exp, "trials-0-2").write_bytes(b"\xff\xfe\x00junk")
+        assert store.load_shard(exp, "trials-0-2") is None
+
+    def test_tampered_records_are_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        store.save_shard(exp, "trials-0-2", [1.0, 2.0])
+        path = store.shard_path(exp, "trials-0-2")
+        doc = json.loads(path.read_text())
+        doc["records"][0] = {"__float__": (9.0).hex()}  # checksum now stale
+        path.write_text(json.dumps(doc))
+        assert store.load_shard(exp, "trials-0-2") is None
+
+    def test_shard_copied_under_other_key_is_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = make_counter()
+        store.save_shard(exp, "trials-0-2", [1.0])
+        src = store.shard_path(exp, "trials-0-2")
+        dst = store.shard_path(exp, "trials-2-4")
+        dst.write_text(src.read_text())  # same spec dir, wrong shard
+        assert store.load_shard(exp, "trials-2-4") is None
+        assert store.load_shard(exp, "trials-0-2") == [1.0]
+
+    def test_stale_spec_hash_is_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        old, new = _exp(), _exp(trials=8)
+        store.save_shard(old, "trials-0-2", [1.0])
+        # copy the old spec's file into the new spec's slot (simulates a
+        # cache kept across a spec change)
+        src = store.shard_path(old, "trials-0-2")
+        dst = store.shard_path(new, "trials-0-2")
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_text(src.read_text())
+        assert store.load_shard(new, "trials-0-2") is None
+
+    def test_result_roundtrip_with_manifest(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        exp = _exp()
+        store.save_result(
+            exp,
+            {"total": 0.25},
+            "text",
+            wall_time_s=1.5,
+            shards_cached=1,
+            shards_computed=2,
+        )
+        doc = store.load_result(exp)
+        assert doc["records"] == {"total": 0.25}
+        assert doc["text"] == "text"
+        manifest = doc["manifest"]
+        assert manifest["experiment"] == "counter"
+        assert manifest["spec_hash"] == exp.spec_hash()
+        assert manifest["spec"] == exp.spec()
+        assert manifest["shards_cached"] == 1
+        assert manifest["shards_computed"] == 2
+        assert manifest["wall_time_s"] == 1.5
+        from repro.version import __version__
+
+        assert manifest["repro_version"] == __version__
+
+    def test_clean_one_and_all(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save_shard(_exp(), "trials-0-2", [1.0])
+        other = CounterExperiment(name="counter2", title="t")
+        store.save_shard(other, "trials-0-2", [1.0])
+        assert store.clean("counter") == 1
+        assert store.load_shard(_exp(), "trials-0-2") is None
+        assert store.load_shard(other, "trials-0-2") is not None
+        assert store.clean() == 1  # the remaining entry
+
+    def test_env_var_picks_cache_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        assert ArtifactStore().root == tmp_path / "cache"

@@ -8,7 +8,7 @@ scheme; serialisation round-trips for arbitrary generated instances.
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 
 from repro import Communication, Mesh, PowerModel, Routing, RoutingProblem
@@ -200,6 +200,7 @@ def test_property_band_infeasible_implies_universal_failure(comms):
     du=st.integers(1, 4),
     dv=st.integers(1, 4),
 )
+@example(rates=[25.0, 68.0, 69.0], du=1, dv=2)
 def test_property_same_endpoint_chain(rates, du, dv):
     """flow_lower <= flow_upper <= DP-optimum dynamic <= XY dynamic."""
     from repro.optimal import optimal_same_endpoint_single_path, same_endpoint_flow
@@ -216,7 +217,12 @@ def test_property_same_endpoint_chain(rates, du, dv):
     dp = optimal_same_endpoint_single_path(prob)
     xy = Routing.xy(prob)
     assert flow.lower_bound <= flow.upper_bound * (1 + 1e-9)
-    assert flow.upper_bound <= dyn(dp.routing.link_loads()) * (1 + 1e-6)
+    # the PWL upper bound overestimates the convex objective by the
+    # secant-chord error of its 24-segment discretisation, so when the
+    # single-path optimum coincides with the relaxation optimum (tiny
+    # meshes, the pinned example overshoots by ~2e-4) the slack must
+    # budget that O(1/segments^2) error, not just float noise
+    assert flow.upper_bound <= dyn(dp.routing.link_loads()) * (1 + 2e-3)
     assert dyn(dp.routing.link_loads()) <= dyn(xy.link_loads()) * (1 + 1e-9)
 
 
