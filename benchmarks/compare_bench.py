@@ -13,6 +13,11 @@ by the N-SPEED ``noc`` suite) is diffed against the file's own
 fractions rather than heuristic names, the before side is the reference
 simulator and the after side the array engine.
 
+Files recorded on a machine with the native C tier built carry a third
+column, ``native_median_ms`` (the same rows timed under
+``REPRO_NATIVE=1``); when present it is printed as an extra
+python-vs-native table after the main diff.
+
 Exit status is 0 unless the inputs are unusable — the tool reports, it
 does not gate.
 """
@@ -57,6 +62,14 @@ def diff(before: dict, after: dict, b_label: str, a_label: str) -> int:
     return 0
 
 
+def native_table(doc: dict, name: str) -> None:
+    """The python-vs-native table of one file, when it records one."""
+    if "native_median_ms" not in doc:
+        return
+    print(f"[{name}: python tier vs native tier (REPRO_NATIVE=1)]")
+    diff(doc["median_ms"], doc["native_median_ms"], "python", "native")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("before", type=pathlib.Path)
@@ -66,9 +79,13 @@ def main(argv: list[str] | None = None) -> int:
     doc_b = load(args.before)
     if args.after is None:
         if "before_median_ms" not in doc_b:
+            if "native_median_ms" in doc_b:
+                native_table(doc_b, args.before.name)
+                return 0
             print(
-                f"{args.before} has no embedded before_median_ms section; "
-                "pass a second BENCH file to compare against",
+                f"{args.before} has no embedded before_median_ms or "
+                "native_median_ms section; pass a second BENCH file to "
+                "compare against",
                 file=sys.stderr,
             )
             return 1
@@ -76,9 +93,11 @@ def main(argv: list[str] | None = None) -> int:
             doc_b.get("suite"), ("before", "after")
         )
         print(f"[{args.before.name}: embedded {b_label} vs {a_label}]")
-        return diff(
+        rc = diff(
             doc_b["before_median_ms"], doc_b["median_ms"], b_label, a_label
         )
+        native_table(doc_b, args.before.name)
+        return rc
     doc_a = load(args.after)
     if doc_b.get("suite") != doc_a.get("suite"):
         print(
@@ -89,9 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 1
     print(f"[{args.before.name} -> {args.after.name}]")
-    return diff(
+    rc = diff(
         doc_b["median_ms"], doc_a["median_ms"], args.before.stem, args.after.stem
     )
+    native_table(doc_a, args.after.name)
+    return rc
 
 
 if __name__ == "__main__":

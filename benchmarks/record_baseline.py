@@ -34,7 +34,9 @@ the after side from the working tree.  See ``docs/performance.md``.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
+import os
 import pathlib
 import platform
 import re
@@ -82,6 +84,31 @@ META_FACTORIES = {
 }
 
 
+@contextlib.contextmanager
+def _tier(tier: str):
+    """Pin ``REPRO_NATIVE`` for a timed region (``python``→0, ``native``→1).
+
+    ``median_ms`` must keep meaning *the Python tier* on every machine, so
+    the timing loops never rely on the ambient (``auto``) tier decision.
+    """
+    prev = os.environ.get("REPRO_NATIVE")
+    os.environ["REPRO_NATIVE"] = {"python": "0", "native": "1"}[tier]
+    try:
+        yield
+    finally:
+        if prev is None:
+            del os.environ["REPRO_NATIVE"]
+        else:
+            os.environ["REPRO_NATIVE"] = prev
+
+
+def native_available() -> bool:
+    """Whether the compiled tier is importable (building it if possible)."""
+    from repro.native import native_module
+
+    return native_module() is not None
+
+
 def build_problem() -> RoutingProblem:
     mesh = Mesh(*MESH_SHAPE)
     power = PowerModel.kim_horowitz()
@@ -114,21 +141,48 @@ def measure_meta(rounds: int) -> tuple[dict, dict]:
 
     Rounds interleave the competitors (GA, SA, TABU, GA, …) so slow
     machine-load drift hits every row evenly instead of one heuristic.
+    ``median_ms`` is always the Python tier; when the native tier is
+    importable every row is additionally timed under ``REPRO_NATIVE=1``
+    into ``native_median_ms``, with ``native_speedup`` relative to the
+    Python tier (both solves are asserted identical while timing).
     """
-    times: dict = {name: [] for name in META_FACTORIES}
-    for name, make in META_FACTORIES.items():  # warmup
-        make().solve(build_problem())
+    tiers = ["python"] + (["native"] if native_available() else [])
+    times: dict = {t: {name: [] for name in META_FACTORIES} for t in tiers}
+    for tier in tiers:  # warmup + equivalence gate
+        with _tier(tier):
+            results = {
+                name: make().solve(build_problem()).power
+                for name, make in META_FACTORIES.items()
+            }
+            if tier == "python":
+                python_power = results
+            else:
+                assert results == python_power, "tiers disagree on M-SPEED"
     for _ in range(rounds):
         for name, make in META_FACTORIES.items():
-            heuristic = make()
-            problem = build_problem()
-            t0 = time.perf_counter()
-            heuristic.solve(problem)
-            times[name].append(time.perf_counter() - t0)
-    return {
-        name: round(statistics.median(ts) * 1e3, 4)
-        for name, ts in times.items()
-    }, {}
+            for tier in tiers:
+                with _tier(tier):
+                    heuristic = make()
+                    problem = build_problem()
+                    t0 = time.perf_counter()
+                    heuristic.solve(problem)
+                    times[tier][name].append(time.perf_counter() - t0)
+    medians = {
+        tier: {
+            name: round(statistics.median(ts) * 1e3, 4)
+            for name, ts in per.items()
+        }
+        for tier, per in times.items()
+    }
+    extras = {}
+    if "native" in medians:
+        extras["native_median_ms"] = medians["native"]
+        extras["native_speedup"] = {
+            name: round(medians["python"][name] / ms, 2)
+            for name, ms in medians["native"].items()
+            if ms > 0
+        }
+    return medians["python"], extras
 
 
 def build_noc_routing():
@@ -164,19 +218,32 @@ def measure_noc(rounds: int) -> tuple[dict, dict]:
         injection="bernoulli",
         seed=NOC_SIM_SEED,
     )
+    # "native" is the array engine under REPRO_NATIVE=1; "array" and
+    # "reference" are pinned to the Python tier so median_ms keeps its
+    # meaning on machines where auto would resolve to native
+    engines = ["array", "reference"]
+    if native_available():
+        engines.append("native")
+
+    def sweep(engine: str, frac: float):
+        tier = "native" if engine == "native" else "python"
+        name = "array" if engine == "native" else engine
+        with _tier(tier):
+            return latency_sweep(routing, [frac], engine=name, **kw)
+
     times: dict = {
-        engine: {frac: [] for frac in NOC_FRACTIONS}
-        for engine in ("array", "reference")
+        engine: {frac: [] for frac in NOC_FRACTIONS} for engine in engines
     }
     for frac in NOC_FRACTIONS:  # warmup + equivalence gate
-        a = latency_sweep(routing, [frac], engine="array", **kw)
-        b = latency_sweep(routing, [frac], engine="reference", **kw)
-        assert a == b, f"engines disagree at fraction {frac}"
+        points = {engine: sweep(engine, frac) for engine in engines}
+        assert (
+            len(set(map(tuple, points.values()))) == 1
+        ), f"engines disagree at fraction {frac}"
     for _ in range(rounds):
         for frac in NOC_FRACTIONS:
-            for engine in ("array", "reference"):
+            for engine in engines:
                 t0 = time.perf_counter()
-                latency_sweep(routing, [frac], engine=engine, **kw)
+                sweep(engine, frac)
                 times[engine][frac].append(time.perf_counter() - t0)
     medians = {
         engine: {
@@ -186,7 +253,7 @@ def measure_noc(rounds: int) -> tuple[dict, dict]:
         for engine, per in times.items()
     }
     after, before = medians["array"], medians["reference"]
-    return after, {
+    extras = {
         "before_median_ms": before,
         "speedup": {
             point: round(before[point] / ms, 2)
@@ -194,6 +261,14 @@ def measure_noc(rounds: int) -> tuple[dict, dict]:
             if ms > 0
         },
     }
+    if "native" in medians:
+        extras["native_median_ms"] = medians["native"]
+        extras["native_speedup"] = {
+            point: round(after[point] / ms, 2)
+            for point, ms in medians["native"].items()
+            if ms > 0
+        }
+    return after, extras
 
 
 SUITES = {

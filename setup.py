@@ -1,0 +1,23 @@
+"""Setup shim: optional install-time build of the native fast-path tier.
+
+All metadata lives in ``pyproject.toml``; this file exists only to hand
+setuptools the cffi build hook **when cffi is available in the build
+environment** (e.g. ``pip install -e .[native]`` with build isolation
+disabled, or a wheel build whose environment provides cffi).  A plain
+``pip install -e .`` runs under build isolation without cffi, takes the
+no-hook branch, and behaves exactly as it did before the native tier
+existed — the extension is then built lazily at first use instead (see
+:func:`repro.native.build_native`).
+"""
+
+from setuptools import setup
+
+kwargs = {}
+try:
+    import cffi  # noqa: F401
+except ImportError:
+    pass
+else:
+    kwargs["cffi_modules"] = ["src/repro/native/_builder.py:ffibuilder"]
+
+setup(**kwargs)

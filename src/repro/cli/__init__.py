@@ -45,6 +45,25 @@ from repro.utils.validation import ReproError
 from repro.version import __version__
 
 
+class _VersionAction(argparse.Action):
+    """``--version`` with the active fast-path tier (REPRO_NATIVE).
+
+    The tier is resolved lazily — only when ``--version`` is actually
+    requested — so ordinary subcommands never trigger a native build or
+    a ``REPRO_NATIVE=1`` availability check from the parser.
+    """
+
+    def __init__(self, option_strings, dest, **kwargs):
+        kwargs.setdefault("nargs", 0)
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        from repro.native import active_tier
+
+        print(f"repro {__version__} (tier: {active_tier()})")
+        parser.exit()
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -52,7 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Power-aware Manhattan routing on chip multiprocessors",
     )
     parser.add_argument(
-        "--version", action="version", version=f"repro {__version__}"
+        "--version", action=_VersionAction,
+        help="show the version and the active fast-path tier, then exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -133,12 +133,17 @@ class ArtifactStore:
 
     # ------------------------------------------------------------------
     def _manifest(self, experiment: Experiment) -> dict:
+        from repro.native import active_tier
+
         return {
             "format": CACHE_FORMAT,
             "experiment": experiment.name,
             "spec": experiment.spec(),
             "spec_hash": experiment.spec_hash(),
             "repro_version": __version__,
+            # provenance only: both tiers are bit-identical, so freshness
+            # checks deliberately ignore which one produced an artifact
+            "tier": active_tier(),
         }
 
     def _write(self, path: Path, doc: dict) -> None:

@@ -107,14 +107,28 @@ class SimulatedAnnealing(Heuristic):
 
         best_moves = state.snapshot()
         best_cost = state.cost
+        native = state.tier == "native"
         for _ in range(self.restarts):
-            # the chain's draws run through the bit-exact stream replica:
-            # identical draw sequence, a fraction of the per-draw dispatch
-            rng = StreamReplica(
-                np.random.default_rng(self._rng.integers(2**63))
-            )
-            state.restore(start)
-            moves, cost = self._anneal(state, movable, rng)
+            if native:
+                # native tier: same chain, C inner loop, draws through the
+                # C stream (bit-identical word consumption, words still
+                # drawn in Python — see repro.native)
+                from repro.native.stream import NativeStream
+
+                rng = NativeStream(
+                    np.random.default_rng(self._rng.integers(2**63))
+                )
+                state.restore(start)
+                moves, cost = self._anneal_native(state, movable, rng)
+            else:
+                # the chain's draws run through the bit-exact stream
+                # replica: identical draw sequence, a fraction of the
+                # per-draw dispatch
+                rng = StreamReplica(
+                    np.random.default_rng(self._rng.integers(2**63))
+                )
+                state.restore(start)
+                moves, cost = self._anneal(state, movable, rng)
             if cost < best_cost:
                 best_cost, best_moves = cost, moves
         return RoutingState(problem, best_moves).paths()
@@ -184,6 +198,65 @@ class SimulatedAnnealing(Heuristic):
                 best_moves = snapshot()
             temp *= cooling
         return best_moves, best_cost
+
+    # ------------------------------------------------------------------
+    def _anneal_native(
+        self,
+        state: RoutingState,
+        movable: List[int],
+        rng,
+    ) -> tuple[List[str], float]:
+        """One chain on the native tier — :meth:`_anneal` bit for bit.
+
+        The C driver owns the proposal loop, flip grading, Metropolis
+        acceptance and cooling on a :class:`~repro.native.ledger.
+        NativeLedger` mirror; whole-path resample proposals are still
+        drawn in Python (``CommDag.random_moves`` over the shared C
+        stream), so the driver suspends with a NEED_PROPOSAL return and
+        is re-entered with the proposal bytes (``plen == -1`` encodes "a
+        proposal equal to the current path": cooling only).
+        """
+        from repro.native import native_module
+        from repro.native.ledger import NativeLedger
+
+        module = native_module()
+        ffi, lib = module.ffi, module.lib
+        # T0 calibration runs on the Python ledger (it mutates nothing)
+        # with the same draw sequence the Python tier would consume
+        t0 = self._calibrate_t0(state, movable, rng)
+        cooling = self.t_end_frac ** (1.0 / max(1, self.iterations - 1))
+        nat = NativeLedger(state)
+        movable_arr = np.asarray(movable, dtype=np.int64)
+        best = nat.moves_copy()
+        sa = ffi.new("rsa *")
+        sa.L = nat._c
+        sa.st = rng._c
+        sa.movable = ffi.cast("const int64_t *", movable_arr.ctypes.data)
+        sa.n_mov = len(movable)
+        sa.iterations = self.iterations
+        sa.it = 0
+        sa.temp = t0
+        sa.cooling = cooling
+        sa.resample_prob = self.resample_prob
+        sa.best_cost = nat.cost
+        sa.best_moves = ffi.cast("uint8_t *", best.ctypes.data)
+        sa.pending_ci = 0
+        sa.awaiting = 0
+        problem = state.problem
+        dags = [problem.dag(i) for i in range(problem.num_comms)]
+        rc = lib.repro_sa_run(sa, ffi.NULL, 0)
+        while rc == 1:
+            ci = sa.pending_ci
+            new_mv = dags[ci].random_moves(rng, alive_only=True)
+            if new_mv == nat.move_str(ci):
+                rc = lib.repro_sa_run(sa, ffi.NULL, -1)
+            else:
+                b = new_mv.encode("ascii")
+                rc = lib.repro_sa_run(sa, b, len(b))
+        if rc != 0:
+            rng.check_err()  # a failed refill is the usual culprit
+            nat.raise_err()
+        return nat.decode_moves(best), float(sa.best_cost)
 
     # ------------------------------------------------------------------
     def _calibrate_t0(

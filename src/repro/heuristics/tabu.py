@@ -90,6 +90,8 @@ class TabuRouting(Heuristic):
         movable = state.mutable_comms()
         if not movable:
             return state.paths()
+        if state.tier == "native":
+            return self._route_native(problem, state, movable, rng)
 
         best_moves = state.snapshot()
         best_cost = state.cost
@@ -108,6 +110,94 @@ class TabuRouting(Heuristic):
                 best_moves = state.snapshot()
             if len(tabu) > 4 * self.tenure * len(movable):
                 tabu = {k: v for k, v in tabu.items() if v > it}
+
+        return RoutingState(problem, best_moves).paths()
+
+    # ------------------------------------------------------------------
+    def _route_native(
+        self,
+        problem: RoutingProblem,
+        state: RoutingState,
+        movable: List[int],
+        rng: StreamReplica,
+    ) -> List[Path]:
+        """:meth:`_route`'s main loop on the native tier, bit for bit.
+
+        The C kernel builds and grades each iteration's candidate
+        neighbourhood (hot-link expansion, random slice, scalar grading,
+        stable Δcost argsort) on a :class:`~repro.native.ledger.
+        NativeLedger` mirror; the tabu dictionary, aspiration walk and
+        commit bookkeeping stay in Python, walking the returned order
+        exactly like :meth:`_best_candidate` does.
+        """
+        from repro.native import native_module
+        from repro.native.ledger import NativeLedger
+        from repro.native.stream import NativeStream
+
+        module = native_module()
+        ffi, lib = module.ffi, module.lib
+        # the replica has not drawn yet: hand its untouched generator to
+        # the C stream so the draw sequence continues unchanged
+        nrng = NativeStream(rng._rng)
+        nat = NativeLedger(state, link_comms=True)
+        best_moves = nat.snapshot()
+        best_cost = nat.cost
+        tabu: Dict[Tuple[int, str], int] = {}
+
+        nb = self.neighborhood
+        # hot expansion checks the budget only after appending both
+        # corners of a crossing, so one iteration can exceed it by one
+        cci = np.zeros(nb + 1, dtype=np.int64)
+        cj = np.zeros(nb + 1, dtype=np.int64)
+        dcosts = np.zeros(nb + 1, dtype=np.float64)
+        order = np.zeros(nb + 1, dtype=np.int64)
+        seen = np.zeros(max(nat.total_len - nat.num_comms, 1), dtype=np.uint8)
+        movable_arr = np.asarray(movable, dtype=np.int64)
+        p_cci = ffi.cast("int64_t *", cci.ctypes.data)
+        p_cj = ffi.cast("int64_t *", cj.ctypes.data)
+        p_dc = ffi.cast("double *", dcosts.ctypes.data)
+        p_or = ffi.cast("int64_t *", order.ctypes.data)
+        p_seen = ffi.cast("uint8_t *", seen.ctypes.data)
+        p_mov = ffi.cast("const int64_t *", movable_arr.ctypes.data)
+
+        tabu_get = tabu.get
+        for it in range(self.iterations):
+            hot = np.asarray(
+                nat.most_loaded_links(self.hot_links), dtype=np.int64
+            )
+            nc = lib.repro_tabu_candidates(
+                nat._c, nrng._c,
+                ffi.cast("const int64_t *", hot.ctypes.data), len(hot),
+                p_mov, len(movable), nb, p_cci, p_cj, p_dc, p_or, p_seen,
+            )
+            if nc < 0:
+                nrng.check_err()
+                nat.raise_err()
+            chosen = None
+            scost = nat.cost
+            for idx in range(nc):
+                k = int(order[idx])
+                ci = int(cci[k])
+                j = int(cj[k])
+                s = nat.move_str(ci)
+                dest = s[: j] + s[j + 1] + s[j] + s[j + 2 :]
+                if tabu_get((ci, dest), -1) > it and (
+                    scost + dcosts[k] >= best_cost
+                ):
+                    continue
+                chosen = (ci, j, float(dcosts[k]))
+                break
+            if chosen is None:
+                break
+            ci, j, dcost = chosen
+            tabu[(ci, nat.move_str(ci))] = it + self.tenure
+            nat.commit_flip(ci, j, dcost)
+            if nat.cost < best_cost:
+                best_cost = nat.cost
+                best_moves = nat.snapshot()
+            if len(tabu) > 4 * self.tenure * len(movable):
+                tabu = {k2: v for k2, v in tabu.items() if v > it}
+                tabu_get = tabu.get
 
         return RoutingState(problem, best_moves).paths()
 

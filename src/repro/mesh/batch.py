@@ -157,6 +157,7 @@ class LoadLedger:
     """
 
     __slots__ = (
+        "tier",
         "mesh",
         "power",
         "scale",
@@ -279,6 +280,15 @@ class LoadLedger:
         self._thresh = self._bw * (1 + 1e-12)
         self._scale_l = None if self.scale is None else self.scale.tolist()
         self._dead_l = None if self.dead is None else self.dead.tolist()
+        # observable fast-path tier (REPRO_NATIVE): the native kernels
+        # mirror the *scalar* grading contract, so continuous models stay
+        # on the Python tier even when the extension is available
+        if self._scalar:
+            from repro.native import native_kernels
+
+            self.tier = "python" if native_kernels() is None else "native"
+        else:
+            self.tier = "python"
 
     def _load(self, moves_list: Sequence[str]) -> None:
         """(Re)build every maintained structure from a routing snapshot."""

@@ -1,0 +1,22 @@
+"""Eager-build entry point: ``python -m repro.native.build``.
+
+CI (and anyone who wants the build failure loudly, rather than the
+silent ``auto`` fallback) runs this once to compile the extension into
+the installed package before exercising ``REPRO_NATIVE=1``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.native import build_native
+
+
+def main() -> int:
+    dest = build_native(verbose=True)
+    print(f"built {dest}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,231 @@
+"""Native runner for the :class:`~repro.noc.engine.ArrayFlitSimulator`.
+
+Packs the simulator's static tables (successor matrix, feeder CSR, link
+speeds) once per simulator and its per-run state (ring-buffer lanes, FIFO
+cursors, wormhole owners, budgets, statistics) into flat numpy arrays,
+then executes the whole cycle loop in one ``repro_noc_run`` call.  The C
+loop is a statement-for-statement port of ``ArrayFlitSimulator.run`` —
+same ejection-before-traversal order, ascending-link / round-robin-VC /
+flow-order arbitration, budget accrual and idle cap, wormhole ownership
+and deadlock window — so reports (flows, utilisation, packet records,
+deadlock behaviour) are bit-identical to the Python tier.
+
+Injection schedules stay in Python: :func:`repro.noc.traffic.
+precompute_arrivals` draws the whole arrival matrix up front with the
+reference's RNG word-consumption order, and the C loop only *consumes*
+it — the draw-order contract never moves across the FFI boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.simulator import (
+    DeadlockError,
+    FlowStats,
+    PacketRecord,
+    SimulationReport,
+)
+from repro.noc.traffic import precompute_arrivals
+
+
+def _static_tables(sim, ffi):
+    """Flat per-simulator tables, built once and cached on the instance."""
+    nf = len(sim.flow_paths)
+    L = sim._num_used
+    nvc = sim.num_vcs
+    next_of = np.full((nf, max(L, 1)), -2, dtype=np.int64)
+    for fi, cp in enumerate(sim._cpaths):
+        nxt = sim._next_after[fi]
+        for p, cl in enumerate(cp):
+            next_of[fi, cl] = nxt[p]
+    nb = L * nvc
+    feeder_ptr = np.zeros(nb + 1, dtype=np.int64)
+    for b, fs in enumerate(sim._feeders):
+        feeder_ptr[b + 1] = feeder_ptr[b] + len(fs)
+    feeder_fi = np.zeros(max(int(feeder_ptr[-1]), 1), dtype=np.int64)
+    feeder_up = np.zeros_like(feeder_fi)
+    for b, fs in enumerate(sim._feeders):
+        at = int(feeder_ptr[b])
+        for x, (fi, up) in enumerate(fs):
+            feeder_fi[at + x] = fi
+            feeder_up[at + x] = up
+    first_cl = np.asarray(sim._first_cl, dtype=np.int64)
+    speed_l = np.asarray(sim._speed_used, dtype=np.float64)
+    cap_l = np.asarray(sim._cap_used, dtype=np.float64)
+    return {
+        "next_of": next_of,
+        "feeder_ptr": feeder_ptr,
+        "feeder_fi": feeder_fi,
+        "feeder_up": feeder_up,
+        "first_cl": first_cl,
+        "speed_l": speed_l,
+        "cap_l": cap_l,
+    }
+
+
+def run_native(sim, cycles: int, *, warmup: int = 0) -> SimulationReport:
+    """``ArrayFlitSimulator.run`` on the native tier (bit-identical)."""
+    module = sim._native
+    ffi, lib = module.ffi, module.lib
+    tables = getattr(sim, "_native_tables", None)
+    if tables is None:
+        tables = _static_tables(sim, ffi)
+        sim._native_tables = tables
+
+    nf = len(sim.flow_paths)
+    nvc = sim.num_vcs
+    bf = sim.buffer_flits
+    pf = sim.packet_flits
+    L = sim._num_used
+    collect = sim.collect_packets
+
+    # batched injection: the whole arrival schedule, drawn up front in
+    # Python with the reference's exact RNG word-consumption order
+    arrivals = precompute_arrivals(
+        sim.injection, sim.flow_rate_frac, pf, sim._rng, cycles
+    )
+    arr_mat = np.zeros((max(nf, 1), cycles), dtype=np.int64)
+    for fi in range(nf):
+        arr_mat[fi, :] = arrivals[fi]
+    # per-flow packet injection times, CSR over absolute packet ids
+    pkt_ptr = np.zeros(nf + 1, dtype=np.int64)
+    if nf:
+        np.cumsum(arr_mat[:nf].sum(axis=1), out=pkt_ptr[1:])
+    total_pkts = int(pkt_ptr[-1])
+    pkt_times = np.zeros(max(total_pkts, 1), dtype=np.int64)
+    cyc_ids = np.arange(cycles, dtype=np.int64)
+    for fi in range(nf):
+        pkt_times[int(pkt_ptr[fi]) : int(pkt_ptr[fi + 1])] = np.repeat(
+            cyc_ids, arr_mat[fi]
+        )
+
+    nb = L * nvc
+    nslots = nb * bf
+    z64 = lambda n: np.zeros(max(n, 1), dtype=np.int64)  # noqa: E731
+    bflow, bpk, bk, bt, bnext = (z64(nslots) for _ in range(5))
+    hd, cnt, ow_p = (z64(nb) for _ in range(3))
+    ow_f = np.full(max(nb, 1), -1, dtype=np.int64)
+    iq_head, iq_k, iq_n = (z64(nf) for _ in range(3))
+    budget = np.zeros(max(L, 1), dtype=np.float64)
+    rr, feed, occ, fwd = (z64(L) for _ in range(4))
+    injected, delivered, delivered_pkts = (z64(nf) for _ in range(3))
+    latency_sum = np.zeros(max(nf, 1), dtype=np.float64)
+    rec_cap = total_pkts if collect else 0
+    rec_fi, rec_inj, rec_done = (z64(rec_cap) for _ in range(3))
+
+    keep = [
+        arr_mat, pkt_ptr, pkt_times, bflow, bpk, bk, bt, bnext, hd, cnt,
+        ow_f, ow_p, iq_head, iq_k, iq_n, budget, rr, feed, occ, fwd,
+        injected, delivered, delivered_pkts, latency_sum, rec_fi,
+        rec_inj, rec_done,
+    ]
+    keep.extend(tables.values())
+
+    R = ffi.new("rnoc *")
+    R.nf = nf
+    R.nvc = nvc
+    R.bf = bf
+    R.pf = pf
+    R.L = L
+    R.window = sim.deadlock_window
+    R.cycles = cycles
+    R.warmup = warmup
+    R.collect = 1 if collect else 0
+
+    def ptr(ctype, a):
+        return ffi.cast(ctype, a.ctypes.data)
+
+    R.arrivals = ptr("const int64_t *", arr_mat)
+    R.pkt_ptr = ptr("const int64_t *", pkt_ptr)
+    R.pkt_times = ptr("const int64_t *", pkt_times)
+    R.first_cl = ptr("const int64_t *", tables["first_cl"])
+    R.next_of = ptr("const int64_t *", tables["next_of"])
+    R.feeder_ptr = ptr("const int64_t *", tables["feeder_ptr"])
+    R.feeder_fi = ptr("const int64_t *", tables["feeder_fi"])
+    R.feeder_up = ptr("const int64_t *", tables["feeder_up"])
+    R.speed_l = ptr("const double *", tables["speed_l"])
+    R.cap_l = ptr("const double *", tables["cap_l"])
+    R.bflow = ptr("int64_t *", bflow)
+    R.bpk = ptr("int64_t *", bpk)
+    R.bk = ptr("int64_t *", bk)
+    R.bt = ptr("int64_t *", bt)
+    R.bnext = ptr("int64_t *", bnext)
+    R.hd = ptr("int64_t *", hd)
+    R.cnt = ptr("int64_t *", cnt)
+    R.ow_f = ptr("int64_t *", ow_f)
+    R.ow_p = ptr("int64_t *", ow_p)
+    R.iq_head = ptr("int64_t *", iq_head)
+    R.iq_k = ptr("int64_t *", iq_k)
+    R.iq_n = ptr("int64_t *", iq_n)
+    R.budget = ptr("double *", budget)
+    R.rr = ptr("int64_t *", rr)
+    R.feed = ptr("int64_t *", feed)
+    R.occ = ptr("int64_t *", occ)
+    R.fwd = ptr("int64_t *", fwd)
+    R.injected = ptr("int64_t *", injected)
+    R.delivered = ptr("int64_t *", delivered)
+    R.delivered_pkts = ptr("int64_t *", delivered_pkts)
+    R.latency_sum = ptr("double *", latency_sum)
+    R.rec_fi = ptr("int64_t *", rec_fi)
+    R.rec_inj = ptr("int64_t *", rec_inj)
+    R.rec_done = ptr("int64_t *", rec_done)
+    R.rec_cap = rec_cap
+    R.rec_n = 0
+    R.total_delivered = 0
+    R.t_final = 0
+    R.deadlocked = 0
+    R.err = 0
+
+    rc = lib.repro_noc_run(R)
+    if rc != 0:  # pragma: no cover - internal invariant (record overflow)
+        raise RuntimeError(f"native NoC run failed (code {R.err})")
+    t = int(R.t_final)
+    if R.deadlocked:
+        raise DeadlockError(
+            f"no flit moved for {sim.deadlock_window} cycles at t={t} "
+            "with traffic in flight — wormhole deadlock"
+        )
+
+    measured = max(1, t + 1 - warmup)
+    forwarded = np.zeros(sim.mesh.num_links)
+    if L:
+        forwarded[sim._used_links] = fwd[:L]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(
+            sim.speed > 0, forwarded / (measured * sim.speed), 0.0
+        )
+    flows = tuple(
+        FlowStats(
+            comm_index=sim.flow_comm[fi],
+            rate_fraction=sim.flow_rate_frac[fi],
+            injected_flits=int(injected[fi]),
+            delivered_flits=int(delivered[fi]),
+            delivered_packets=int(delivered_pkts[fi]),
+            mean_packet_latency=(
+                float(latency_sum[fi]) / int(delivered_pkts[fi])
+                if delivered_pkts[fi]
+                else float("nan")
+            ),
+        )
+        for fi in range(nf)
+    )
+    flow_comm = sim.flow_comm
+    packet_records = tuple(
+        PacketRecord(
+            flow=int(rec_fi[x]),
+            comm=flow_comm[int(rec_fi[x])],
+            injected_at=int(rec_inj[x]),
+            completed_at=int(rec_done[x]),
+        )
+        for x in range(int(R.rec_n))
+    )
+    del keep
+    return SimulationReport(
+        cycles=cycles,
+        flows=flows,
+        link_utilization=util,
+        total_delivered_flits=int(R.total_delivered),
+        deadlocked=False,
+        packets=packet_records,
+    )

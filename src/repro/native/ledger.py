@@ -1,0 +1,273 @@
+"""Flat C mirror of a :class:`~repro.mesh.batch.LoadLedger`.
+
+:class:`NativeLedger` packs a ledger's maintained state — move
+characters, link ids, prefix V-counts, sorted flip corners, per-link
+loads and graded-power cache, the link→communications index — into
+contiguous numpy arrays and hands zero-copy pointers to the ``rledger``
+struct of the compiled extension.  From then on the *C kernels own the
+mirror*: flips, resamples and the SA/TABU drivers mutate the flat arrays
+directly, with float operations replicating the Python ledger bit for
+bit (``tests/test_native.py`` fuzzes the equivalence state-field by
+state-field).
+
+The mirror is built per metaheuristic run (O(total hops), microseconds)
+from whatever state the Python ledger is in; the Python ledger itself is
+left untouched and stale afterwards — callers read results back through
+:meth:`snapshot` / :meth:`decode_moves` and rebuild Python state from
+move strings.
+
+Only scalar-graded models (discrete frequency tables) have a native
+tier, mirroring the ledger's own scalar fast path; callers gate on
+``ledger._scalar`` before constructing the mirror.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import InvalidParameterError
+
+#: rledger error codes (keep in sync with _builder.C_SOURCE)
+ERR_NEGLOAD = 1
+ERR_RNG = 2
+ERR_STATE = 3
+
+
+class NativeLedger:
+    """Zero-copy ``rledger`` mirror of a Python :class:`LoadLedger`."""
+
+    def __init__(self, ledger, *, link_comms: bool = False):
+        from repro.native import native_module
+
+        module = native_module()
+        if module is None:  # pragma: no cover - callers gate on the tier
+            raise RuntimeError("native module unavailable")
+        if not ledger._scalar:
+            raise InvalidParameterError(
+                "the native ledger tier needs a discrete (scalar-graded) "
+                "power model"
+            )
+        ffi = module.ffi
+        self._ffi = ffi
+        self._lib = module.lib
+        kernel = ledger.kernel
+        nc = kernel.num_comms
+        num_links = ledger.mesh.num_links
+        starts = np.ascontiguousarray(kernel.starts, dtype=np.int64)
+        lengths = np.ascontiguousarray(kernel.lengths, dtype=np.int64)
+        total = int(lengths.sum())
+        ar = np.arange(nc, dtype=np.int64)
+        cstarts = starts + ar
+        pstarts = starts - ar
+        self.num_comms = nc
+        self.total_len = total
+        self._starts = starts
+        self._lengths = lengths
+
+        moves = np.frombuffer(
+            "".join(ledger._mstr).encode("ascii"), dtype=np.uint8
+        ).copy()
+        links = np.empty(total, dtype=np.int64)
+        cumv = np.empty(total + nc, dtype=np.int64)
+        pos = np.zeros(max(total - nc, 1), dtype=np.int64)
+        pos_len = np.zeros(nc, dtype=np.int64)
+        for i in range(nc):
+            lo = int(starts[i])
+            n = int(lengths[i])
+            links[lo : lo + n] = ledger.links[i]
+            cumv[lo + i : lo + i + n + 1] = ledger._cumv[i]
+            p = ledger._pos[i]
+            pos_len[i] = len(p)
+            if p:
+                pos[lo - i : lo - i + len(p)] = p
+
+        self.loads = np.array(ledger._loads_l, dtype=np.float64)
+        plist = np.array(ledger._plist, dtype=np.float64)
+        rates = np.array(ledger._rates_l, dtype=np.float64)
+        src_u = np.array(ledger._src_u, dtype=np.int64)
+        src_v = np.array(ledger._src_v, dtype=np.int64)
+        su = np.array(ledger._su, dtype=np.int64)
+        sv = np.array(ledger._sv, dtype=np.int64)
+        vbase = np.array(ledger._vbase, dtype=np.int64)
+        hbase = np.array(ledger._hbase, dtype=np.int64)
+        freqs = np.array(ledger._freqs_l, dtype=np.float64)
+        lvl = np.array(ledger._lvl_l, dtype=np.float64)
+        scale = (
+            None
+            if ledger._scale_l is None
+            else np.array(ledger._scale_l, dtype=np.float64)
+        )
+        dead = (
+            None
+            if ledger._dead_l is None
+            else np.array(ledger._dead_l, dtype=np.uint8)
+        )
+
+        if link_comms:
+            lc_cap = nc
+            lc = np.zeros((num_links, max(lc_cap, 1)), dtype=np.int32)
+            lc_len = np.zeros(num_links, dtype=np.int32)
+            for lid, cs in enumerate(ledger._link_comms):
+                if cs:
+                    srt = sorted(cs)
+                    lc_len[lid] = len(srt)
+                    lc[lid, : len(srt)] = srt
+        else:
+            lc_cap = 0
+            lc = lc_len = None
+
+        max_len = int(lengths.max()) if nc else 1
+        scr_links = np.zeros(max_len, dtype=np.int64)
+        scr_dlid = np.zeros(2 * max_len, dtype=np.int64)
+        scr_dval = np.zeros(2 * max_len, dtype=np.float64)
+        scr_alive = np.zeros(2 * max_len, dtype=np.uint8)
+        scr_clid = np.zeros(2 * max_len, dtype=np.int64)
+        scr_cval = np.zeros(2 * max_len, dtype=np.float64)
+        scr_news = np.zeros(2 * max_len, dtype=np.float64)
+        scr_olds = np.zeros(2 * max_len, dtype=np.float64)
+
+        # every array referenced by the struct must outlive it
+        self._keep = [
+            starts, lengths, cstarts, pstarts, moves, links, cumv, pos,
+            pos_len, self.loads, plist, rates, src_u, src_v, su, sv,
+            vbase, hbase, freqs, lvl, scale, dead, lc, lc_len, scr_links,
+            scr_dlid, scr_dval, scr_alive, scr_clid, scr_cval, scr_news,
+            scr_olds,
+        ]
+        self._moves = moves
+
+        def ptr(ctype: str, arr: Optional[np.ndarray]):
+            if arr is None:
+                return ffi.NULL
+            return ffi.cast(ctype, arr.ctypes.data)
+
+        c = ffi.new("rledger *")
+        c.num_comms = nc
+        c.num_links = num_links
+        c.q = ledger._q
+        c.total_len = total
+        c.lc_cap = lc_cap
+        c.starts = ptr("const int64_t *", starts)
+        c.lengths = ptr("const int64_t *", lengths)
+        c.cstarts = ptr("const int64_t *", cstarts)
+        c.pstarts = ptr("const int64_t *", pstarts)
+        c.src_u = ptr("const int64_t *", src_u)
+        c.src_v = ptr("const int64_t *", src_v)
+        c.su = ptr("const int64_t *", su)
+        c.sv = ptr("const int64_t *", sv)
+        c.vbase = ptr("const int64_t *", vbase)
+        c.hbase = ptr("const int64_t *", hbase)
+        c.rates = ptr("const double *", rates)
+        c.moves = ptr("uint8_t *", moves)
+        c.links = ptr("int64_t *", links)
+        c.cumv = ptr("int64_t *", cumv)
+        c.pos = ptr("int64_t *", pos)
+        c.pos_len = ptr("int64_t *", pos_len)
+        c.lc = ptr("int32_t *", lc)
+        c.lc_len = ptr("int32_t *", lc_len)
+        c.loads = ptr("double *", self.loads)
+        c.plist = ptr("double *", plist)
+        c.cost = float(ledger.cost)
+        c.freqs = ptr("const double *", freqs)
+        c.lvl = ptr("const double *", lvl)
+        c.scale = ptr("const double *", scale)
+        c.dead = ptr("const uint8_t *", dead)
+        c.pen0 = ledger._pen0
+        c.bw = ledger._bw
+        c.thresh = ledger._thresh
+        c.scr_links = ptr("int64_t *", scr_links)
+        c.scr_dlid = ptr("int64_t *", scr_dlid)
+        c.scr_dval = ptr("double *", scr_dval)
+        c.scr_alive = ptr("uint8_t *", scr_alive)
+        c.scr_clid = ptr("int64_t *", scr_clid)
+        c.scr_cval = ptr("double *", scr_cval)
+        c.scr_news = ptr("double *", scr_news)
+        c.scr_olds = ptr("double *", scr_olds)
+        c.err = 0
+        self._c = c
+        # exposed for equivalence tests
+        self._links = links
+        self._pos = pos
+        self._pos_len = pos_len
+        self._plist = plist
+        self._cumv = cumv
+        self._lc = lc
+        self._lc_len = lc_len
+
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        return self._c.cost
+
+    def raise_err(self, stream=None) -> None:
+        """Translate a pending C error code into the Python exception."""
+        code = self._c.err
+        self._c.err = 0
+        if code == ERR_NEGLOAD:
+            raise InvalidParameterError(
+                "load delta would drive a link negative"
+            )
+        if code == ERR_RNG and stream is not None:
+            stream.check_err()
+        raise RuntimeError(  # pragma: no cover - internal invariant
+            f"native ledger error (code {code})"
+        )
+
+    # ------------------------------------------------------------------
+    def move_str(self, ci: int) -> str:
+        lo = int(self._starts[ci])
+        n = int(self._lengths[ci])
+        return self._moves[lo : lo + n].tobytes().decode("ascii")
+
+    def snapshot(self) -> List[str]:
+        """Current move strings, one per communication."""
+        return self.decode_moves(self._moves)
+
+    def moves_copy(self) -> np.ndarray:
+        """Writable flat copy of the current move characters."""
+        return self._moves.copy()
+
+    def decode_moves(self, flat: np.ndarray) -> List[str]:
+        """Per-communication strings of a flat move-character buffer."""
+        blob = flat.tobytes().decode("ascii")
+        out = []
+        for i in range(self.num_comms):
+            lo = int(self._starts[i])
+            out.append(blob[lo : lo + int(self._lengths[i])])
+        return out
+
+    def most_loaded_links(self, k: int) -> List[int]:
+        """``LoadLedger.most_loaded_links`` on the mirrored load vector."""
+        k = min(k, int(np.count_nonzero(self.loads)))
+        if k == 0:
+            return []
+        idx = np.argpartition(self.loads, -k)[-k:]
+        return [int(i) for i in idx[np.argsort(self.loads[idx])[::-1]]]
+
+    # thin kernel wrappers (fuzz-test surface) -------------------------
+    def flip_dcost(self, ci: int, j: int) -> float:
+        d = self._lib.repro_flip_dcost(self._c, ci, j)
+        if self._c.err:
+            self.raise_err()
+        return d
+
+    def commit_flip(self, ci: int, j: int, dcost: float) -> None:
+        self._lib.repro_commit_flip(self._c, ci, j, dcost)
+        if self._c.err:
+            self.raise_err()
+
+    def resample_eval(self, ci: int, new_moves: str) -> float:
+        b = new_moves.encode("ascii")
+        d = self._lib.repro_resample_eval(self._c, ci, b, len(b), 0)
+        if self._c.err:
+            self.raise_err()
+        return d
+
+    def commit_resample(self, ci: int, new_moves: str) -> float:
+        b = new_moves.encode("ascii")
+        d = self._lib.repro_resample_eval(self._c, ci, b, len(b), 1)
+        if self._c.err:
+            self.raise_err()
+        return d

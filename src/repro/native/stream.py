@@ -1,0 +1,127 @@
+"""Python-fed C random stream: the native face of ``StreamReplica``.
+
+:class:`NativeStream` exposes the same draw API as
+:class:`repro.utils.rng.StreamReplica` — ``random()``, ``integers(n)``,
+``shuffle(list)`` — but the word-consumption kernels (Lemire bounded
+draws, half-word buffering, masked-rejection intervals) run in C on an
+``rstream`` struct that native drivers (the SA chain, the TABU candidate
+kernel) can also draw from directly.  Both sides share one cursor, so
+Python-side draws (e.g. ``CommDag.random_moves`` proposals) interleave
+with C-side draws in exactly the order the Python tier would produce.
+
+The raw words themselves are never generated in C: when the stream runs
+dry the extension calls back into Python (``_repro_stream_refill``),
+which refills the buffer through :func:`repro.utils.rng.raw_word_block`
+on the wrapped :class:`numpy.random.Generator` — the RNG stays in
+Python, preserving the draw-order contract bit for bit.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+
+import numpy as np
+
+from repro.utils.rng import raw_word_block
+
+#: live streams by refill key (weak: a collected stream unregisters itself)
+_REGISTRY: "weakref.WeakValueDictionary[int, NativeStream]" = (
+    weakref.WeakValueDictionary()
+)
+_KEYS = itertools.count(1)
+_CALLBACK_BOUND = False
+
+
+def register_refill_callback(module) -> None:
+    """Bind the ``_repro_stream_refill`` extern to the loaded module."""
+    global _CALLBACK_BOUND
+    if _CALLBACK_BOUND:  # pragma: no cover - single load per process
+        return
+    _CALLBACK_BOUND = True
+
+    @module.ffi.def_extern(name="_repro_stream_refill", error=1)
+    def _repro_stream_refill(st_ptr):
+        stream = _REGISTRY.get(st_ptr.key)
+        if stream is None:  # pragma: no cover - stream died mid-call
+            return 1
+        return stream._fill(st_ptr)
+
+
+class NativeStream:
+    """Replica-compatible draw stream backed by the C kernels."""
+
+    def __init__(self, rng: np.random.Generator, block: int = 1024):
+        from repro.native import native_module
+
+        module = native_module()
+        if module is None:  # pragma: no cover - callers gate on the tier
+            raise RuntimeError("native module unavailable")
+        self._ffi = module.ffi
+        self._lib = module.lib
+        self._rng = rng
+        self._block = block
+        self._buf = np.zeros(block, dtype=np.uint64)
+        self._exc = None
+        st = self._ffi.new("rstream *")
+        st.buf = self._ffi.cast("uint64_t *", self._buf.ctypes.data)
+        st.cap = block
+        st.i = 0
+        st.n = 0
+        st.has32 = 0
+        st.err = 0
+        st.u32 = 0
+        st.key = next(_KEYS)
+        self._c = st
+        _REGISTRY[st.key] = self
+
+    # ------------------------------------------------------------------
+    def _fill(self, st_ptr) -> int:
+        """Refill callback target: one vectorised raw-word block."""
+        try:
+            self._buf[:] = raw_word_block(self._rng, self._block)
+        except BaseException as exc:  # surfaced by check_err()
+            self._exc = exc
+            return 1
+        st_ptr.i = 0
+        st_ptr.n = self._block
+        return 0
+
+    def check_err(self) -> None:
+        """Raise the stashed refill failure if a C-side draw hit one."""
+        if self._c.err:
+            exc, self._exc = self._exc, None
+            self._c.err = 0
+            if exc is not None:
+                raise exc
+            raise RuntimeError(  # pragma: no cover - refill never lies
+                "native stream refill failed"
+            )
+
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        """Uniform double in [0, 1) — ``Generator.random()`` bit for bit."""
+        v = self._lib.repro_stream_random(self._c)
+        if self._c.err:
+            self.check_err()
+        return v
+
+    def integers(self, n: int) -> int:
+        """Uniform int in [0, n) — scalar ``Generator.integers(n)`` bit
+        for bit (same Lemire kernels as the Python replica)."""
+        if n < 1:
+            raise ValueError(f"high <= 0 in integers({n})")
+        v = self._lib.repro_stream_integers(self._c, n)
+        if self._c.err:
+            self.check_err()
+        return v
+
+    def shuffle(self, x: list) -> None:
+        """In-place Fisher–Yates — ``Generator.shuffle`` bit for bit."""
+        lib = self._lib
+        st = self._c
+        for i in range(len(x) - 1, 0, -1):
+            j = lib.repro_stream_interval(st, i)
+            x[i], x[j] = x[j], x[i]
+        if st.err:
+            self.check_err()

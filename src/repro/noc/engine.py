@@ -174,6 +174,13 @@ class ArrayFlitSimulator:
         self._feeders = [tuple(f) for f in feeders]
         self._speed_used = [float(self.speed[lid]) for lid in used]
         self._cap_used = [max(1.0, s) for s in self._speed_used]
+        # observable fast-path tier (REPRO_NATIVE): when the compiled
+        # extension is active the whole cycle loop runs in C, bit-identical
+        from repro.native import native_kernels
+
+        self._native = native_kernels()
+        self._native_tables = None  # static flat tables, built lazily
+        self.tier = "python" if self._native is None else "native"
 
     # ------------------------------------------------------------------
     def run(self, cycles: int, *, warmup: int = 0) -> SimulationReport:
@@ -184,6 +191,10 @@ class ArrayFlitSimulator:
             raise InvalidParameterError(
                 f"warmup must lie in [0, cycles), got {warmup}"
             )
+        if self._native is not None:
+            from repro.native.engine import run_native
+
+            return run_native(self, cycles, warmup=warmup)
         nf = len(self.flow_paths)
         nvc = self.num_vcs
         bf = self.buffer_flits

@@ -41,6 +41,21 @@ _M64 = (1 << 64) - 1
 _TO_DOUBLE = 1.1102230246251565e-16
 
 
+def raw_word_block(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``n`` raw 64-bit generator words, one vectorised call.
+
+    Full-range ``integers(0, 2**64)`` draws *are* the generator's raw
+    output words, so consuming them block-wise is word-for-word identical
+    to scalar draws.  This is the single refill primitive shared by
+    :class:`StreamReplica` (Python tier) and
+    :class:`repro.native.stream.NativeStream` (native tier): both replay
+    numpy's scalar draw kernels over this stream, which is what keeps the
+    two tiers — and the wrapped generator itself — bit-identical.  The
+    words are drawn here, in Python, even when the draw kernels run in C.
+    """
+    return rng.integers(0, 2**64, size=n, dtype=np.uint64)
+
+
 class StreamReplica:
     """Python-side replica of a PCG64 :class:`~numpy.random.Generator`.
 
@@ -84,9 +99,9 @@ class StreamReplica:
         self._u32 = 0
 
     def _refill(self) -> None:
-        self._buf = self._rng.integers(
-            0, 2**64, size=self._block, dtype=np.uint64
-        ).tolist()
+        # .tolist() matters: Python ints keep the arbitrary-precision
+        # multiply semantics the Lemire kernel below relies on
+        self._buf = raw_word_block(self._rng, self._block).tolist()
         self._i = 0
         self._n = self._block
 
