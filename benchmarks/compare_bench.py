@@ -32,6 +32,7 @@ import sys
 #: per-suite labels for a file's embedded before/after pair
 SUITE_SIDES = {
     "noc-speed": ("reference", "array"),
+    "e-churn": ("cold", "warm"),
 }
 
 

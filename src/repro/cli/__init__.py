@@ -3,7 +3,11 @@
 Commands
 --------
 ``generate``   draw a workload (random / length-targeted / pattern) to CSV
-``route``      route a workload with one heuristic (or BEST/ALL) and report
+``route``      route a workload with one heuristic (or BEST/ALL) and report;
+               with ``--server``/``--socket`` it submits to a running
+               ``repro serve`` instead (``--prev`` warm-starts)
+``serve``      run the long-lived routing service (JSON over HTTP on TCP
+               or a unix socket, warm-start repair, result cache)
 ``figures``    regenerate paper figure panels (fig7a..fig9c, summary)
 ``scenarios``  list or run registered scenarios (faulty / derated / ...)
 ``campaign``   list / run / check / clean the declarative experiment
@@ -38,6 +42,7 @@ from repro.cli.commands import (
     cmd_open_problem,
     cmd_route,
     cmd_scenarios,
+    cmd_serve,
     cmd_simulate,
     cmd_theory,
 )
@@ -101,7 +106,58 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument(
         "--svg", default=None, help="save an SVG link-load heat map here"
     )
+    remote = r.add_argument_group(
+        "remote mode", "submit to a running 'repro serve' instead"
+    )
+    remote.add_argument(
+        "--server", default=None, metavar="HOST[:PORT]",
+        help="route on this service endpoint (TCP)",
+    )
+    remote.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="route on the service listening on this unix socket",
+    )
+    remote.add_argument(
+        "--prev", default=None, metavar="ROUTING_JSON",
+        help="previous routing to warm-start the service from",
+    )
+    remote.add_argument(
+        "--polish", default="anneal",
+        help="service polish mode: anneal|descent|none (default: anneal)",
+    )
+    remote.add_argument(
+        "--seed", type=int, default=None,
+        help="polish-burst / cold RNG seed (default: 0)",
+    )
+    remote.add_argument(
+        "--no-cache", action="store_true",
+        help="ask the service not to consult/fill its result cache",
+    )
     r.set_defaults(func=cmd_route)
+
+    srv = sub.add_parser(
+        "serve", help="run the long-lived routing service"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=None)
+    srv.add_argument(
+        "--socket", default=None, metavar="PATH",
+        help="listen on a unix socket instead of TCP",
+    )
+    srv.add_argument(
+        "--jobs", type=int, default=1,
+        help="routing worker processes (1 = inline, strictly serial)",
+    )
+    srv.add_argument(
+        "--cache-dir", default=None,
+        help="artifact-store root for the result cache "
+        "(default: .repro-cache / REPRO_CACHE_DIR)",
+    )
+    srv.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cross-request result cache",
+    )
+    srv.set_defaults(func=cmd_serve)
 
     sc = sub.add_parser(
         "scenarios", help="list or run registered scenarios"

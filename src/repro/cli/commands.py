@@ -13,6 +13,7 @@ from repro import RoutingProblem
 from repro.cli.helpers import (
     check_jobs,
     check_min,
+    check_seed,
     check_trials,
     parse_fractions,
     parse_mesh,
@@ -33,6 +34,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     )
 
     mesh = parse_mesh(args.mesh)
+    check_seed(args.seed)
     if args.kind == "random":
         comms = uniform_random_workload(
             mesh, args.n, args.rate_min, args.rate_max, rng=args.seed
@@ -56,6 +58,71 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _route_remote(args: argparse.Namespace) -> int:
+    """``repro route --server/--socket``: route on a running service."""
+    from repro.io import load_routing, save_routing, workload_from_csv
+    from repro.io.jsonio import problem_to_dict, routing_from_dict, routing_to_dict
+    from repro.service import (
+        DEFAULT_HOST,
+        DEFAULT_PORT,
+        DEFAULT_SOLVER,
+        POLISH_MODES,
+        ServiceClient,
+    )
+
+    check_seed(args.seed)
+    if args.polish not in POLISH_MODES:
+        raise ReproError(
+            f"unknown polish mode {args.polish!r}; choose from "
+            f"{', '.join(POLISH_MODES)}"
+        )
+    mesh = parse_mesh(args.mesh)
+    power = parse_model(args.model)
+    if args.socket:  # endpoint flags validate before any workload I/O
+        client = ServiceClient(socket_path=args.socket)
+    else:
+        host, _, port_text = args.server.partition(":")
+        try:
+            port = int(port_text) if port_text else DEFAULT_PORT
+        except ValueError:
+            raise ReproError(
+                f"--server must look like HOST or HOST:PORT, "
+                f"got {args.server!r}"
+            ) from None
+        client = ServiceClient(host or DEFAULT_HOST, port)
+    comms = workload_from_csv(args.workload)
+    problem = RoutingProblem(mesh, power, comms)
+    doc = {
+        "problem": problem_to_dict(problem),
+        # ALL is the local-mode default; remotely it means the service's
+        # default cold solver
+        "solver": DEFAULT_SOLVER if args.heuristic == "ALL" else args.heuristic,
+        "polish": args.polish,
+        "seed": args.seed if args.seed is not None else 0,
+        "cache": not args.no_cache,
+    }
+    if args.prev:
+        doc["prev"] = routing_to_dict(load_routing(args.prev))
+    try:
+        resp = client.route(doc)
+    except OSError as exc:
+        raise ReproError(f"cannot reach the routing service: {exc}") from None
+    stats = resp.get("stats", {})
+    power = f"power {resp['power']:.2f}" if resp["valid"] else "INVALID"
+    print(f"{resp['mode']} route: {power}")
+    print(
+        f"cache_hit={resp['cache_hit']}  "
+        f"elapsed {resp.get('elapsed_ms', 0.0):.1f} ms  "
+        f"(matched {stats.get('matched', 0)}, rerouted "
+        f"{stats.get('rerouted', 0)}, polish flips "
+        f"{stats.get('polish_flips', 0)})"
+    )
+    if args.out:
+        save_routing(routing_from_dict(resp["routing"]), args.out)
+        print(f"routing saved to {args.out}")
+    return 0 if resp["valid"] else 1
+
+
 def cmd_route(args: argparse.Namespace) -> int:
     from typing import Sequence
 
@@ -63,6 +130,8 @@ def cmd_route(args: argparse.Namespace) -> int:
     from repro.io import save_routing, workload_from_csv
     from repro.utils.tables import format_table
 
+    if args.server or args.socket:
+        return _route_remote(args)
     mesh = parse_mesh(args.mesh)
     power = parse_model(args.model)
     comms = workload_from_csv(args.workload)
@@ -185,6 +254,7 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     # run
     check_jobs(args.jobs)
     check_trials(args.trials)
+    check_seed(args.seed)
     result = run_scenario(
         args.name, jobs=args.jobs, trials=args.trials, seed=args.seed
     )
@@ -222,6 +292,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
     from repro.utils.tables import format_table
 
     fractions = parse_fractions(args.fractions)  # validate before any I/O
+    check_seed(args.seed)
     routing = load_routing(args.routing)
     points = latency_sweep(
         routing,
@@ -257,6 +328,7 @@ def cmd_noc_sweep(args: argparse.Namespace) -> int:
 
     check_jobs(args.jobs)
     check_min(args.cycles, "--cycles")
+    check_seed(args.seed)
     fractions = parse_fractions(args.fractions)
     if bool(args.routing) == bool(args.scenario):
         raise ReproError(
@@ -325,6 +397,7 @@ def cmd_apps(args: argparse.Namespace) -> int:
 
     mesh = parse_mesh(args.mesh)
     power = parse_model(args.model)
+    check_seed(args.seed)
     apps = [published_app(n, scale=args.scale) for n in args.apps.split(",")]
     regions = region_split(mesh, [a.num_tasks for a in apps])
     placements = []
@@ -398,6 +471,50 @@ def cmd_open_problem(args: argparse.Namespace) -> int:
         f"XY / optimal-1MP = {gap.xy_vs_single:.2f};  "
         f"optimal-1MP / maxMP = {gap.single_vs_multi:.3f}"
     )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the routing service until interrupted."""
+    import asyncio
+
+    from repro.service import DEFAULT_PORT, RoutingServer
+
+    check_jobs(args.jobs)
+    if args.port is None:
+        args.port = DEFAULT_PORT
+    if args.socket is None and not 0 < args.port < 65536:
+        raise ReproError(f"--port must lie in [1, 65535], got {args.port}")
+    server = RoutingServer(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+
+    async def _run() -> None:
+        if args.socket:
+            srv = await server.start_unix(args.socket)
+            where = f"unix:{args.socket}"
+        else:
+            srv = await server.start_tcp(args.host, args.port)
+            where = f"http://{args.host}:{args.port}"
+        cache = "off" if args.no_cache else (args.cache_dir or "default")
+        print(
+            f"repro service listening on {where} "
+            f"(jobs={args.jobs}, cache={cache})",
+            flush=True,
+        )
+        async with srv:
+            await srv.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    except OSError as exc:
+        raise ReproError(f"cannot start the routing service: {exc}") from None
+    finally:
+        server.close()
     return 0
 
 

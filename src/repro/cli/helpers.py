@@ -31,8 +31,26 @@ def check_trials(trials: "int | None") -> None:
         check_min(trials, "--trials")
 
 
+def check_seed(seed: "int | None") -> None:
+    """Validate an *optional* ``--seed`` (RNG seeds must be >= 0).
+
+    ``numpy.random.default_rng`` rejects negative seeds with a raw
+    ``ValueError`` traceback; catch the domain error at the CLI boundary
+    instead so it reports like every other flag error (exit code 2).
+    """
+    if seed is not None and seed < 0:
+        raise ReproError(f"--seed must be >= 0, got {seed}")
+
+
 def parse_fractions(text: str) -> List[float]:
-    """Parse a ``--fractions`` comma-separated list of offered loads."""
+    """Parse a ``--fractions`` comma-separated list of offered loads.
+
+    Every fraction must be a positive finite number — an offered load of
+    ``0``, ``-0.5``, ``nan`` or ``inf`` is meaningless to the flit
+    engine and used to slip straight through to the simulator.
+    """
+    import math
+
     try:
         fractions = [float(f) for f in text.split(",") if f.strip()]
     except ValueError:
@@ -41,6 +59,12 @@ def parse_fractions(text: str) -> List[float]:
         ) from None
     if not fractions:
         raise ReproError("--fractions must name at least one fraction")
+    bad = [f for f in fractions if not (math.isfinite(f) and f > 0.0)]
+    if bad:
+        raise ReproError(
+            "--fractions must be positive finite offered loads, "
+            f"got {bad[0]!r}"
+        )
     return fractions
 
 

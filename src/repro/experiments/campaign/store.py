@@ -34,8 +34,9 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Optional, Set
 
 import numpy as np
 
@@ -111,6 +112,46 @@ def _checksum(wire_records: Any) -> str:
 
 
 # ----------------------------------------------------------------------
+# stale-residue sweep
+# ----------------------------------------------------------------------
+#: ``*.tmp`` files older than this are orphans of a killed writer (seconds)
+STALE_TMP_AGE_S = 3600.0
+
+#: roots already swept by this process (one walk per root, not per store)
+_swept_roots: Set[str] = set()
+
+
+def _sweep_stale_tmp(
+    root: Path,
+    *,
+    max_age_s: float = STALE_TMP_AGE_S,
+    now: "float | None" = None,
+) -> int:
+    """Delete ``*.tmp`` writer residue under ``root``; returns the count.
+
+    :meth:`ArtifactStore._write` stages every file through a ``mkstemp``
+    sibling before the atomic replace, so a writer killed between the
+    two (SIGKILL, OOM, power loss) leaves a ``<name>.<random>.tmp``
+    orphan behind forever.  Anything older than ``max_age_s`` cannot
+    belong to a live writer and is removed; younger files are left alone
+    so the sweep never races a concurrent run mid-write.
+    """
+    if not root.is_dir():
+        return 0
+    if now is None:
+        now = time.time()
+    removed = 0
+    for p in root.rglob("*.tmp"):
+        try:
+            if now - p.stat().st_mtime >= max_age_s:
+                p.unlink()
+                removed += 1
+        except OSError:
+            continue  # raced with another sweeper, or a live writer won
+    return removed
+
+
+# ----------------------------------------------------------------------
 # store
 # ----------------------------------------------------------------------
 class ArtifactStore:
@@ -120,6 +161,10 @@ class ArtifactStore:
         if root is None:
             root = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.root = Path(root)
+        key = os.path.abspath(self.root)
+        if key not in _swept_roots:
+            _swept_roots.add(key)
+            _sweep_stale_tmp(self.root)
 
     # ------------------------------------------------------------------
     def spec_dir(self, experiment: Experiment) -> Path:

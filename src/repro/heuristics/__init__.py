@@ -42,7 +42,12 @@ from repro.heuristics.two_bend import TwoBend
 from repro.heuristics.xy_improver import XYImprover
 from repro.heuristics.path_remover import PathRemover
 from repro.heuristics.best import BestOf, best_of_results, PAPER_HEURISTICS
-from repro.heuristics.local_moves import RoutingState, flip_positions, initial_moves
+from repro.heuristics.local_moves import (
+    RoutingState,
+    descend,
+    flip_positions,
+    initial_moves,
+)
 from repro.heuristics.annealing import SimulatedAnnealing
 from repro.heuristics.genetic import GeneticRouting
 from repro.heuristics.tabu import TabuRouting
@@ -67,6 +72,7 @@ __all__ = [
     "best_of_results",
     "PAPER_HEURISTICS",
     "RoutingState",
+    "descend",
     "flip_positions",
     "initial_moves",
     "SimulatedAnnealing",

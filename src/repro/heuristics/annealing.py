@@ -99,7 +99,16 @@ class SimulatedAnnealing(Heuristic):
 
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
-        start = initial_moves(problem, self.init)
+        return self._solve(problem, initial_moves(problem, self.init))
+
+    def _route_from(
+        self, problem: RoutingProblem, moves: List[str]
+    ) -> List[Path]:
+        # warm start: the chains anneal from the supplied routing instead
+        # of the init heuristic's
+        return self._solve(problem, list(moves))
+
+    def _solve(self, problem: RoutingProblem, start: List[str]) -> List[Path]:
         state = RoutingState(problem, start)
         movable = state.mutable_comms()
         if not movable:

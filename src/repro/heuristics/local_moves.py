@@ -23,7 +23,7 @@ each move through :func:`repro.heuristics.base.graded_power_delta`.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,9 +32,15 @@ from repro.core.routing import Routing
 from repro.mesh.batch import LoadLedger, flip_corners
 from repro.mesh.moves import validate_moves
 from repro.mesh.paths import Path
+from repro.utils.validation import InvalidParameterError
 
 #: historical name of :func:`repro.mesh.batch.flip_corners`
 flip_positions = flip_corners
+
+#: relative improvement threshold of :func:`descend` — flips whose gain is
+#: numerical dust (within 1e-12 of the current cost scale) do not count,
+#: mirroring XYI's acceptance rule
+_DESCENT_REL_EPS = 1e-12
 
 
 class RoutingState(LoadLedger):
@@ -69,6 +75,61 @@ class RoutingState(LoadLedger):
             moves_list,
             kernel=problem.kernel(),
         )
+
+    # ------------------------------------------------------------------
+    # warm-start seeding
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_routing(
+        cls, problem: RoutingProblem, routing: Routing
+    ) -> "RoutingState":
+        """Seed the state from an existing single-path routing.
+
+        The routing may belong to a *different* problem instance — e.g.
+        the pre-perturbation ancestor in a warm-start repair — as long as
+        the communication endpoints match ``problem``'s in order.  Rates,
+        the power model and the mesh's fault/derating profile are taken
+        from ``problem``, so the returned state grades the old paths under
+        the new conditions.
+        """
+        if not routing.is_single_path:
+            raise InvalidParameterError(
+                "warm-start seeding needs a single-path routing, got "
+                f"max_split={routing.max_split}"
+            )
+        prev = routing.problem
+        if prev.num_comms != problem.num_comms:
+            raise InvalidParameterError(
+                f"routing covers {prev.num_comms} communications, "
+                f"problem has {problem.num_comms}"
+            )
+        moves: List[str] = []
+        for i, comm in enumerate(problem.comms):
+            pc = prev.comms[i]
+            if pc.src != comm.src or pc.snk != comm.snk:
+                raise InvalidParameterError(
+                    f"communication {i} endpoints differ: routing has "
+                    f"{pc.src}->{pc.snk}, problem has "
+                    f"{comm.src}->{comm.snk}"
+                )
+            moves.append(routing.paths(i)[0].moves)
+        return cls(problem, moves)
+
+    def reroute_greedy(self, ci: int):
+        """Fault-aware greedy re-insertion proposal for ``ci``.
+
+        Wraps :meth:`~repro.mesh.batch.LoadLedger.greedy_reroute` with
+        SG's live-reachability guard: on a faulty mesh the walk is
+        constrained to hops that can still reach the sink over alive
+        links whenever a live path exists (blocked communications fall
+        back to the unconstrained walk and stay invalid, like SG).
+        """
+        bwd = None
+        if self.mesh.link_mask is not None:
+            dag = self.problem.dag(ci)
+            if dag.has_live_path():
+                bwd = dag.live_reachability()[1]
+        return self.greedy_reroute(ci, bwd=bwd)
 
     # ------------------------------------------------------------------
     # validated public variant of the trusted resample evaluation
@@ -126,6 +187,62 @@ class RoutingState(LoadLedger):
     def to_routing(self) -> Routing:
         """Materialise the current state as a single-path routing."""
         return Routing.single_path(self.problem, self.paths())
+
+
+def descend(
+    state: RoutingState,
+    comms: Optional[Iterable[int]] = None,
+    *,
+    max_flips: Optional[int] = None,
+) -> int:
+    """First-improvement corner-flip descent on ``state``, in place.
+
+    Deterministic and RNG-free: the communications in ``comms`` (default
+    all mutable ones; indices outside the mutable set are ignored) are
+    swept in ascending order, each scanning its flippable corners left to
+    right and committing every flip that improves the graded cost by more
+    than the relative noise threshold — restarting that communication's
+    corner scan after a commit — until a full sweep commits nothing.  All
+    grading runs through the ledger's scalar fast path, so the trajectory
+    is identical across the ``REPRO_NATIVE`` tiers.  This is the polish
+    stage of warm-start repair: restricted to the repaired neighbourhood
+    it converges in a handful of flips, and on an already locally optimal
+    state it commits nothing at all.
+
+    Returns the number of committed flips.
+    """
+    if comms is None:
+        targets = state.mutable_comms()
+    else:
+        targets = sorted(set(comms) & set(state.mutable_comms()))
+    if not targets:
+        return 0
+    if max_flips is None:
+        # same safety cap shape as XYI: generous, never binding in practice
+        mesh = state.mesh
+        max_flips = 10 * mesh.p * mesh.q * len(targets)
+    flips = 0
+    flip_dcost = state.flip_dcost
+    commit_flip = state.commit_flip
+    improved = True
+    while improved:
+        improved = False
+        for ci in targets:
+            pos = state.flip_pos(ci)  # live index, mutated by commits
+            k = 0
+            while k < len(pos):
+                j = pos[k]
+                dcost = flip_dcost(ci, j)
+                if dcost < -_DESCENT_REL_EPS * max(abs(state.cost), 1.0):
+                    commit_flip(ci, j, dcost)
+                    flips += 1
+                    if flips >= max_flips:
+                        return flips
+                    improved = True
+                    k = 0
+                else:
+                    k += 1
+    return flips
 
 
 def initial_moves(problem: RoutingProblem, init: str) -> List[str]:

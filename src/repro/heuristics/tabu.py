@@ -84,9 +84,19 @@ class TabuRouting(Heuristic):
 
     # ------------------------------------------------------------------
     def _route(self, problem: RoutingProblem) -> List[Path]:
+        return self._solve(problem, initial_moves(problem, self.init))
+
+    def _route_from(
+        self, problem: RoutingProblem, moves: List[str]
+    ) -> List[Path]:
+        # warm start: the search walks from the supplied routing instead
+        # of the init heuristic's
+        return self._solve(problem, list(moves))
+
+    def _solve(self, problem: RoutingProblem, start: List[str]) -> List[Path]:
         # bit-exact draw sequence at a fraction of the scalar-draw cost
         rng = StreamReplica(np.random.default_rng(self._rng.integers(2**63)))
-        state = RoutingState(problem, initial_moves(problem, self.init))
+        state = RoutingState(problem, start)
         movable = state.mutable_comms()
         if not movable:
             return state.paths()

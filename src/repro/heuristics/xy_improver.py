@@ -88,12 +88,21 @@ class XYImprover(Heuristic):
         return [p.moves for p in paths]
 
     def _route(self, problem: RoutingProblem) -> List[Path]:
+        return self._descend_paths(problem, self._starting_moves(problem))
+
+    def _route_from(self, problem: RoutingProblem, moves: List[str]) -> List[Path]:
+        # warm entry (Heuristic.solve_from): the descent is start-agnostic,
+        # so it serves as a relocation *polish* of any single-path routing —
+        # the service's warm-start repair seeds it with the repaired
+        # previous routing, where it converges in a handful of moves
+        return self._descend_paths(problem, list(moves))
+
+    def _descend_paths(self, problem: RoutingProblem, moves: List[str]) -> List[Path]:
         mesh = problem.mesh
         power = problem.power
         scale = mesh.link_scale  # None on homogeneous meshes
         dead = mesh.dead_mask  # None on fault-free meshes
         n = problem.num_comms
-        moves: List[str] = self._starting_moves(problem)
         steps_uv = [direction_steps(c.direction) for c in problem.comms]
         links: List[np.ndarray] = [
             links_from_vmask(mesh, c.src, su, sv, moves_to_vmask(m))

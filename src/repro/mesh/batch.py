@@ -52,7 +52,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.mesh.kernel import FlatRoutingKernel, direction_link_bases
-from repro.mesh.moves import MOVE_V
+from repro.mesh.moves import MOVE_H, MOVE_V
 from repro.mesh.topology import Mesh
 from repro.utils.validation import InvalidParameterError
 
@@ -780,6 +780,98 @@ class LoadLedger:
         replaces.
         """
         return sorted(self._link_comms[lid])
+
+    # ------------------------------------------------------------------
+    # greedy re-insertion (warm-start repair)
+    # ------------------------------------------------------------------
+    def greedy_moves(self, ci: int, *, bwd=None) -> str:
+        """Least-loaded greedy move string for ``ci`` on the current loads.
+
+        Replicates SG's walk (:mod:`repro.heuristics.greedy`): among the at
+        most two Manhattan-feasible next hops take the lighter link,
+        breaking ties toward the straight src→snk diagonal, a residual tie
+        toward the horizontal hop.  ``ci``'s **own** current contribution
+        is subtracted from every link it crosses, so the walk scores the
+        mesh as if the communication were being freshly re-inserted.
+        ``bwd`` optionally constrains the walk to hops whose head can
+        still reach the sink over alive links (the backward table of
+        :meth:`repro.mesh.paths.CommDag.live_reachability`), exactly like
+        SG's fault-aware mode.
+        """
+        loads_l = self._loads_l
+        rate = self._rates_l[ci]
+        own = set(self.links[ci])
+        q = self._q
+        su, sv = self._su[ci], self._sv[ci]
+        vb, hb = self._vbase[ci], self._hbase[ci]
+        src_u, src_v = self._src_u[ci], self._src_v[ci]
+        snk_u = src_u + su * self._du[ci]
+        snk_v = src_v + sv * self._dv[ci]
+        alive = None if bwd is None else self.mesh.link_mask
+        ddu = snk_u - src_u
+        ddv = snk_v - src_v
+        u, v = src_u, src_v
+        x = y = 0  # progress coordinates (only consulted when bwd set)
+        out: List[str] = []
+        append = out.append
+        while u != snk_u or v != snk_v:
+            if u == snk_u:
+                move, lid = MOVE_H, hb + u * (q - 1) + v
+            elif v == snk_v:
+                move, lid = MOVE_V, vb + u * q + v
+            else:
+                lv = vb + u * q + v
+                lh = hb + u * (q - 1) + v
+                forced = None
+                if bwd is not None:
+                    viab_v = alive[lv] and bwd[x + 1, y]
+                    viab_h = alive[lh] and bwd[x, y + 1]
+                    if viab_v != viab_h:
+                        forced = (MOVE_V, lv) if viab_v else (MOVE_H, lh)
+                if forced is not None:
+                    move, lid = forced
+                else:
+                    load_v = loads_l[lv] - rate if lv in own else loads_l[lv]
+                    load_h = loads_l[lh] - rate if lh in own else loads_l[lh]
+                    if load_v < load_h:
+                        move, lid = MOVE_V, lv
+                    elif load_h < load_v:
+                        move, lid = MOVE_H, lh
+                    else:
+                        # tie: head core closest to the src→snk diagonal
+                        # (|cross product|, as SG's diagonal_offset), a
+                        # residual tie prefers the horizontal hop
+                        dv_off = abs(
+                            ddu * (v - src_v) - ddv * (u + su - src_u)
+                        )
+                        dh_off = abs(
+                            ddu * (v + sv - src_v) - ddv * (u - src_u)
+                        )
+                        if dv_off < dh_off:
+                            move, lid = MOVE_V, lv
+                        else:
+                            move, lid = MOVE_H, lh
+            append(move)
+            if move == MOVE_V:
+                u += su
+                x += 1
+            else:
+                v += sv
+                y += 1
+        return "".join(out)
+
+    def greedy_reroute(
+        self, ci: int, *, bwd=None
+    ) -> Tuple[str, List[int], Dict[int, float], float]:
+        """Greedy re-insertion proposal for ``ci``.
+
+        The :meth:`greedy_moves` path with its resample delta against the
+        current state — ``(new_moves, new_links, deltas, dcost)``, ready
+        for :meth:`commit_resample`.
+        """
+        new_moves = self.greedy_moves(ci, bwd=bwd)
+        new_links, deltas, dcost = self.resample_eval(ci, new_moves)
+        return new_moves, new_links, deltas, dcost
 
     def most_loaded_links(self, k: int = 1) -> List[int]:
         """The ``k`` most loaded link ids, heaviest first (ties arbitrary)."""

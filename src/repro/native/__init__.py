@@ -89,13 +89,49 @@ def _module_filename() -> str:
     return f"_native{suffix}"
 
 
+#: ``.native-build-*`` dirs older than this are orphans of a killed
+#: builder (seconds)
+STALE_BUILD_AGE_S = 3600.0
+
+
+def _sweep_stale_builds(
+    target_dir: Path,
+    *,
+    max_age_s: float = STALE_BUILD_AGE_S,
+    now: Optional[float] = None,
+) -> int:
+    """Remove ``.native-build-*`` residue in ``target_dir``; returns count.
+
+    A builder killed mid-compile (SIGKILL, OOM) leaves its whole
+    ``TemporaryDirectory`` behind — object files included, easily a few
+    MB each.  Directories older than ``max_age_s`` cannot belong to a
+    live build and are dropped before the next build starts; younger
+    ones are left for the concurrent builder that owns them.
+    """
+    import shutil
+    import time
+
+    if now is None:
+        now = time.time()
+    removed = 0
+    for p in target_dir.glob(".native-build-*"):
+        try:
+            if p.is_dir() and now - p.stat().st_mtime >= max_age_s:
+                shutil.rmtree(p, ignore_errors=True)
+                removed += 1
+        except OSError:
+            continue  # raced with another sweeper
+    return removed
+
+
 def build_native(target_dir: Optional[Path] = None, *, verbose: bool = False):
     """Compile the extension into ``target_dir`` (default: the package).
 
     Builds in a temporary directory on the same filesystem and moves the
     artefact into place with an atomic rename, so concurrent builders
     (parallel sweep workers importing simultaneously) cannot observe a
-    half-written module.  Returns the path of the built extension.
+    half-written module.  Stale ``.native-build-*`` residue from killed
+    builders is swept first.  Returns the path of the built extension.
     Raises on any failure — callers decide whether that is fatal
     (``REPRO_NATIVE=1``) or a fallback (``auto``).
     """
@@ -105,6 +141,7 @@ def build_native(target_dir: Optional[Path] = None, *, verbose: bool = False):
         target_dir = _package_dir()
     target_dir = Path(target_dir)
     target_dir.mkdir(parents=True, exist_ok=True)
+    _sweep_stale_builds(target_dir)
     with tempfile.TemporaryDirectory(
         prefix=".native-build-", dir=str(target_dir)
     ) as tmp:

@@ -20,6 +20,7 @@ See ``docs/scenarios.md`` for the workflow, including the golden
 regression corpus under ``tests/golden/``.
 """
 
+from repro.scenarios.churn import ChurnSpec, ChurnStep, churn_trace
 from repro.scenarios.registry import (
     POWER_REGIMES,
     Scenario,
@@ -38,6 +39,9 @@ from repro.scenarios.runner import (
 from repro.scenarios.spec import MeshSpec, duplex
 
 __all__ = [
+    "ChurnSpec",
+    "ChurnStep",
+    "churn_trace",
     "GOLDEN_FORMAT",
     "LATENCY_FRACTIONS",
     "MeshSpec",

@@ -1,0 +1,228 @@
+"""Churn traces: request sequences for the routing service.
+
+A churn trace models one client of the routing service re-submitting a
+*perturbed* workload over and over — the regime warm-start re-routing is
+built for.  Starting from a registered scenario's trial-0 instance, each
+step applies a random mix of the perturbations the warm-start repair
+pipeline handles:
+
+* **rate drift** — a few communications' rates jittered by up to
+  ``rate_jitter`` (relative),
+* **arrivals / departures** — a communication added with ``add_prob``,
+  removed with ``remove_prob`` (never below ``min_comms``),
+* **link failures** — with ``fault_prob`` one more adjacency dies (up to
+  ``max_faults``, cumulative: hardware does not heal).  Candidate
+  adjacencies that would leave any current communication without a live
+  Manhattan path are rejected, so the trace stays solvable.
+
+Traces are deterministic given the spec (``numpy`` Generator seeded with
+``spec.seed``): the E-CHURN bench and the service tests replay identical
+request sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.problem import Communication, RoutingProblem
+from repro.mesh.paths import CommDag
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import DeadLink, MeshSpec, duplex
+from repro.utils.validation import InvalidParameterError
+
+Coord = Tuple[int, int]
+
+#: rate range of communications *added* mid-trace (Mb/s)
+_ADD_RATE_RANGE = (100.0, 1500.0)
+
+#: draws attempted per fault event before giving up on a viable adjacency
+_FAULT_ATTEMPTS = 20
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A reproducible churn trace recipe.
+
+    Parameters
+    ----------
+    scenario:
+        Registered scenario providing the platform and the base workload.
+    requests:
+        Trace length, including the unperturbed base request at index 0.
+    seed:
+        Trace RNG seed.
+    rate_events:
+        Communications whose rate drifts per step (0 disables drift).
+    rate_jitter:
+        Maximum relative rate change per drift event, in ``[0, 1)``.
+    add_prob / remove_prob:
+        Per-step probability of one arrival / one departure.
+    fault_prob:
+        Per-step probability that one more adjacency fails.
+    max_faults:
+        Ceiling on cumulative failed adjacencies.
+    min_comms:
+        Departures never shrink the workload below this.
+    rate_scale:
+        Every rate — the base workload's and the arrivals' — is scaled
+        by this factor.  The registered workloads run the paper's
+        at-capacity regime; a scale below one models the moderate
+        utilisation a long-lived routing service is provisioned for.
+    """
+
+    scenario: str = "paper-baseline"
+    requests: int = 32
+    seed: int = 0
+    rate_events: int = 3
+    rate_jitter: float = 0.35
+    add_prob: float = 0.25
+    remove_prob: float = 0.25
+    fault_prob: float = 0.1
+    max_faults: int = 2
+    min_comms: int = 8
+    rate_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise InvalidParameterError(
+                f"requests must be >= 1, got {self.requests}"
+            )
+        if self.seed < 0:
+            raise InvalidParameterError(f"seed must be >= 0, got {self.seed}")
+        if self.rate_events < 0:
+            raise InvalidParameterError(
+                f"rate_events must be >= 0, got {self.rate_events}"
+            )
+        if not 0.0 <= self.rate_jitter < 1.0:
+            raise InvalidParameterError(
+                f"rate_jitter must lie in [0, 1), got {self.rate_jitter}"
+            )
+        for name in ("add_prob", "remove_prob", "fault_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise InvalidParameterError(
+                    f"{name} must lie in [0, 1], got {v}"
+                )
+        if self.max_faults < 0:
+            raise InvalidParameterError(
+                f"max_faults must be >= 0, got {self.max_faults}"
+            )
+        if self.min_comms < 1:
+            raise InvalidParameterError(
+                f"min_comms must be >= 1, got {self.min_comms}"
+            )
+        if not (np.isfinite(self.rate_scale) and self.rate_scale > 0.0):
+            raise InvalidParameterError(
+                f"rate_scale must be finite and > 0, got {self.rate_scale}"
+            )
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """One request of a churn trace."""
+
+    index: int
+    events: Tuple[str, ...]  # human-readable perturbations of this step
+    problem: RoutingProblem
+
+
+def _viable_fault(
+    base: MeshSpec,
+    dead: Tuple[DeadLink, ...],
+    adjacency: Tuple[Coord, Coord],
+    comms: List[Communication],
+) -> bool:
+    """Would killing ``adjacency`` leave every communication routable?"""
+    trial = MeshSpec(
+        base.p,
+        base.q,
+        dead_links=dead + duplex(adjacency),
+        scale_rects=base.scale_rects,
+    ).build()
+    return all(
+        CommDag(trial, c.src, c.snk).has_live_path() for c in comms
+    )
+
+
+def churn_trace(spec: ChurnSpec) -> List[ChurnStep]:
+    """Materialise the request sequence of ``spec``.
+
+    Step 0 is the scenario's unperturbed trial-0 instance; each later
+    step perturbs its predecessor.  Faults accumulate across the trace.
+    """
+    scenario = get_scenario(spec.scenario)
+    base = scenario.mesh
+    power = scenario.power_model()
+    rng = np.random.default_rng(spec.seed)
+    mesh = base.build()
+    comms = [
+        Communication(c.src, c.snk, c.rate * spec.rate_scale)
+        for c in scenario.workload(mesh, rng)
+    ]
+    dead: Tuple[DeadLink, ...] = base.dead_links
+    faults = 0
+    steps = [ChurnStep(0, ("base",), RoutingProblem(mesh, power, comms))]
+    p, q = base.p, base.q
+    for t in range(1, spec.requests):
+        events: List[str] = []
+        comms = list(comms)
+        if spec.rate_events and comms:
+            k = min(spec.rate_events, len(comms))
+            drifted = rng.choice(len(comms), size=k, replace=False)
+            for i in sorted(int(j) for j in drifted):
+                c = comms[i]
+                factor = 1.0 + spec.rate_jitter * (2.0 * rng.random() - 1.0)
+                comms[i] = Communication(
+                    c.src, c.snk, max(c.rate * factor, 1.0)
+                )
+            events.append(f"rate x{k}")
+        if len(comms) > spec.min_comms and rng.random() < spec.remove_prob:
+            gone = int(rng.integers(len(comms)))
+            del comms[gone]
+            events.append("remove")
+        if rng.random() < spec.add_prob:
+            while True:
+                src = (int(rng.integers(p)), int(rng.integers(q)))
+                snk = (int(rng.integers(p)), int(rng.integers(q)))
+                if src != snk:
+                    break
+            lo, hi = _ADD_RATE_RANGE
+            comms.append(
+                Communication(
+                    src, snk, float(rng.uniform(lo, hi)) * spec.rate_scale
+                )
+            )
+            events.append("add")
+        if faults < spec.max_faults and rng.random() < spec.fault_prob:
+            for _ in range(_FAULT_ATTEMPTS):
+                u = int(rng.integers(p))
+                v = int(rng.integers(q))
+                if rng.random() < 0.5 and u + 1 < p:
+                    adjacency = ((u, v), (u + 1, v))
+                elif v + 1 < q:
+                    adjacency = ((u, v), (u, v + 1))
+                else:
+                    continue
+                if any(
+                    set(adjacency) == {a, b} for a, b in dead
+                ):
+                    continue  # already dead
+                if _viable_fault(base, dead, adjacency, comms):
+                    dead = dead + duplex(adjacency)
+                    faults += 1
+                    events.append(f"fault {adjacency}")
+                    break
+        mesh = MeshSpec(
+            p, q, dead_links=dead, scale_rects=base.scale_rects
+        ).build()
+        steps.append(
+            ChurnStep(
+                t,
+                tuple(events) if events else ("unchanged",),
+                RoutingProblem(mesh, power, comms),
+            )
+        )
+    return steps

@@ -1,0 +1,64 @@
+"""Routing-as-a-service: warm-start incremental re-routing under churn.
+
+The serving layer on top of the heuristics: a long-lived asyncio server
+(:mod:`repro.service.server`, ``repro serve``) accepts mesh+workload
+request documents, routes them, and memoizes finished responses in the
+content-addressed artifact store (:mod:`repro.service.cache`).  Requests
+that carry the client's previous routing are **warm-started** — matched,
+seeded, incrementally repaired and locally polished instead of
+cold-solved (:mod:`repro.service.warmstart`) — which is what makes
+resubmission-heavy churn traffic (rate drift, comms added/removed, link
+failures) cheap.  :mod:`repro.service.client` is the stdlib-only client
+the ``repro route --server/--socket`` remote mode uses; the E-CHURN
+bench (``benchmarks/record_baseline.py --suite churn``) pins the
+warm-vs-cold speedup and the SLA latency percentiles.
+"""
+
+from repro.service.cache import (
+    SERVICE_CACHE_NAME,
+    RouteRequestKey,
+    load_cached,
+    request_wire,
+    save_cached,
+)
+from repro.service.client import DEFAULT_HOST, ServiceClient
+from repro.service.server import (
+    DEFAULT_PORT,
+    RoutingServer,
+    handle_request_doc,
+    outcome_to_doc,
+)
+from repro.service.warmstart import (
+    DEFAULT_POLISH,
+    DEFAULT_SOLVER,
+    POLISH_MODES,
+    RepairStats,
+    RouteOutcome,
+    SeedMatch,
+    match_previous,
+    repair_state,
+    route_incremental,
+)
+
+__all__ = [
+    "SERVICE_CACHE_NAME",
+    "RouteRequestKey",
+    "load_cached",
+    "request_wire",
+    "save_cached",
+    "DEFAULT_HOST",
+    "ServiceClient",
+    "DEFAULT_PORT",
+    "RoutingServer",
+    "handle_request_doc",
+    "outcome_to_doc",
+    "DEFAULT_POLISH",
+    "DEFAULT_SOLVER",
+    "POLISH_MODES",
+    "RepairStats",
+    "RouteOutcome",
+    "SeedMatch",
+    "match_previous",
+    "repair_state",
+    "route_incremental",
+]

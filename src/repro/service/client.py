@@ -1,0 +1,111 @@
+"""Minimal blocking client for the routing service.
+
+Stdlib-only (raw sockets, one request per connection — the server speaks
+``Connection: close``), over TCP or a unix socket.  This is what the
+``repro route --server/--socket`` remote mode and the CI smoke job use.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Optional
+
+from repro.service.server import DEFAULT_PORT
+from repro.utils.validation import ReproError
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class ServiceClient:
+    """One routing-service endpoint (TCP host/port or a unix socket)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        *,
+        socket_path: Optional[str] = None,
+        timeout: float = 120.0,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.socket_path = socket_path
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            return sock
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, doc: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = b"" if doc is None else json.dumps(doc).encode()
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            "Host: repro\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        with self._connect() as sock:
+            sock.sendall(head + body)
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        raw = b"".join(chunks)
+        header, _, payload = raw.partition(b"\r\n\r\n")
+        status_line = header.split(b"\r\n", 1)[0].split()
+        if len(status_line) < 2:
+            raise ReproError("malformed response from the routing service")
+        status = int(status_line[1])
+        try:
+            rbody = json.loads(payload.decode("utf-8")) if payload else {}
+        except ValueError:
+            raise ReproError(
+                "routing service returned a non-JSON body "
+                f"(HTTP {status})"
+            ) from None
+        if status != 200 or not rbody.get("ok", False):
+            raise ReproError(
+                f"routing service error (HTTP {status}): "
+                f"{rbody.get('error', 'unknown error')}"
+            )
+        return rbody
+
+    # ------------------------------------------------------------------
+    def route(self, doc: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a request document; returns the response document."""
+        return self._request("POST", "/route", doc)
+
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document (raises when unreachable)."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's ``/stats`` counters."""
+        return self._request("GET", "/stats")
+
+    def wait_ready(
+        self, *, attempts: int = 100, delay: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (startup races)."""
+        last: Exception = ReproError("service never polled")
+        for _ in range(attempts):
+            try:
+                return self.health()
+            except (OSError, ReproError) as exc:
+                last = exc
+                time.sleep(delay)
+        raise ReproError(f"routing service did not become ready: {last}")

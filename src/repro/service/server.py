@@ -1,0 +1,305 @@
+"""Long-lived routing service: asyncio front, process-pool compute.
+
+Protocol — JSON over HTTP/1.1, on TCP or a unix socket:
+
+========  ===========  ====================================================
+method    path         body
+========  ===========  ====================================================
+``POST``  ``/route``   a request document (below); returns the response
+``GET``   ``/healthz`` liveness: ``{"ok": true, "version": ..., "jobs": N}``
+``GET``   ``/stats``   server counters (requests, cache hits, warm/cold, …)
+========  ===========  ====================================================
+
+Request document::
+
+    {"problem": <repro/problem@1|2>,          required
+     "prev":    <repro/routing@1|2> | null,   previous routing → warm start
+     "solver":  "XYI",                        cold-solve heuristic
+     "polish":  "anneal" | "descent" | "none",
+     "seed":    0,                            polish-burst / cold RNG seed
+     "cache":   true}                         per-request cache opt-out
+
+Response (HTTP 200)::
+
+    {"ok": true, "mode": "cold" | "warm", "cache_hit": false,
+     "routing": <repro/routing@1|2>, "power": ..., "valid": ...,
+     "stats": {"matched": ..., "rerouted": ..., "polish_flips": ..., ...},
+     "elapsed_ms": ...}
+
+Malformed or invalid requests answer HTTP 400 with
+``{"ok": false, "error": "..."}`` — the server never dies on a bad
+request.  Every ``/route`` body is handled by the **pure** module-level
+:func:`handle_request_doc` — with ``--jobs 1`` it runs inline on the
+event-loop thread (strictly serial service), with more jobs it is
+dispatched to a ``ProcessPoolExecutor``; either way the same function
+computes the same bytes, so serial and pooled deployments are
+bit-identical (``tests/test_service_server.py`` pins this).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.routing import Routing
+from repro.experiments.campaign.store import ArtifactStore
+from repro.io.jsonio import problem_from_dict, routing_from_dict, routing_to_dict
+from repro.service.cache import (
+    RouteRequestKey,
+    load_cached,
+    request_wire,
+    save_cached,
+)
+from repro.service.warmstart import (
+    DEFAULT_POLISH,
+    DEFAULT_SOLVER,
+    RouteOutcome,
+    route_incremental,
+)
+from repro.utils.validation import ReproError
+from repro.version import __version__
+
+#: default TCP port of ``repro serve``
+DEFAULT_PORT = 8642
+
+#: request-body ceiling (a 64x64 mesh problem with thousands of comms
+#: serialises to well under a megabyte)
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def outcome_to_doc(outcome: RouteOutcome) -> Dict[str, Any]:
+    """The response payload of a routed request (sans transport fields)."""
+    return {
+        "mode": outcome.stats.mode,
+        "routing": routing_to_dict(outcome.routing),
+        "power": outcome.power,
+        "valid": outcome.valid,
+        "stats": outcome.stats.as_dict(),
+    }
+
+
+def handle_request_doc(
+    doc: Any,
+    *,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+) -> Tuple[int, Dict[str, Any]]:
+    """Handle one ``/route`` request document → ``(status, body)``.
+
+    Pure with respect to process state (modulo the artifact store under
+    ``cache_dir``): safe to run inline, in a worker process, or straight
+    from a test.
+    """
+    t0 = time.perf_counter()
+    try:
+        if not isinstance(doc, dict):
+            raise ReproError("request body must be a JSON object")
+        if "problem" not in doc:
+            raise ReproError("request is missing the 'problem' document")
+        problem = problem_from_dict(doc["problem"])
+        prev_doc = doc.get("prev")
+        prev: Optional[Routing] = (
+            None if prev_doc is None else routing_from_dict(prev_doc)
+        )
+        solver = str(doc.get("solver", DEFAULT_SOLVER))
+        polish = str(doc.get("polish", DEFAULT_POLISH))
+        seed = doc.get("seed", 0)
+        want_cache = use_cache and bool(doc.get("cache", True))
+        key = RouteRequestKey(
+            request_wire(problem, prev, solver, polish, seed)
+        )
+        store = ArtifactStore(cache_dir) if want_cache else None
+        if store is not None:
+            cached = load_cached(store, key)
+            if cached is not None:
+                body = dict(cached)
+                body["ok"] = True
+                body["cache_hit"] = True
+                body["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
+                return 200, body
+        outcome = route_incremental(
+            problem, prev, solver=solver, polish=polish, seed=seed
+        )
+        body = outcome_to_doc(outcome)
+        if store is not None:
+            save_cached(
+                store, key, body, wall_time_s=time.perf_counter() - t0
+            )
+        body["ok"] = True
+        body["cache_hit"] = False
+        body["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
+        return 200, body
+    except ReproError as exc:
+        return 400, {"ok": False, "error": str(exc)}
+
+
+def _pool_worker(
+    doc: Any, cache_dir: Optional[str], use_cache: bool
+) -> Tuple[int, Dict[str, Any]]:
+    """Picklable pool entry point (kwargs don't pickle as cleanly)."""
+    return handle_request_doc(doc, cache_dir=cache_dir, use_cache=use_cache)
+
+
+class RoutingServer:
+    """The asyncio service front.
+
+    Parameters
+    ----------
+    jobs:
+        Routing workers.  ``1`` handles requests inline (strictly serial
+        service); more spins up a ``ProcessPoolExecutor`` so long solves
+        overlap.  Responses are bit-identical either way.
+    cache_dir:
+        Artifact-store root for the cross-request cache (default:
+        ``.repro-cache`` / ``REPRO_CACHE_DIR``).
+    use_cache:
+        Globally disable the result cache (per-request opt-out exists
+        too, via ``"cache": false`` in the document).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        use_cache: bool = True,
+    ):
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1:
+            raise ReproError(f"jobs must be an integer >= 1, got {jobs!r}")
+        self.jobs = jobs
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.use_cache = bool(use_cache)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self.stats: Dict[str, int] = {
+            "requests": 0,
+            "routed": 0,
+            "cache_hits": 0,
+            "warm": 0,
+            "cold": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    async def start_tcp(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Listen on ``host:port``; returns the asyncio server."""
+        self._ensure_pool()
+        return await asyncio.start_server(self._handle, host, port)
+
+    async def start_unix(self, path: str) -> asyncio.AbstractServer:
+        """Listen on a unix socket at ``path``; returns the server."""
+        self._ensure_pool()
+        return await asyncio.start_unix_server(self._handle, path)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> None:
+        if self.jobs > 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
+        if self._pool is None:
+            return handle_request_doc(
+                doc, cache_dir=self.cache_dir, use_cache=self.use_cache
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, _pool_worker, doc, self.cache_dir, self.use_cache
+        )
+
+    async def _handle(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            status, body = await self._respond(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except Exception as exc:  # defensive: never kill the accept loop
+            self.stats["errors"] += 1
+            status, body = 500, {"ok": False, "error": f"internal: {exc}"}
+        payload = json.dumps(body).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + payload)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[int, Dict[str, Any]]:
+        parts = (await reader.readline()).decode("ascii", "replace").split()
+        if len(parts) < 2:
+            return 400, {"ok": False, "error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return 400, {
+                        "ok": False,
+                        "error": "bad Content-Length header",
+                    }
+        if length < 0 or length > MAX_BODY_BYTES:
+            return 413, {"ok": False, "error": "request body too large"}
+        raw = await reader.readexactly(length) if length else b""
+        self.stats["requests"] += 1
+        if method == "GET" and path == "/healthz":
+            return 200, {
+                "ok": True,
+                "version": __version__,
+                "jobs": self.jobs,
+            }
+        if method == "GET" and path == "/stats":
+            return 200, {"ok": True, **self.stats}
+        if path != "/route":
+            return 404, {"ok": False, "error": f"no such endpoint {path!r}"}
+        if method != "POST":
+            return 405, {"ok": False, "error": "/route expects POST"}
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            self.stats["errors"] += 1
+            return 400, {"ok": False, "error": "request body is not valid JSON"}
+        status, body = await self._dispatch(doc)
+        if status == 200:
+            self.stats["routed"] += 1
+            if body.get("cache_hit"):
+                self.stats["cache_hits"] += 1
+            mode = body.get("mode")
+            if mode in ("warm", "cold"):
+                self.stats[mode] += 1
+        else:
+            self.stats["errors"] += 1
+        return status, body

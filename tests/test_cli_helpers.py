@@ -13,6 +13,7 @@ from repro.cli import main
 from repro.cli.helpers import (
     check_jobs,
     check_min,
+    check_seed,
     check_trials,
     parse_fractions,
     parse_mesh,
@@ -42,8 +43,20 @@ class TestHelperUnits:
         with pytest.raises(ReproError, match=r"--trials must be >= 1, got 0"):
             check_trials(0)
 
+    def test_check_seed_allows_none(self):
+        check_seed(None)
+        check_seed(0)
+        check_seed(42)
+        with pytest.raises(ReproError, match=r"--seed must be >= 0, got -1"):
+            check_seed(-1)
+
     def test_parse_fractions(self):
         assert parse_fractions("0.2, 0.5,1.0") == [0.2, 0.5, 1.0]
+
+    @pytest.mark.parametrize("text", ["0", "-0.5", "0.2,0,0.8", "inf", "nan"])
+    def test_parse_fractions_rejects_nonpositive(self, text):
+        with pytest.raises(ReproError, match="positive finite"):
+            parse_fractions(text)
 
     def test_parse_fractions_rejects_garbage(self):
         with pytest.raises(ReproError, match="comma-separated numbers"):
@@ -149,4 +162,96 @@ class TestCliErrorPaths:
             ["campaign", "run", "fig2_example", "--trials", "0"],
             capsys,
             "--trials must be >= 1, got 0",
+        )
+
+    def test_generate_bad_seed(self, capsys):
+        self._expect(
+            ["generate", "--seed", "-1"],
+            capsys,
+            "--seed must be >= 0, got -1",
+        )
+
+    def test_scenarios_bad_seed(self, capsys):
+        self._expect(
+            ["scenarios", "run", "paper-baseline", "--seed", "-7"],
+            capsys,
+            "--seed must be >= 0, got -7",
+        )
+
+    def test_scenarios_unknown_name(self, capsys):
+        self._expect(
+            ["scenarios", "run", "no-such-scenario"],
+            capsys,
+            "unknown scenario",
+        )
+
+    def test_latency_bad_seed(self, capsys):
+        self._expect(
+            ["latency", "r.json", "--seed", "-1"],
+            capsys,
+            "--seed must be >= 0, got -1",
+        )
+
+    def test_noc_sweep_bad_seed(self, capsys):
+        self._expect(
+            ["noc", "sweep", "--scenario", "paper-baseline", "--seed", "-2"],
+            capsys,
+            "--seed must be >= 0, got -2",
+        )
+
+    def test_noc_sweep_unknown_scenario(self, capsys):
+        self._expect(
+            ["noc", "sweep", "--scenario", "bogus"],
+            capsys,
+            "unknown scenario",
+        )
+
+    def test_noc_sweep_zero_fraction(self, capsys):
+        self._expect(
+            ["noc", "sweep", "r.json", "--fractions", "0.5,0"],
+            capsys,
+            "positive finite",
+        )
+
+    def test_apps_bad_seed(self, capsys):
+        self._expect(
+            ["apps", "--seed", "-4"],
+            capsys,
+            "--seed must be >= 0, got -4",
+        )
+
+    def test_route_remote_bad_polish(self, capsys):
+        self._expect(
+            ["route", "wl.csv", "--socket", "/tmp/x.sock",
+             "--polish", "zap"],
+            capsys,
+            "unknown polish mode",
+        )
+
+    def test_route_remote_bad_seed(self, capsys):
+        self._expect(
+            ["route", "wl.csv", "--server", "localhost", "--seed", "-1"],
+            capsys,
+            "--seed must be >= 0, got -1",
+        )
+
+    def test_route_remote_bad_server(self, capsys):
+        self._expect(
+            ["route", "wl.csv", "--server", "host:notaport"],
+            capsys,
+            "HOST or HOST:PORT",
+        )
+
+    def test_serve_bad_jobs(self, capsys):
+        self._expect(
+            ["serve", "--jobs", "0"],
+            capsys,
+            "--jobs must be >= 1, got 0",
+        )
+
+    def test_serve_bad_port(self, capsys):
+        self._expect(
+            ["serve", "--port", "70000"],
+            capsys,
+            "--port must lie in [1, 65535], got 70000",
         )

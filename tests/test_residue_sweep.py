@@ -1,0 +1,108 @@
+"""Orphaned atomic-write residue: stale-tmp and stale-build-dir sweeps.
+
+Both writers stage through a sibling tmp name before an atomic replace;
+a SIGKILL between the two leaves the staging residue behind forever.
+The sweeps drop residue past the age gate and must never touch live
+cache entries or a concurrent writer's fresh staging files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.experiments.campaign import store as store_mod
+from repro.experiments.campaign.store import (
+    STALE_TMP_AGE_S,
+    ArtifactStore,
+    _sweep_stale_tmp,
+)
+from repro.native import _sweep_stale_builds
+
+
+def _age(path, seconds):
+    old = time.time() - seconds
+    os.utime(path, (old, old))
+
+
+class TestStoreTmpSweep:
+    def test_stale_tmp_removed_fresh_kept(self, tmp_path):
+        shards = tmp_path / "exp" / "hash" / "shards"
+        shards.mkdir(parents=True)
+        stale = shards / "k.json.abc123.tmp"
+        stale.write_text("half a shard")
+        fresh = shards / "k.json.def456.tmp"
+        fresh.write_text("a live writer's staging file")
+        _age(stale, STALE_TMP_AGE_S + 60)
+        assert _sweep_stale_tmp(tmp_path) == 1
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_real_entries_untouched(self, tmp_path):
+        spec_dir = tmp_path / "exp" / "hash"
+        spec_dir.mkdir(parents=True)
+        result = spec_dir / "result.json"
+        result.write_text("{}")
+        _age(result, STALE_TMP_AGE_S + 60)  # age alone must not matter
+        assert _sweep_stale_tmp(tmp_path) == 0
+        assert result.exists()
+
+    def test_missing_root_is_noop(self, tmp_path):
+        assert _sweep_stale_tmp(tmp_path / "never-created") == 0
+
+    def test_now_parameter_is_deterministic(self, tmp_path):
+        tmp = tmp_path / "x.json.abc.tmp"
+        tmp.write_text("junk")
+        t = tmp.stat().st_mtime
+        assert _sweep_stale_tmp(tmp_path, max_age_s=100, now=t + 99) == 0
+        assert _sweep_stale_tmp(tmp_path, max_age_s=100, now=t + 100) == 1
+
+    def test_store_init_sweeps(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(store_mod, "_swept_roots", set())
+        shards = tmp_path / "exp" / "hash" / "shards"
+        shards.mkdir(parents=True)
+        stale = shards / "k.json.old.tmp"
+        stale.write_text("junk")
+        _age(stale, STALE_TMP_AGE_S + 60)
+        ArtifactStore(tmp_path)
+        assert not stale.exists()
+
+    def test_store_init_sweeps_once_per_root(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(store_mod, "_swept_roots", set())
+        ArtifactStore(tmp_path)
+        stale = tmp_path / "late.json.old.tmp"
+        stale.write_text("junk")
+        _age(stale, STALE_TMP_AGE_S + 60)
+        ArtifactStore(tmp_path)  # same root: no second walk
+        assert stale.exists()
+
+
+class TestNativeBuildSweep:
+    def test_stale_build_dir_removed(self, tmp_path):
+        stale = tmp_path / ".native-build-abc123"
+        (stale / "objs").mkdir(parents=True)
+        (stale / "objs" / "a.o").write_text("obj")
+        fresh = tmp_path / ".native-build-def456"
+        fresh.mkdir()
+        _age(stale, 7200)
+        assert _sweep_stale_builds(tmp_path, max_age_s=3600) == 1
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_non_build_entries_untouched(self, tmp_path):
+        module = tmp_path / "_native.so"
+        module.write_text("elf")
+        stray_file = tmp_path / ".native-build-notadir"
+        stray_file.write_text("a file, not a build dir")
+        _age(module, 7200)
+        _age(stray_file, 7200)
+        assert _sweep_stale_builds(tmp_path, max_age_s=3600) == 0
+        assert module.exists()
+        assert stray_file.exists()
+
+    def test_now_parameter(self, tmp_path):
+        d = tmp_path / ".native-build-x"
+        d.mkdir()
+        t = d.stat().st_mtime
+        assert _sweep_stale_builds(tmp_path, max_age_s=50, now=t + 49) == 0
+        assert _sweep_stale_builds(tmp_path, max_age_s=50, now=t + 50) == 1

@@ -1,0 +1,128 @@
+"""Churn traces: determinism, perturbation bookkeeping, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mesh.paths import CommDag
+from repro.scenarios.churn import ChurnSpec, ChurnStep, churn_trace
+from repro.utils.validation import InvalidParameterError
+
+
+def comm_tuples(step: ChurnStep):
+    return [(c.src, c.snk, c.rate) for c in step.problem.comms]
+
+
+def dead_ids(step: ChurnStep):
+    mesh = step.problem.mesh
+    return [] if mesh.dead_mask is None else mesh.dead_link_ids()
+
+
+class TestTraceShape:
+    def test_length_and_base_step(self):
+        steps = churn_trace(ChurnSpec(requests=6, seed=1))
+        assert len(steps) == 6
+        assert steps[0].index == 0
+        assert steps[0].events == ("base",)
+        assert [s.index for s in steps] == list(range(6))
+
+    def test_single_request_trace(self):
+        steps = churn_trace(ChurnSpec(requests=1, seed=0))
+        assert len(steps) == 1
+
+    def test_deterministic_replay(self):
+        spec = ChurnSpec(requests=8, seed=42, fault_prob=0.5)
+        a = churn_trace(spec)
+        b = churn_trace(spec)
+        for sa, sb in zip(a, b):
+            assert sa.events == sb.events
+            assert comm_tuples(sa) == comm_tuples(sb)
+            assert dead_ids(sa) == dead_ids(sb)
+
+    def test_different_seeds_differ(self):
+        a = churn_trace(ChurnSpec(requests=8, seed=0))
+        b = churn_trace(ChurnSpec(requests=8, seed=1))
+        assert any(
+            comm_tuples(sa) != comm_tuples(sb) for sa, sb in zip(a, b)
+        )
+
+
+class TestPerturbations:
+    def test_faults_accumulate_and_stay_viable(self):
+        spec = ChurnSpec(
+            requests=12, seed=3, fault_prob=1.0, max_faults=2
+        )
+        steps = churn_trace(spec)
+        counts = [len(dead_ids(s)) for s in steps]
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+        assert counts[-1] == 2 * 2  # duplex: two link ids per adjacency
+        last = steps[-1].problem
+        assert all(
+            CommDag(last.mesh, c.src, c.snk).has_live_path()
+            for c in last.comms
+        )
+
+    def test_min_comms_floor(self):
+        spec = ChurnSpec(
+            requests=40,
+            seed=5,
+            remove_prob=1.0,
+            add_prob=0.0,
+            min_comms=8,
+        )
+        for step in churn_trace(spec):
+            assert step.problem.num_comms >= 8
+
+    def test_rate_scale_scales_every_rate(self):
+        base = churn_trace(ChurnSpec(requests=10, seed=9))
+        scaled = churn_trace(
+            ChurnSpec(requests=10, seed=9, rate_scale=0.5)
+        )
+        for sb, ss in zip(base, scaled):
+            assert ss.events == sb.events
+            for cb, cs in zip(sb.problem.comms, ss.problem.comms):
+                assert (cs.src, cs.snk) == (cb.src, cb.snk)
+                assert cs.rate == cb.rate * 0.5
+
+    def test_no_perturbation_knobs_means_static_workload(self):
+        spec = ChurnSpec(
+            requests=5,
+            seed=2,
+            rate_events=0,
+            add_prob=0.0,
+            remove_prob=0.0,
+            fault_prob=0.0,
+        )
+        steps = churn_trace(spec)
+        for step in steps[1:]:
+            assert step.events == ("unchanged",)
+            assert comm_tuples(step) == comm_tuples(steps[0])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"requests": 0},
+            {"seed": -1},
+            {"rate_events": -1},
+            {"rate_jitter": 1.0},
+            {"rate_jitter": -0.1},
+            {"add_prob": 1.5},
+            {"remove_prob": -0.5},
+            {"fault_prob": 2.0},
+            {"max_faults": -1},
+            {"min_comms": 0},
+            {"rate_scale": 0.0},
+            {"rate_scale": -1.0},
+            {"rate_scale": float("inf")},
+            {"rate_scale": float("nan")},
+        ],
+    )
+    def test_bad_spec_rejected(self, kw):
+        with pytest.raises(InvalidParameterError):
+            ChurnSpec(**kw)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown scenario"):
+            churn_trace(ChurnSpec(scenario="no-such-scenario"))

@@ -1,0 +1,285 @@
+"""Routing service end-to-end: protocol, cache, pool parity, CLI remote.
+
+Covers the pure request handler (:func:`handle_request_doc`), the
+ArtifactStore-backed result cache, serial-vs-worker-pool bit-identity,
+the live asyncio server over TCP and unix sockets via the stdlib client,
+and the ``repro route --server/--socket`` CLI remote mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import queue
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro import Communication, Mesh, PowerModel, RoutingProblem
+from repro.cli import main
+from repro.io import workload_to_csv
+from repro.io.jsonio import problem_to_dict, routing_to_dict
+from repro.service import (
+    RouteRequestKey,
+    RoutingServer,
+    ServiceClient,
+    handle_request_doc,
+    request_wire,
+    route_incremental,
+)
+from repro.service.server import _pool_worker
+from repro.utils.validation import ReproError
+from tests.conftest import make_random_problem
+
+
+def small_problem(seed: int = 21, n: int = 8) -> RoutingProblem:
+    return make_random_problem(
+        Mesh(4, 4), PowerModel.kim_horowitz(), n, 100.0, 700.0, seed=seed
+    )
+
+
+def request_doc(problem, prev=None, **kw):
+    doc = {"problem": problem_to_dict(problem)}
+    if prev is not None:
+        doc["prev"] = routing_to_dict(prev)
+    doc.update(kw)
+    return doc
+
+
+# ----------------------------------------------------------------------
+class TestHandleRequestDoc:
+    def test_cold_request(self, tmp_path):
+        status, body = handle_request_doc(
+            request_doc(small_problem()), cache_dir=str(tmp_path)
+        )
+        assert status == 200
+        assert body["ok"] and body["mode"] == "cold"
+        assert not body["cache_hit"]
+        assert body["valid"]
+
+    def test_warm_request(self, tmp_path):
+        problem = small_problem()
+        prev = route_incremental(problem).routing
+        status, body = handle_request_doc(
+            request_doc(problem, prev), cache_dir=str(tmp_path)
+        )
+        assert status == 200
+        assert body["mode"] == "warm"
+        assert body["stats"]["matched"] == problem.num_comms
+
+    def test_exact_resubmission_hits_cache(self, tmp_path):
+        doc = request_doc(small_problem())
+        _, first = handle_request_doc(doc, cache_dir=str(tmp_path))
+        _, again = handle_request_doc(doc, cache_dir=str(tmp_path))
+        assert not first["cache_hit"]
+        assert again["cache_hit"]
+        assert again["routing"] == first["routing"]
+        assert again["power"] == first["power"]
+
+    def test_perturbed_resubmission_misses_cache(self, tmp_path):
+        problem = small_problem()
+        _, first = handle_request_doc(
+            request_doc(problem), cache_dir=str(tmp_path)
+        )
+        comms = list(problem.comms)
+        comms[0] = Communication(comms[0].src, comms[0].snk, 321.0)
+        other = RoutingProblem(problem.mesh, problem.power, comms)
+        _, second = handle_request_doc(
+            request_doc(other), cache_dir=str(tmp_path)
+        )
+        assert not second["cache_hit"]
+
+    def test_cache_optout(self, tmp_path):
+        doc = request_doc(small_problem(), cache=False)
+        handle_request_doc(doc, cache_dir=str(tmp_path))
+        _, again = handle_request_doc(doc, cache_dir=str(tmp_path))
+        assert not again["cache_hit"]
+
+    def test_knobs_key_the_cache(self, tmp_path):
+        problem = small_problem()
+        base = request_wire(problem, None, "XYI", "anneal", 0)
+        assert (
+            RouteRequestKey(base).spec_hash()
+            != RouteRequestKey(
+                request_wire(problem, None, "XYI", "anneal", 1)
+            ).spec_hash()
+        )
+        assert (
+            RouteRequestKey(base).spec_hash()
+            != RouteRequestKey(
+                request_wire(problem, None, "XYI", "none", 0)
+            ).spec_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "doc,needle",
+        [
+            ([], "JSON object"),
+            ({}, "missing the 'problem'"),
+            ({"problem": {"bogus": 1}}, ""),
+        ],
+    )
+    def test_malformed_requests_answer_400(self, doc, needle, tmp_path):
+        status, body = handle_request_doc(doc, cache_dir=str(tmp_path))
+        assert status == 400
+        assert not body["ok"]
+        assert needle in body["error"]
+
+    def test_bad_knobs_answer_400(self, tmp_path):
+        problem = small_problem()
+        for extra in ({"polish": "zap"}, {"seed": -1}, {"solver": "NOPE"}):
+            status, body = handle_request_doc(
+                request_doc(problem, **extra), cache_dir=str(tmp_path)
+            )
+            assert status == 400, extra
+            assert not body["ok"]
+
+
+class TestPoolParity:
+    def test_inline_and_pool_bit_identical(self, tmp_path):
+        problem = small_problem()
+        prev = route_incremental(problem).routing
+        doc = request_doc(problem, prev, seed=4)
+        _, inline = handle_request_doc(doc, use_cache=False)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            _, pooled = pool.submit(_pool_worker, doc, None, False).result()
+        inline.pop("elapsed_ms", None)
+        pooled.pop("elapsed_ms", None)
+        assert json.dumps(inline, sort_keys=True) == json.dumps(
+            pooled, sort_keys=True
+        )
+
+
+# ----------------------------------------------------------------------
+class _LiveServer:
+    """A RoutingServer running on a daemon thread (TCP or unix)."""
+
+    def __init__(self, socket_path=None, **kw):
+        self.server = RoutingServer(**kw)
+        self.socket_path = socket_path
+        self._loop = None
+        self._stop = None
+        self._ready: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if self.socket_path is not None:
+            srv = await self.server.start_unix(self.socket_path)
+            self._ready.put(None)
+        else:
+            srv = await self.server.start_tcp("127.0.0.1", 0)
+            self._ready.put(srv.sockets[0].getsockname()[1])
+        async with srv:
+            await self._stop.wait()
+
+    def __enter__(self):
+        self._thread.start()
+        self.port = self._ready.get(timeout=10)
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+        self.server.close()
+
+
+class TestLiveServer:
+    def test_tcp_end_to_end(self, tmp_path):
+        problem = small_problem()
+        with _LiveServer(cache_dir=str(tmp_path / "cache")) as live:
+            client = ServiceClient("127.0.0.1", live.port)
+            health = client.wait_ready()
+            assert health["ok"] and health["jobs"] == 1
+            first = client.route(request_doc(problem))
+            assert first["ok"] and first["mode"] == "cold"
+            warm = client.route(
+                request_doc(problem, None)
+                | {"prev": first["routing"]}
+            )
+            assert warm["mode"] == "warm"
+            assert warm["power"] == first["power"]  # no-op resubmission
+            again = client.route(
+                request_doc(problem, None) | {"prev": first["routing"]}
+            )
+            assert again["cache_hit"]
+            stats = client.stats()
+            assert stats["routed"] == 3
+            assert stats["cache_hits"] == 1
+            assert stats["cold"] == 1 and stats["warm"] == 2
+
+    def test_unix_socket_end_to_end(self, tmp_path):
+        sock = str(tmp_path / "svc.sock")
+        with _LiveServer(
+            socket_path=sock, cache_dir=str(tmp_path / "cache")
+        ):
+            client = ServiceClient(socket_path=sock)
+            client.wait_ready()
+            body = client.route(request_doc(small_problem()))
+            assert body["ok"] and body["valid"]
+
+    def test_protocol_errors(self, tmp_path):
+        with _LiveServer(cache_dir=str(tmp_path / "cache")) as live:
+            client = ServiceClient("127.0.0.1", live.port)
+            client.wait_ready()
+            with pytest.raises(ReproError, match="404"):
+                client._request("GET", "/nope")
+            with pytest.raises(ReproError, match="405"):
+                client._request("GET", "/route")
+            with pytest.raises(ReproError, match="400"):
+                client.route([1, 2, 3])
+            # a bad request must not kill the server
+            assert client.health()["ok"]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ReproError, match="jobs must be"):
+            RoutingServer(jobs=0)
+
+
+class TestCliRemote:
+    """``repro route --socket`` against a live service."""
+
+    def test_cli_cold_warm_cache(self, tmp_path, capsys):
+        problem = small_problem()
+        csv = tmp_path / "wl.csv"
+        workload_to_csv(problem.comms, str(csv))
+        sock = str(tmp_path / "svc.sock")
+        out_json = tmp_path / "routing.json"
+        with _LiveServer(
+            socket_path=sock, cache_dir=str(tmp_path / "cache")
+        ):
+            rc = main(
+                ["route", str(csv), "--mesh", "4x4", "--socket", sock,
+                 "--out", str(out_json)]
+            )
+            assert rc == 0
+            assert "cold route" in capsys.readouterr().out
+            assert out_json.is_file()
+            rc = main(
+                ["route", str(csv), "--mesh", "4x4", "--socket", sock,
+                 "--prev", str(out_json)]
+            )
+            assert rc == 0
+            assert "warm route" in capsys.readouterr().out
+            rc = main(
+                ["route", str(csv), "--mesh", "4x4", "--socket", sock,
+                 "--prev", str(out_json)]
+            )
+            assert rc == 0
+            assert "cache_hit=True" in capsys.readouterr().out
+
+    def test_cli_unreachable_service(self, tmp_path, capsys):
+        problem = small_problem()
+        csv = tmp_path / "wl.csv"
+        workload_to_csv(problem.comms, str(csv))
+        rc = main(
+            ["route", str(csv), "--mesh", "4x4",
+             "--socket", str(tmp_path / "nope.sock")]
+        )
+        assert rc == 2
+        assert "cannot reach the routing service" in capsys.readouterr().err
