@@ -2,7 +2,8 @@
 
 Usage::
 
-    python benchmarks/record_baseline.py [n] [--suite heuristic|meta|noc|churn]
+    python benchmarks/record_baseline.py [n]
+                                         [--suite heuristic|meta|noc|churn|soak]
                                          [--rounds R] [--before FILE]
 
 Suites:
@@ -33,6 +34,21 @@ Suites:
   automatically.  The warm chain's total routed power is asserted
   equal-or-better than the cold side's, and an exact resubmission is
   asserted to come back as an artifact-store cache hit.
+* ``soak`` (the **E-SOAK** suite) — a chaos soak of the routing service
+  under its resilience layer: every round boots a fresh pooled server
+  with a scripted fault plan (a worker crash, an injected compute delay,
+  a dropped connection — :class:`repro.service.FaultPlan`) and drives it
+  with concurrent keep-alive clients on seeded retry policies.
+  ``median_ms`` holds the client-observed end-to-end latency
+  percentiles (p50/p99 over every request of every round, retries
+  included — chaos tail latency is the point).  While timing, the run
+  gates on *zero client-visible failures*, on every response being
+  bit-identical to an undisturbed serial
+  :func:`~repro.service.handle_request_doc` run of the same documents,
+  and on the fault plan being fully consumed (``pool_rebuilds``/
+  ``drops`` observed); a deterministic backpressure probe (one slot, no
+  queue, a delay fault pinning the slot) asserts the 429 + Retry-After
+  path and that a retrying client rides it out.
 
 ``--before FILE`` embeds a previously recorded run of the same suite as
 ``before_median_ms`` and computes per-heuristic speedups — record the
@@ -94,6 +110,18 @@ CHURN_SEED = 7
 CHURN_FAULT_PROB = 0.15
 CHURN_RATE_SCALE = 0.5
 CHURN_PERCENTILES = (50, 95, 99)
+
+#: the E-SOAK instance: small problems so the chaos soak is dominated by
+#: service behaviour (admission, retries, pool rebuilds), not solve time
+SOAK_MESH = (4, 4)
+SOAK_COMMS = 8
+SOAK_RATES = (100.0, 700.0)
+SOAK_SEED0 = 400
+SOAK_CLIENTS = 4
+SOAK_REQUESTS = 3
+SOAK_JOBS = 2
+SOAK_FAULTS = "crash@2,delay@5:0.08,drop@8"
+SOAK_PERCENTILES = (50, 99)
 
 #: M-SPEED rows: fresh default-budget instances, fixed seed per round
 META_FACTORIES = {
@@ -430,11 +458,219 @@ def measure_churn(rounds: int) -> tuple[dict, dict]:
     return medians, extras
 
 
+@contextlib.contextmanager
+def _soak_server(**kwargs):
+    """Run a :class:`RoutingServer` on its own event-loop thread.
+
+    Yields ``(server, port)``; tears the listener, loop, and worker pool
+    down on exit (without waiting on abandoned workers).
+    """
+    import asyncio
+    import threading
+
+    from repro.service import RoutingServer
+
+    server = RoutingServer(**kwargs)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    box: dict = {}
+
+    def run():
+        asyncio.set_event_loop(loop)
+
+        async def boot():
+            box["listener"] = await server.start_tcp("127.0.0.1", 0)
+            box["port"] = box["listener"].sockets[0].getsockname()[1]
+
+        loop.run_until_complete(boot())
+        started.set()
+        loop.run_forever()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "soak server failed to start"
+    try:
+        yield server, box["port"]
+    finally:
+        async def finish():
+            box["listener"].close()
+            tasks = [
+                t for t in asyncio.all_tasks()
+                if t is not asyncio.current_task()
+            ]
+            for t in tasks:
+                t.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(finish(), loop).result(10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(10)
+        server.close(wait=False)
+        loop.close()
+
+
+def soak_docs() -> list:
+    """One request document per (client, request) slot — all distinct."""
+    from repro.io.jsonio import problem_to_dict
+
+    docs = []
+    for i in range(SOAK_CLIENTS * SOAK_REQUESTS):
+        mesh = Mesh(*SOAK_MESH)
+        problem = RoutingProblem(
+            mesh,
+            PowerModel.kim_horowitz(),
+            uniform_random_workload(
+                mesh, SOAK_COMMS, *SOAK_RATES, rng=SOAK_SEED0 + i
+            ),
+        )
+        docs.append({"problem": problem_to_dict(problem), "cache": False})
+    return docs
+
+
+def backpressure_probe() -> dict:
+    """Deterministic 429 path: one slot, no queue, a fault pinning it.
+
+    An inline (``jobs=1``) server with ``max_inflight=1, queue_depth=0``
+    and a ``delay@0`` fault holds its single slot busy; a no-retry client
+    arriving meanwhile must be rejected with 429, and a retrying client
+    must ride the rejection out.
+    """
+    import threading
+
+    from repro.service import FaultPlan, RetryPolicy, ServiceClient
+    from repro.utils.validation import ReproError
+
+    plan = FaultPlan.parse("delay@0:0.6")
+    with _soak_server(
+        jobs=1, use_cache=False, max_inflight=1, queue_depth=0,
+        fault_plan=plan,
+    ) as (server, port):
+        doc = soak_docs()[0]
+        slow = ServiceClient("127.0.0.1", port, retry=None, timeout=30)
+        slow.wait_ready()
+        holder = threading.Thread(target=lambda: slow.route(doc))
+        holder.start()
+        time.sleep(0.15)  # let the delayed request take the only slot
+        try:
+            ServiceClient("127.0.0.1", port, retry=None, timeout=30).route(doc)
+            raise AssertionError("saturated server must answer 429")
+        except ReproError as exc:
+            assert "429" in str(exc), f"expected a 429 rejection: {exc}"
+        # the client honors Retry-After (0.1s) over its own backoff, so
+        # riding out the 0.6s hold takes more attempts than the default
+        retrying = ServiceClient(
+            "127.0.0.1", port, retry=RetryPolicy(attempts=15, seed=0),
+            timeout=30,
+        )
+        body = retrying.route(doc)
+        assert body["ok"], "retrying client must succeed after backoff"
+        holder.join(30)
+        rejected = server.stats["rejected"]
+    assert rejected >= 1, "the probe never tripped admission control"
+    return {"rejected": rejected, "retry_rides_out_429": True}
+
+
+def measure_soak(rounds: int) -> tuple[dict, dict]:
+    """E-SOAK: chaos soak — scripted faults under concurrent clients.
+
+    Client-observed request latencies (retries included) across all
+    rounds feed the p50/p99 in ``median_ms``.  Gates while timing: zero
+    client-visible failures, responses bit-identical to a serial
+    :func:`handle_request_doc` run, the fault plan fully consumed each
+    round, and the deterministic 429 backpressure probe.
+    """
+    import tempfile
+    import threading
+
+    from repro.service import (
+        FaultPlan,
+        RetryPolicy,
+        ServiceClient,
+        handle_request_doc,
+    )
+
+    docs = soak_docs()
+    with _tier("python"):
+        reference = []
+        for doc in docs:  # the undisturbed serial truth, faults off
+            status, body = handle_request_doc(doc, use_cache=False)
+            assert status == 200, body
+            reference.append(body)
+        latencies: list[float] = []
+        counters = {k: 0 for k in ("pool_rebuilds", "drops", "timeouts")}
+        for _ in range(rounds):
+            plan = FaultPlan.parse(SOAK_FAULTS)
+            with tempfile.TemporaryDirectory() as tmp, _soak_server(
+                jobs=SOAK_JOBS, cache_dir=tmp, use_cache=False,
+                fault_plan=plan,
+            ) as (server, port):
+                results: list = [None] * len(docs)
+                times: list = [None] * len(docs)
+                failures: list = []
+
+                def drive(ci: int):
+                    try:
+                        client = ServiceClient(
+                            "127.0.0.1", port,
+                            retry=RetryPolicy(seed=ci + 1), timeout=60,
+                        )
+                        client.wait_ready()
+                        for ri in range(SOAK_REQUESTS):
+                            idx = ci * SOAK_REQUESTS + ri
+                            t0 = time.perf_counter()
+                            results[idx] = client.route(docs[idx])
+                            times[idx] = time.perf_counter() - t0
+                        client.close()
+                    except Exception as exc:  # noqa: BLE001 — the gate
+                        failures.append((ci, repr(exc)))
+
+                threads = [
+                    threading.Thread(target=drive, args=(ci,))
+                    for ci in range(SOAK_CLIENTS)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join(120)
+                assert not failures, f"client-visible failures: {failures}"
+                for idx, body in enumerate(results):
+                    assert body is not None, f"request {idx} never completed"
+                    assert (
+                        body["routing"] == reference[idx]["routing"]
+                        and body["power"] == reference[idx]["power"]
+                    ), f"response {idx} diverged from the serial run"
+                assert not plan.pending(), (
+                    "fault plan not fully consumed", plan.pending()
+                )
+                stats = server.stats
+                assert stats["pool_rebuilds"] >= 1, "crash fault never fired"
+                assert stats["drops"] >= 1, "drop fault never fired"
+                for key in counters:
+                    counters[key] += stats[key]
+                latencies.extend(times)
+        probe = backpressure_probe()
+    medians = {
+        f"p{p}": round(float(np.percentile(latencies, p)) * 1e3, 4)
+        for p in SOAK_PERCENTILES
+    }
+    extras = {
+        "timing_tier": "python",
+        "fault_plan": SOAK_FAULTS,
+        "requests_total": len(latencies),
+        "zero_failures": True,
+        "bit_identical_to_serial": True,
+        "chaos_counters": counters,
+        "backpressure": probe,
+    }
+    return medians, extras
+
+
 SUITES = {
     "heuristic": ("heuristic-speed", measure_heuristic),
     "meta": ("meta-speed", measure_meta),
     "noc": ("noc-speed", measure_noc),
     "churn": ("e-churn", measure_churn),
+    "soak": ("e-soak", measure_soak),
 }
 
 #: suites that embed their own before side (reject a conflicting --before)
@@ -485,6 +721,18 @@ def main(argv: list[str] | None = None) -> int:
             "warmup": NOC_WARMUP,
             "injection": "bernoulli",
             "sim_seed": NOC_SIM_SEED,
+        }
+    elif args.suite == "soak":
+        instance = {
+            "mesh": f"{SOAK_MESH[0]}x{SOAK_MESH[1]}",
+            "num_comms": SOAK_COMMS,
+            "rates": list(SOAK_RATES),
+            "workload_seed0": SOAK_SEED0,
+            "power_model": "kim_horowitz",
+            "clients": SOAK_CLIENTS,
+            "requests_per_client": SOAK_REQUESTS,
+            "jobs": SOAK_JOBS,
+            "fault_plan": SOAK_FAULTS,
         }
     elif args.suite == "churn":
         instance = {

@@ -157,6 +157,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the cross-request result cache",
     )
+    srv.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="admission control: route requests computing at once "
+        "(default: 8)",
+    )
+    srv.add_argument(
+        "--queue-depth", type=int, default=32, metavar="N",
+        help="admission control: waiting requests beyond --max-inflight "
+        "before answering 429 (default: 32)",
+    )
+    srv.add_argument(
+        "--compute-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="per-request compute deadline; overruns answer 504 "
+        "(default: 300)",
+    )
+    srv.add_argument(
+        "--drain-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="graceful-shutdown deadline for in-flight requests on "
+        "SIGTERM/SIGINT (default: 10)",
+    )
+    srv.add_argument(
+        "--verbose", action="store_true",
+        help="log one structured line per request to stderr",
+    )
     srv.set_defaults(func=cmd_serve)
 
     sc = sub.add_parser(

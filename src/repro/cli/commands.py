@@ -475,20 +475,42 @@ def cmd_open_problem(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the routing service until interrupted."""
-    import asyncio
+    """``repro serve``: run the routing service until SIGTERM/SIGINT.
 
-    from repro.service import DEFAULT_PORT, RoutingServer
+    Shutdown is graceful: the first SIGTERM/SIGINT stops accepting,
+    finishes in-flight requests under ``--drain-timeout``, then closes
+    the worker pool.  A fault plan in ``REPRO_FAULTS`` (chaos testing)
+    is honoured.
+    """
+    import asyncio
+    import signal
+
+    from repro.service import DEFAULT_PORT, FaultPlan, RoutingServer
 
     check_jobs(args.jobs)
     if args.port is None:
         args.port = DEFAULT_PORT
     if args.socket is None and not 0 < args.port < 65536:
         raise ReproError(f"--port must lie in [1, 65535], got {args.port}")
+    check_min(args.max_inflight, "--max-inflight")
+    check_min(args.queue_depth, "--queue-depth", 0)
+    if args.compute_timeout is not None and not args.compute_timeout > 0:
+        raise ReproError(
+            f"--compute-timeout must be > 0 seconds, got {args.compute_timeout}"
+        )
+    if not args.drain_timeout >= 0:
+        raise ReproError(
+            f"--drain-timeout must be >= 0 seconds, got {args.drain_timeout}"
+        )
     server = RoutingServer(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        compute_timeout=args.compute_timeout,
+        fault_plan=FaultPlan.from_env(),
+        verbose=args.verbose,
     )
 
     async def _run() -> None:
@@ -501,15 +523,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         cache = "off" if args.no_cache else (args.cache_dir or "default")
         print(
             f"repro service listening on {where} "
-            f"(jobs={args.jobs}, cache={cache})",
+            f"(jobs={args.jobs}, cache={cache}, "
+            f"max_inflight={args.max_inflight}, "
+            f"queue_depth={args.queue_depth})",
             flush=True,
         )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
         async with srv:
-            await srv.serve_forever()
+            await stop.wait()
+            print("draining (finishing in-flight requests)", flush=True)
+            drained = await server.drain(srv, timeout=args.drain_timeout)
+            print(
+                "drained cleanly" if drained
+                else "drain deadline hit; abandoning in-flight work",
+                flush=True,
+            )
 
     try:
         asyncio.run(_run())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         print("shutting down")
     except OSError as exc:
         raise ReproError(f"cannot start the routing service: {exc}") from None

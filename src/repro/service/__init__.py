@@ -12,6 +12,16 @@ failures) cheap.  :mod:`repro.service.client` is the stdlib-only client
 the ``repro route --server/--socket`` remote mode uses; the E-CHURN
 bench (``benchmarks/record_baseline.py --suite churn``) pins the
 warm-vs-cold speedup and the SLA latency percentiles.
+
+The resilience layer (:mod:`repro.service.resilience`) keeps the
+service honest under load and infrastructure faults: bounded admission
+with 429 backpressure, per-phase deadlines (504 on compute overrun),
+transparent worker-pool rebuild after a crashed worker, keep-alive
+client connections with seeded retry/backoff, graceful drain on
+SIGTERM, and a deterministic :class:`FaultPlan` harness that scripts
+worker crashes / compute delays / dropped connections so every
+recovery path is exercised by ordinary tests and the E-SOAK chaos
+bench (``--suite soak``).
 """
 
 from repro.service.cache import (
@@ -21,7 +31,16 @@ from repro.service.cache import (
     request_wire,
     save_cached,
 )
-from repro.service.client import DEFAULT_HOST, ServiceClient
+from repro.service.client import DEFAULT_HOST, READY_POLICY, ServiceClient
+from repro.service.resilience import (
+    FAULTS_ENV,
+    RETRYABLE_STATUSES,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TruncatedResponseError,
+    parse_retry_after,
+)
 from repro.service.server import (
     DEFAULT_PORT,
     RoutingServer,
@@ -47,7 +66,15 @@ __all__ = [
     "request_wire",
     "save_cached",
     "DEFAULT_HOST",
+    "READY_POLICY",
     "ServiceClient",
+    "FAULTS_ENV",
+    "RETRYABLE_STATUSES",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "TruncatedResponseError",
+    "parse_retry_after",
     "DEFAULT_PORT",
     "RoutingServer",
     "handle_request_doc",

@@ -158,6 +158,7 @@ class _LiveServer:
     def __init__(self, socket_path=None, **kw):
         self.server = RoutingServer(**kw)
         self.socket_path = socket_path
+        self.asyncio_server = None
         self._loop = None
         self._stop = None
         self._ready: queue.Queue = queue.Queue()
@@ -171,12 +172,20 @@ class _LiveServer:
         self._stop = asyncio.Event()
         if self.socket_path is not None:
             srv = await self.server.start_unix(self.socket_path)
+            self.asyncio_server = srv
             self._ready.put(None)
         else:
             srv = await self.server.start_tcp("127.0.0.1", 0)
+            self.asyncio_server = srv
             self._ready.put(srv.sockets[0].getsockname()[1])
         async with srv:
             await self._stop.wait()
+
+    def run_async(self, coro, timeout=30.0):
+        """Run a coroutine on the live server's loop from the test thread."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(
+            timeout
+        )
 
     def __enter__(self):
         self._thread.start()
@@ -239,6 +248,110 @@ class TestLiveServer:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ReproError, match="jobs must be"):
             RoutingServer(jobs=0)
+
+
+def _raw_exchange(port, payload: bytes, count: int = 1):
+    """Send raw bytes, parse ``count`` HTTP responses off the socket.
+
+    Returns a list of ``(status, headers, body)`` triples — the
+    low-level view the stdlib client hides, for protocol edge tests.
+    """
+    import socket as socket_mod
+
+    out = []
+    with socket_mod.create_connection(("127.0.0.1", port), timeout=10) as s:
+        s.sendall(payload)
+        rfile = s.makefile("rb")
+        for _ in range(count):
+            status = int(rfile.readline().split()[1])
+            headers = {}
+            while True:
+                line = rfile.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode().partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = rfile.read(int(headers.get("content-length", 0)))
+            out.append((status, headers, json.loads(body)))
+    return out
+
+
+class TestProtocolEdges:
+    """The untested server edge paths: 413, bad headers, keep-alive."""
+
+    def test_oversized_body_answers_413(self, tmp_path):
+        from repro.service.server import MAX_BODY_BYTES
+
+        with _LiveServer(cache_dir=str(tmp_path)) as live:
+            req = (
+                "POST /route HTTP/1.1\r\nHost: x\r\n"
+                f"Content-Length: {MAX_BODY_BYTES + 1}\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            [(status, _, body)] = _raw_exchange(live.port, req)
+            assert status == 413
+            assert not body["ok"] and "too large" in body["error"]
+            # the server survives the oversized claim
+            assert ServiceClient("127.0.0.1", live.port).health()["ok"]
+
+    def test_negative_content_length_answers_413(self, tmp_path):
+        with _LiveServer(cache_dir=str(tmp_path)) as live:
+            req = (
+                "POST /route HTTP/1.1\r\nHost: x\r\n"
+                "Content-Length: -5\r\nConnection: close\r\n\r\n"
+            ).encode()
+            [(status, _, _)] = _raw_exchange(live.port, req)
+            assert status == 413
+
+    def test_bad_content_length_answers_400(self, tmp_path):
+        with _LiveServer(cache_dir=str(tmp_path)) as live:
+            req = (
+                "POST /route HTTP/1.1\r\nHost: x\r\n"
+                "Content-Length: abc\r\nConnection: close\r\n\r\n"
+            ).encode()
+            [(status, _, body)] = _raw_exchange(live.port, req)
+            assert status == 400
+            assert "Content-Length" in body["error"]
+
+    def test_keep_alive_serves_requests_back_to_back(self, tmp_path):
+        with _LiveServer(cache_dir=str(tmp_path)) as live:
+            one = "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+            last = (
+                "GET /nope HTTP/1.1\r\nHost: x\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode()
+            results = _raw_exchange(live.port, one + one + last, count=3)
+            assert [status for status, _, _ in results] == [200, 200, 404]
+            assert results[0][1]["connection"] == "keep-alive"
+            assert results[2][1]["connection"] == "close"
+
+    def test_stats_accuracy_over_mixed_sequence(self, tmp_path):
+        problems = [small_problem(seed=s) for s in (31, 32)]
+        with _LiveServer(cache_dir=str(tmp_path / "cache")) as live:
+            client = ServiceClient("127.0.0.1", live.port, retry=None)
+            client.wait_ready()  # requests: 1
+            for p in problems:  # requests: 2, 3 — cold misses
+                assert client.route(request_doc(p))["mode"] == "cold"
+            hit = client.route(request_doc(problems[0]))  # requests: 4
+            assert hit["cache_hit"]
+            with pytest.raises(ReproError, match="400"):
+                client.route({"problem": {"bogus": 1}})  # requests: 5
+            with pytest.raises(ReproError, match="400"):
+                client.route(  # requests: 6 — rejected before compute
+                    request_doc(problems[0], solver="NOPE")
+                )
+            with pytest.raises(ReproError, match="404"):
+                client._request("GET", "/missing")  # requests: 7
+            stats = client.stats()  # requests: 8
+            assert stats["requests"] == 8
+            assert stats["routed"] == 3
+            assert stats["cache_hits"] == 1
+            # the cache-hit replays a cold response, so its mode recounts
+            assert stats["cold"] == 3 and stats["warm"] == 0
+            assert stats["errors"] == 3  # two 400s and the 404
+            assert stats["rejected"] == 0 and stats["timeouts"] == 0
+            assert stats["pool_rebuilds"] == 0
+            assert stats["inflight"] == 0 and stats["queued"] == 0
 
 
 class TestCliRemote:
