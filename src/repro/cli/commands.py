@@ -480,20 +480,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Shutdown is graceful: the first SIGTERM/SIGINT stops accepting,
     finishes in-flight requests under ``--drain-timeout``, then closes
     the worker pool.  A fault plan in ``REPRO_FAULTS`` (chaos testing)
-    is honoured.
+    is honoured.  ``--shards N`` preforks N accept-loop processes under
+    a restarting supervisor; ``--batch-window`` coalesces concurrent
+    requests into shared-cache batch submissions.
     """
     import asyncio
     import signal
 
     from repro.service import DEFAULT_PORT, FaultPlan, RoutingServer
+    from repro.service.prefork import run_prefork
 
     check_jobs(args.jobs)
     if args.port is None:
         args.port = DEFAULT_PORT
-    if args.socket is None and not 0 < args.port < 65536:
-        raise ReproError(f"--port must lie in [1, 65535], got {args.port}")
+    if args.socket is None and not 0 <= args.port < 65536:
+        raise ReproError(
+            "--port must lie in [0, 65535] (0 picks an ephemeral port), "
+            f"got {args.port}"
+        )
     check_min(args.max_inflight, "--max-inflight")
     check_min(args.queue_depth, "--queue-depth", 0)
+    check_min(args.shards, "--shards")
+    if args.batch_window is not None and not args.batch_window >= 0:
+        raise ReproError(
+            "--batch-window must be >= 0 milliseconds, "
+            f"got {args.batch_window}"
+        )
+    check_min(args.max_batch, "--max-batch")
     if args.compute_timeout is not None and not args.compute_timeout > 0:
         raise ReproError(
             f"--compute-timeout must be > 0 seconds, got {args.compute_timeout}"
@@ -502,16 +515,30 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError(
             f"--drain-timeout must be >= 0 seconds, got {args.drain_timeout}"
         )
-    server = RoutingServer(
+    batch_window = (
+        None if args.batch_window is None else args.batch_window / 1e3
+    )
+    server_kwargs = dict(
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
         compute_timeout=args.compute_timeout,
-        fault_plan=FaultPlan.from_env(),
+        batch_window=batch_window,
+        max_batch=args.max_batch,
         verbose=args.verbose,
     )
+    if args.shards > 1:
+        return run_prefork(
+            shards=args.shards,
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+            drain_timeout=args.drain_timeout,
+            **server_kwargs,
+        )
+    server = RoutingServer(fault_plan=FaultPlan.from_env(), **server_kwargs)
 
     async def _run() -> None:
         if args.socket:
@@ -519,13 +546,19 @@ def cmd_serve(args: argparse.Namespace) -> int:
             where = f"unix:{args.socket}"
         else:
             srv = await server.start_tcp(args.host, args.port)
-            where = f"http://{args.host}:{args.port}"
+            port = srv.sockets[0].getsockname()[1]
+            where = f"http://{args.host}:{port}"
         cache = "off" if args.no_cache else (args.cache_dir or "default")
+        batching = (
+            "off" if batch_window is None
+            else f"{args.batch_window:g}ms/max{args.max_batch}"
+        )
         print(
             f"repro service listening on {where} "
             f"(jobs={args.jobs}, cache={cache}, "
             f"max_inflight={args.max_inflight}, "
-            f"queue_depth={args.queue_depth})",
+            f"queue_depth={args.queue_depth}, "
+            f"batching={batching})",
             flush=True,
         )
         loop = asyncio.get_running_loop()

@@ -22,8 +22,25 @@ SIGTERM, and a deterministic :class:`FaultPlan` harness that scripts
 worker crashes / compute delays / dropped connections so every
 recovery path is exercised by ordinary tests and the E-SOAK chaos
 bench (``--suite soak``).
+
+The scaling layer saturates a host: :class:`MicroBatcher`
+(:mod:`repro.service.batching`) coalesces concurrently-queued ``/route``
+requests into one pool submission sharing a parse cache — responses stay
+bit-identical to one-at-a-time handling — and :func:`run_prefork`
+(:mod:`repro.service.prefork`, ``repro serve --shards N``) forks N
+accept-loop shards over one ``SO_REUSEPORT`` port (or one inherited unix
+socket), restarts dead shards, and aggregates ``/stats`` across the
+fleet.  The E-SAT saturation bench (``--suite sat``) gates the win.
 """
 
+from repro.service.batching import (
+    DEFAULT_MAX_BATCH,
+    MicroBatcher,
+    ParsedRequest,
+    handle_batch_docs,
+    parse_request_doc,
+    probe_request_doc,
+)
 from repro.service.cache import (
     SERVICE_CACHE_NAME,
     RouteRequestKey,
@@ -32,6 +49,7 @@ from repro.service.cache import (
     save_cached,
 )
 from repro.service.client import DEFAULT_HOST, READY_POLICY, ServiceClient
+from repro.service.prefork import ShardServer, StatsBoard, run_prefork
 from repro.service.resilience import (
     FAULTS_ENV,
     RETRYABLE_STATUSES,
@@ -60,6 +78,15 @@ from repro.service.warmstart import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_BATCH",
+    "MicroBatcher",
+    "ParsedRequest",
+    "handle_batch_docs",
+    "parse_request_doc",
+    "probe_request_doc",
+    "ShardServer",
+    "StatsBoard",
+    "run_prefork",
     "SERVICE_CACHE_NAME",
     "RouteRequestKey",
     "load_cached",

@@ -22,10 +22,12 @@ one-shot client:
 
 from __future__ import annotations
 
+import itertools
 import json
 import socket
+import threading
 import time
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.service.resilience import (
     RETRYABLE_STATUSES,
@@ -44,6 +46,31 @@ READY_POLICY = RetryPolicy(
 )
 
 
+class _Conn:
+    """One keep-alive connection slot of a :class:`ServiceClient`."""
+
+    __slots__ = ("sock", "rfile", "lock")
+
+    def __init__(self) -> None:
+        self.sock: Optional[socket.socket] = None
+        self.rfile = None
+        self.lock = threading.Lock()
+
+    def drop(self) -> None:
+        if self.rfile is not None:
+            try:
+                self.rfile.close()
+            except OSError:
+                pass
+            self.rfile = None
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.sock = None
+
+
 class ServiceClient:
     """One routing-service endpoint (TCP host/port or a unix socket).
 
@@ -53,6 +80,15 @@ class ServiceClient:
         The :class:`RetryPolicy` for transient failures (connection
         errors, truncated responses, HTTP 429/503/504).  ``None``
         disables retries — every failure surfaces immediately.
+    pool_size:
+        Keep-alive connections to round-robin requests over.  The
+        default ``1`` is the classic single-connection client;
+        ``N > 1`` makes the client safe and non-serializing for up to
+        N concurrent callers (each request exclusively holds one
+        connection for its exchange) — what the E-SAT load generator
+        and the soak suite drive through one client object.  The retry
+        contract is per-request and unchanged; a transport failure
+        drops only the connection it happened on.
     """
 
     def __init__(
@@ -63,14 +99,22 @@ class ServiceClient:
         socket_path: Optional[str] = None,
         timeout: float = 120.0,
         retry: Optional[RetryPolicy] = RetryPolicy(),
+        pool_size: int = 1,
     ):
+        if isinstance(pool_size, bool) or not isinstance(pool_size, int) \
+                or pool_size < 1:
+            raise ReproError(
+                f"pool_size must be an integer >= 1, got {pool_size!r}"
+            )
         self.host = host
         self.port = int(port)
         self.socket_path = socket_path
         self.timeout = float(timeout)
         self.retry = retry
-        self._sock: Optional[socket.socket] = None
-        self._rfile = None
+        self.pool_size = pool_size
+        self._conns: List[_Conn] = [_Conn() for _ in range(pool_size)]
+        self._rr = itertools.count()
+        self._count_lock = threading.Lock()
         #: connections opened over this client's lifetime (observability:
         #: keep-alive reuse means this stays far below the request count)
         self.connections_opened = 0
@@ -85,23 +129,14 @@ class ServiceClient:
             sock = socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
             )
-        self.connections_opened += 1
+        with self._count_lock:
+            self.connections_opened += 1
         return sock
 
     def close(self) -> None:
-        """Drop the kept-alive connection (reopened on the next request)."""
-        if self._rfile is not None:
-            try:
-                self._rfile.close()
-            except OSError:
-                pass
-            self._rfile = None
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+        """Drop every kept-alive connection (reopened on next use)."""
+        for conn in self._conns:
+            conn.drop()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -113,20 +148,33 @@ class ServiceClient:
     def _request_once(
         self, method: str, path: str, body: bytes
     ) -> Tuple[int, Dict[str, str], bytes]:
-        """One request over the kept-alive connection → (status, headers,
-        payload).  Raises ``OSError`` / ``TruncatedResponseError`` on
-        transport trouble; the caller decides whether to retry."""
-        if self._sock is None:
-            self._sock = self._connect()
-            self._rfile = self._sock.makefile("rb")
+        """One request over the next round-robin connection → (status,
+        headers, payload).  Raises ``OSError`` /
+        ``TruncatedResponseError`` on transport trouble (the failed
+        connection is dropped first); the caller decides whether to
+        retry."""
+        conn = self._conns[next(self._rr) % self.pool_size]
+        with conn.lock:
+            try:
+                return self._exchange(conn, method, path, body)
+            except (TruncatedResponseError, OSError):
+                conn.drop()  # a fresh connection for the next try
+                raise
+
+    def _exchange(
+        self, conn: _Conn, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        if conn.sock is None:
+            conn.sock = self._connect()
+            conn.rfile = conn.sock.makefile("rb")
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             "Host: repro\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n\r\n"
         ).encode("ascii")
-        self._sock.sendall(head + body)
-        status_line = self._rfile.readline()
+        conn.sock.sendall(head + body)
+        status_line = conn.rfile.readline()
         if not status_line:
             raise TruncatedResponseError(
                 "connection closed before any response arrived"
@@ -137,7 +185,7 @@ class ServiceClient:
         status = int(parts[1])
         headers: Dict[str, str] = {}
         while True:
-            line = self._rfile.readline()
+            line = conn.rfile.readline()
             if not line:
                 raise TruncatedResponseError(
                     "connection closed inside the response headers"
@@ -152,14 +200,14 @@ class ServiceClient:
             raise ReproError(
                 "routing service sent a bad Content-Length header"
             ) from None
-        payload = self._rfile.read(length) if length else b""
+        payload = conn.rfile.read(length) if length else b""
         if len(payload) != length:
             raise TruncatedResponseError(
                 f"response truncated: got {len(payload)} of {length} "
                 "advertised bytes"
             )
         if headers.get("connection", "keep-alive").lower() == "close":
-            self.close()
+            conn.drop()
         return status, headers, payload
 
     def _request(
@@ -176,7 +224,7 @@ class ServiceClient:
                     method, path, body
                 )
             except (TruncatedResponseError, OSError) as exc:
-                self.close()  # a fresh connection for the next try
+                # the failed connection was already dropped
                 failure: Exception = (
                     exc
                     if isinstance(exc, ReproError)

@@ -57,6 +57,15 @@ Resilience (``tests/test_service_resilience.py``, ``docs/service.md``):
   delays and dropped connections at chosen request indices, so every
   recovery path above is exercised deterministically by ordinary tests
   and the E-SOAK chaos bench.
+
+Scaling (``docs/service.md`` "Scaling", the E-SAT bench):
+
+* **Micro-batching** — with ``batch_window`` set, concurrently-queued
+  ``/route`` requests coalesce into one batch submission evaluated
+  through a shared parse cache (:mod:`repro.service.batching`);
+  responses stay bit-identical to unbatched serial execution.
+* **Prefork front** — ``repro serve --shards N`` runs N accept-loop
+  processes on one listen port (:mod:`repro.service.prefork`).
 """
 
 from __future__ import annotations
@@ -68,27 +77,24 @@ import sys
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Awaitable, Dict, Optional, Tuple, TypeVar
+from typing import Any, Awaitable, Dict, List, Optional, Tuple, TypeVar
 
-from repro.core.routing import Routing
-from repro.experiments.campaign.store import ArtifactStore
-from repro.heuristics import available_heuristics
-from repro.io.jsonio import problem_from_dict, routing_from_dict, routing_to_dict
-from repro.service.cache import (
-    RouteRequestKey,
-    load_cached,
-    request_wire,
-    save_cached,
+# the pure request pipeline lives in repro.service.batching; re-exported
+# here because this is where it historically lived (and the server is
+# its natural home for readers)
+from repro.service.batching import (  # noqa: F401 — re-exports
+    DEFAULT_MAX_BATCH,
+    MicroBatcher,
+    ParsedRequest,
+    _batch_pool_worker,
+    _check_solver,
+    handle_batch_docs,
+    handle_request_doc,
+    outcome_to_doc,
+    parse_request_doc,
+    probe_request_doc,
 )
 from repro.service.resilience import FaultPlan, FaultSpec
-from repro.service.warmstart import (
-    DEFAULT_POLISH,
-    DEFAULT_SOLVER,
-    RouteOutcome,
-    _check_polish,
-    _check_seed,
-    route_incremental,
-)
 from repro.utils.validation import ReproError
 from repro.version import __version__
 
@@ -151,94 +157,6 @@ def _shutdown_socket(writer: asyncio.StreamWriter) -> None:
         sock.shutdown(socket.SHUT_RDWR)
     except OSError:
         pass  # already disconnected
-
-
-def outcome_to_doc(outcome: RouteOutcome) -> Dict[str, Any]:
-    """The response payload of a routed request (sans transport fields)."""
-    return {
-        "mode": outcome.stats.mode,
-        "routing": routing_to_dict(outcome.routing),
-        "power": outcome.power,
-        "valid": outcome.valid,
-        "stats": outcome.stats.as_dict(),
-    }
-
-
-def _check_solver(solver: Any) -> str:
-    """Validate the request's cold-solve heuristic name eagerly."""
-    if not isinstance(solver, str):
-        raise ReproError(
-            f"solver must be a string, got {type(solver).__name__}"
-        )
-    if solver not in available_heuristics():
-        raise ReproError(
-            f"unknown solver {solver!r}; available: "
-            f"{', '.join(available_heuristics())}"
-        )
-    return solver
-
-
-def handle_request_doc(
-    doc: Any,
-    *,
-    cache_dir: Optional[str] = None,
-    use_cache: bool = True,
-) -> Tuple[int, Dict[str, Any]]:
-    """Handle one ``/route`` request document → ``(status, body)``.
-
-    Pure with respect to process state (modulo the artifact store under
-    ``cache_dir``): safe to run inline, in a worker process, or straight
-    from a test.  The ``seed`` / ``solver`` / ``polish`` knobs are
-    validated eagerly — before the cache is keyed and regardless of the
-    warm/cold path taken — so a bad knob always answers one-line 400
-    instead of surfacing wherever it would first have been used.
-    """
-    t0 = time.perf_counter()
-    try:
-        if not isinstance(doc, dict):
-            raise ReproError("request body must be a JSON object")
-        if "problem" not in doc:
-            raise ReproError("request is missing the 'problem' document")
-        solver = _check_solver(doc.get("solver", DEFAULT_SOLVER))
-        polish = doc.get("polish", DEFAULT_POLISH)
-        if not isinstance(polish, str):
-            raise ReproError(
-                f"polish must be a string, got {type(polish).__name__}"
-            )
-        _check_polish(polish)
-        seed = _check_seed(doc.get("seed", 0))
-        problem = problem_from_dict(doc["problem"])
-        prev_doc = doc.get("prev")
-        prev: Optional[Routing] = (
-            None if prev_doc is None else routing_from_dict(prev_doc)
-        )
-        want_cache = use_cache and bool(doc.get("cache", True))
-        key = RouteRequestKey(
-            request_wire(problem, prev, solver, polish, seed)
-        )
-        store = ArtifactStore(cache_dir) if want_cache else None
-        if store is not None:
-            cached = load_cached(store, key)
-            if cached is not None:
-                body = dict(cached)
-                body["ok"] = True
-                body["cache_hit"] = True
-                body["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
-                return 200, body
-        outcome = route_incremental(
-            problem, prev, solver=solver, polish=polish, seed=seed
-        )
-        body = outcome_to_doc(outcome)
-        if store is not None:
-            save_cached(
-                store, key, body, wall_time_s=time.perf_counter() - t0
-            )
-        body["ok"] = True
-        body["cache_hit"] = False
-        body["elapsed_ms"] = (time.perf_counter() - t0) * 1e3
-        return 200, body
-    except ReproError as exc:
-        return 400, {"ok": False, "error": str(exc)}
 
 
 def _worker_reset_signals() -> None:
@@ -307,6 +225,17 @@ class RoutingServer:
         preempted mid-solve — the compute deadline needs ``jobs > 1`` to
         interrupt real work (injected delays are interruptible in both
         modes).
+    batch_window / max_batch:
+        Request micro-batching.  ``batch_window`` (seconds; ``None``
+        disables batching) is how long concurrently-queued ``/route``
+        requests coalesce before one batch submission evaluates them
+        through a shared parse cache; ``max_batch`` submits a batch
+        early once that many requests wait.  Batching changes dispatch,
+        not results — responses stay bit-identical to unbatched
+        serial execution.  Requests carrying an injected fault bypass
+        the batcher (dispatched individually) so chaos semantics are
+        unchanged; cache-memoized requests are answered by an inline
+        probe without occupying a batch slot.
     fault_plan:
         A :class:`~repro.service.resilience.FaultPlan` scripting
         worker crashes / compute delays / connection drops by route
@@ -326,6 +255,8 @@ class RoutingServer:
         header_timeout: Optional[float] = DEFAULT_HEADER_TIMEOUT,
         body_timeout: Optional[float] = DEFAULT_BODY_TIMEOUT,
         compute_timeout: Optional[float] = DEFAULT_COMPUTE_TIMEOUT,
+        batch_window: Optional[float] = None,
+        max_batch: int = DEFAULT_MAX_BATCH,
         fault_plan: Optional[FaultPlan] = None,
         verbose: bool = False,
     ):
@@ -348,6 +279,16 @@ class RoutingServer:
         ):
             if value is not None and not value > 0:
                 raise ReproError(f"{name} must be > 0 seconds or None")
+        if batch_window is not None and not batch_window >= 0:
+            raise ReproError(
+                f"batch_window must be >= 0 seconds or None, "
+                f"got {batch_window!r}"
+            )
+        if isinstance(max_batch, bool) or not isinstance(max_batch, int) \
+                or max_batch < 1:
+            raise ReproError(
+                f"max_batch must be an integer >= 1, got {max_batch!r}"
+            )
         self.jobs = jobs
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.use_cache = bool(use_cache)
@@ -356,10 +297,15 @@ class RoutingServer:
         self.header_timeout = header_timeout
         self.body_timeout = body_timeout
         self.compute_timeout = compute_timeout
+        self.batch_window = (
+            None if batch_window is None else float(batch_window)
+        )
+        self.max_batch = max_batch
         self.fault_plan = FaultPlan() if fault_plan is None else fault_plan
         self.verbose = bool(verbose)
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_gen = 0
+        self._batcher: Optional[MicroBatcher] = None
         self._sem: Optional[asyncio.Semaphore] = None
         self._waiting = 0  # route requests queued on the semaphore
         self._inflight = 0  # route requests admitted, not yet answered
@@ -377,6 +323,8 @@ class RoutingServer:
             "pool_rebuilds": 0,
             "drops": 0,
             "slow_reads": 0,
+            "batches": 0,
+            "batched": 0,
         }
 
     # ------------------------------------------------------------------
@@ -412,6 +360,8 @@ class RoutingServer:
         deadline, False when in-flight work was abandoned.
         """
         self._draining = True
+        if self._batcher is not None:
+            self._batcher.flush()  # don't sit out a batch window mid-drain
         if server is not None:
             server.close()
             await server.wait_closed()
@@ -432,6 +382,12 @@ class RoutingServer:
             )
         if self._sem is None:
             self._sem = asyncio.Semaphore(self.max_inflight)
+        if self.batch_window is not None and self._batcher is None:
+            self._batcher = MicroBatcher(
+                self._dispatch_batch_recovering,
+                window=self.batch_window,
+                max_batch=self.max_batch,
+            )
 
     def _rebuild_pool(self, gen: int) -> None:
         """Replace a broken pool (once per breakage, however many see it)."""
@@ -480,6 +436,46 @@ class RoutingServer:
             "error": "worker pool broke twice on this request; retry later",
         }
 
+    async def _dispatch_batch(
+        self, docs: List[Any]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        if self._pool is None:
+            return handle_batch_docs(
+                docs, cache_dir=self.cache_dir, use_cache=self.use_cache
+            )
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, _batch_pool_worker, docs, self.cache_dir,
+            self.use_cache,
+        )
+
+    async def _dispatch_batch_recovering(
+        self, docs: List[Any]
+    ) -> List[Tuple[int, Dict[str, Any]]]:
+        """Dispatch a batch, rebuilding the pool and retrying once.
+
+        The whole batch rides the same two-attempt recovery contract as
+        a single request: a worker crash mid-batch rebuilds the pool and
+        re-evaluates every document (they are pure, so the retry returns
+        the same bytes).
+        """
+        self.stats["batches"] += 1
+        for _ in (0, 1):
+            gen = self._pool_gen
+            try:
+                return await self._dispatch_batch(docs)
+            except BrokenExecutor:
+                self._rebuild_pool(gen)
+        return [
+            (503, {
+                "ok": False,
+                "error": (
+                    "worker pool broke twice on this request; retry later"
+                ),
+            })
+            for _ in docs
+        ]
+
     async def _route(self, doc: Any) -> Tuple[int, Dict[str, Any]]:
         """Admission control + deadline + crash recovery around dispatch."""
         assert self._sem is not None  # _ensure_pool ran at start_*
@@ -505,7 +501,27 @@ class RoutingServer:
             if fault is not None and fault.kind == "drop":
                 self.stats["drops"] += 1
                 raise _DropConnection()
-            coro = self._dispatch_recovering(doc, fault)
+            if self._batcher is not None and fault is None:
+                # memoized requests are answered inline, without a
+                # batch slot; the probe only runs when the request
+                # would consult the cache (cache-off requests join a
+                # batch directly, invalid ones get their 400 there)
+                if self.use_cache and (
+                    not isinstance(doc, dict) or bool(doc.get("cache", True))
+                ):
+                    probed = probe_request_doc(
+                        doc, cache_dir=self.cache_dir,
+                        use_cache=self.use_cache,
+                    )
+                    if probed is not None:
+                        return probed
+                self.stats["batched"] += 1
+                coro = self._batcher.route(doc)
+            else:
+                # faulted requests bypass the batcher so an injected
+                # crash/delay disturbs exactly one request, as in the
+                # unbatched chaos contract
+                coro = self._dispatch_recovering(doc, fault)
             if self.compute_timeout is None:
                 return await coro
             try:
@@ -530,6 +546,39 @@ class RoutingServer:
         if timeout is None:
             return await awaitable
         return await asyncio.wait_for(awaitable, timeout)
+
+    @staticmethod
+    async def _read_head(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[bytes, List[bytes]]:
+        """Request line + raw header lines, as one awaitable.
+
+        Grouping the reads lets the whole header phase run under a
+        single ``wait_for`` deadline — per-line timers cost a task and
+        a timer handle each, which is measurable at saturation.
+        """
+        line = await reader.readline()
+        if line == b"":  # clean EOF between keep-alive requests
+            raise ConnectionResetError("client closed the connection")
+        headers: List[bytes] = []
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                return line, headers
+            headers.append(hline)
+
+    def _health_doc(self) -> Dict[str, Any]:
+        """The ``/healthz`` body (prefork shards add their identity)."""
+        return {"ok": True, "version": __version__, "jobs": self.jobs}
+
+    def _stats_doc(self) -> Dict[str, Any]:
+        """The ``/stats`` body (prefork shards aggregate across peers)."""
+        return {
+            "ok": True,
+            **self.stats,
+            "inflight": self._inflight,
+            "queued": self._waiting,
+        }
 
     def _log(self, method: str, path: str, status: int, body: Dict[str, Any],
              t0: float) -> None:
@@ -603,7 +652,8 @@ class RoutingServer:
             self.stats["errors"] += 1
         if self._draining:
             keep = False
-        payload = json.dumps(body).encode()
+        # compact separators: ~10% fewer bytes per response at no cost
+        payload = json.dumps(body, separators=(",", ":")).encode()
         extra = ""
         if status in (429, 503):
             extra = f"Retry-After: {RETRY_AFTER_HINT:g}\r\n"
@@ -626,9 +676,9 @@ class RoutingServer:
         self, reader: asyncio.StreamReader
     ) -> Tuple[int, Dict[str, Any], str, str, bool]:
         """Read and answer one request → (status, body, method, path, keep)."""
-        line = await self._read_phase(reader.readline(), self.header_timeout)
-        if line == b"":  # clean EOF between keep-alive requests
-            raise ConnectionResetError("client closed the connection")
+        line, hlines = await self._read_phase(
+            self._read_head(reader), self.header_timeout
+        )
         parts = line.decode("ascii", "replace").split()
         if len(parts) < 2:
             return 400, {"ok": False, "error": "malformed request line"}, \
@@ -636,12 +686,7 @@ class RoutingServer:
         method, path = parts[0].upper(), parts[1]
         length = 0
         keep = True
-        while True:
-            hline = await self._read_phase(
-                reader.readline(), self.header_timeout
-            )
-            if hline in (b"\r\n", b"\n", b""):
-                break
+        for hline in hlines:
             name, _, value = hline.decode("latin-1").partition(":")
             name = name.strip().lower()
             if name == "content-length":
@@ -669,18 +714,9 @@ class RoutingServer:
                 "ok": False, "error": "server is draining",
             }, method, path, False
         if method == "GET" and path == "/healthz":
-            return 200, {
-                "ok": True,
-                "version": __version__,
-                "jobs": self.jobs,
-            }, method, path, keep
+            return 200, self._health_doc(), method, path, keep
         if method == "GET" and path == "/stats":
-            return 200, {
-                "ok": True,
-                **self.stats,
-                "inflight": self._inflight,
-                "queued": self._waiting,
-            }, method, path, keep
+            return 200, self._stats_doc(), method, path, keep
         if path != "/route":
             return 404, {
                 "ok": False, "error": f"no such endpoint {path!r}",

@@ -253,5 +253,27 @@ class TestCliErrorPaths:
         self._expect(
             ["serve", "--port", "70000"],
             capsys,
-            "--port must lie in [1, 65535], got 70000",
+            "--port must lie in [0, 65535] (0 picks an ephemeral port), "
+            "got 70000",
+        )
+
+    def test_serve_bad_shards(self, capsys):
+        self._expect(
+            ["serve", "--shards", "0"],
+            capsys,
+            "--shards must be >= 1, got 0",
+        )
+
+    def test_serve_bad_batch_window(self, capsys):
+        self._expect(
+            ["serve", "--batch-window", "-1"],
+            capsys,
+            "--batch-window must be >= 0 milliseconds, got -1.0",
+        )
+
+    def test_serve_bad_max_batch(self, capsys):
+        self._expect(
+            ["serve", "--max-batch", "0"],
+            capsys,
+            "--max-batch must be >= 1, got 0",
         )
