@@ -25,7 +25,9 @@ column, ``native_median_ms`` (the same rows timed under
 python-vs-native table after the main diff.
 
 Exit status is 0 unless the inputs are unusable — the tool reports, it
-does not gate.
+does not gate.  A file recording a suite this tool does not know (a
+typo, or a newer recorder) exits 2 instead of silently diffing it under
+generic labels.
 """
 
 from __future__ import annotations
@@ -35,18 +37,39 @@ import json
 import pathlib
 import sys
 
+#: every suite record_baseline.py can emit
+KNOWN_SUITES = (
+    "heuristic-speed",
+    "meta-speed",
+    "noc-speed",
+    "e-churn",
+    "e-soak",
+    "e-sat",
+    "e-vec",
+)
+
 #: per-suite labels for a file's embedded before/after pair
 SUITE_SIDES = {
     "noc-speed": ("reference", "array"),
     "e-churn": ("cold", "warm"),
+    "e-vec": ("looped", "stacked"),
 }
 
 
 def load(path: pathlib.Path) -> dict:
     try:
-        return json.loads(path.read_text())
+        doc = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         raise SystemExit(f"cannot read {path}: {exc}")
+    suite = doc.get("suite")
+    if suite not in KNOWN_SUITES:
+        print(
+            f"{path}: unknown suite {suite!r}; known suites: "
+            f"{', '.join(KNOWN_SUITES)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return doc
 
 
 def diff(before: dict, after: dict, b_label: str, a_label: str) -> int:

@@ -33,6 +33,13 @@ Parallel execution requires the workload factory (and the mesh/power
 objects) to be picklable; the factories in
 :mod:`repro.experiments.config` are plain dataclasses for exactly this
 reason.  Lambdas/closures still work on the serial path.
+
+Within either engine, a batch of trials runs **stacked** by default
+(``REPRO_STACKED``, see :mod:`repro.mesh.kernel`): deterministic
+``batch_eval`` heuristics route first and their final evaluations are
+graded together through one :class:`~repro.mesh.kernel.
+MultiProblemKernel` pass per chunk, bit-identical to the looped
+trial-at-a-time reference (``REPRO_STACKED=0``).
 """
 
 from __future__ import annotations
@@ -47,7 +54,9 @@ import numpy as np
 from repro.core.problem import RoutingProblem
 from repro.experiments.config import SweepConfig, WorkloadFactory
 from repro.heuristics.base import HeuristicResult, get_heuristic
+from repro.heuristics.batch_eval import DeferredEval, evaluate_deferred
 from repro.heuristics.best import best_of_results
+from repro.mesh.kernel import stacked_enabled
 from repro.mesh.topology import Mesh
 from repro.core.power import PowerModel
 from repro.utils.rng import spawn_rngs, spawn_rngs_range
@@ -128,6 +137,15 @@ class TrialRecord:
     best_power_inverse: float
 
 
+#: module-level warm-cache memo, keyed by platform object *identity*.  The
+#: values keep strong references so a remembered id() can never be recycled
+#: by a new object; the identity re-check makes a stale hit impossible even
+#: so.  Bounded FIFO — a long-lived process cycling through many platforms
+#: (the service, multi-config campaigns) cannot grow it without bound.
+_WARM_MEMO: Dict[Tuple[int, int], Tuple[Mesh, PowerModel]] = {}
+_WARM_MEMO_CAP = 64
+
+
 def warm_platform_caches(mesh: Mesh, power: PowerModel) -> None:
     """Force the lazily built per-``(mesh, power)`` tables into existence.
 
@@ -138,10 +156,22 @@ def warm_platform_caches(mesh: Mesh, power: PowerModel) -> None:
     platform) so every trial's ``runtime_s`` measures routing, not cache
     (re)construction.  Trial results are unaffected: the caches are pure
     functions of the platform.
+
+    Memoised at module level per ``(mesh, power)`` identity: the serial
+    engine calls this once per sweep *point* and a worker once per chunk,
+    but the platform objects are shared across a whole sweep, so repeat
+    warms (pure attribute touches) skip even the attribute traffic.
     """
+    key = (id(mesh), id(power))
+    hit = _WARM_MEMO.get(key)
+    if hit is not None and hit[0] is mesh and hit[1] is power:
+        return
     power._graded_tables  # noqa: B018  - cached_property build
     mesh.link_scale
     mesh.dead_mask
+    if len(_WARM_MEMO) >= _WARM_MEMO_CAP:
+        _WARM_MEMO.pop(next(iter(_WARM_MEMO)))
+    _WARM_MEMO[key] = (mesh, power)
 
 
 def run_trial(
@@ -167,6 +197,24 @@ def run_trial(
     trial pays for each once instead of once per consumer.
     """
     heuristics = [get_heuristic(n) for n in heuristic_names]
+    problem = _draw_trial_problem(mesh, power, workload, rng, heuristics)
+    results: List[HeuristicResult] = [h.solve(problem) for h in heuristics]
+    return _trial_record(results)
+
+
+def _draw_trial_problem(
+    mesh: Mesh,
+    power: PowerModel,
+    workload: WorkloadFactory,
+    rng: np.random.Generator,
+    heuristics: Sequence,
+) -> RoutingProblem:
+    """Draw one instance and reseed the roster — ``run_trial``'s prefix.
+
+    The RNG consumption order (workload draw, then reseeds in roster
+    order) is the trial's reproducibility contract; both the looped and
+    the stacked engines share it through this helper.
+    """
     comms = workload(mesh, rng)
     problem = RoutingProblem(mesh, power, comms)
     # build the problem-level kernel outside the timed solves — otherwise
@@ -177,9 +225,14 @@ def run_trial(
     problem.kernel()
     for h in heuristics:
         h.reseed(rng)
-    results: List[HeuristicResult] = [h.solve(problem) for h in heuristics]
+    return problem
+
+
+def _trial_record(results: Sequence[HeuristicResult]) -> TrialRecord:
+    """Fold one trial's evaluated results into its record — the tail of
+    ``run_trial``, shared verbatim by the stacked engine."""
     best = best_of_results(results)
-    everything = results + [
+    everything = list(results) + [
         HeuristicResult(BEST_KEY, best.routing, best.report, best.runtime_s)
     ]
     outcomes = {
@@ -198,6 +251,94 @@ def run_trial(
         best_valid=best.valid,
         best_power_inverse=best.power_inverse,
     )
+
+
+#: one trial's per-heuristic entries, in roster order: a fully evaluated
+#: HeuristicResult (heuristics that must solve inline) or a DeferredEval
+#: awaiting the stacked grading pass
+TrialEntries = List
+
+
+def _route_trial(
+    mesh: Mesh,
+    power: PowerModel,
+    workload: WorkloadFactory,
+    rng: np.random.Generator,
+    heuristic_names: Sequence[str],
+) -> TrialEntries:
+    """The routing phase of :func:`run_trial`, final evaluation deferred.
+
+    Identical RNG consumption and timed regions as ``run_trial``:
+    ``batch_eval`` heuristics (deterministic constructions) route through
+    :meth:`~repro.heuristics.base.Heuristic.route_timed` and park a
+    :class:`~repro.heuristics.batch_eval.DeferredEval`; everything else
+    (GA/SA/TABU and any unmarked heuristic) solves inline, in the same
+    roster position it always held.
+    """
+    heuristics = [get_heuristic(n) for n in heuristic_names]
+    problem = _draw_trial_problem(mesh, power, workload, rng, heuristics)
+    entries: TrialEntries = []
+    for h in heuristics:
+        if h.batch_eval:
+            routing, elapsed = h.route_timed(problem)
+            entries.append(DeferredEval(h.name, routing, elapsed))
+        else:
+            entries.append(h.solve(problem))
+    return entries
+
+
+def _finalize_trials(trial_entries: Sequence[TrialEntries]) -> List[TrialRecord]:
+    """Grade every deferred evaluation of a trial batch in one stacked pass.
+
+    All trials' :class:`DeferredEval` entries — across instances and
+    heuristics — feed a single
+    :func:`~repro.heuristics.batch_eval.evaluate_deferred` call (one
+    :class:`~repro.mesh.kernel.MultiProblemKernel` pass), then each
+    trial's results are reassembled in roster order and folded through the
+    same :func:`_trial_record` tail as the looped engine.  Records are
+    bit-identical to ``run_trial``'s on every field.
+    """
+    deferred = [
+        e
+        for entries in trial_entries
+        for e in entries
+        if isinstance(e, DeferredEval)
+    ]
+    evaluated = iter(evaluate_deferred(deferred))
+    records: List[TrialRecord] = []
+    for entries in trial_entries:
+        results = [
+            next(evaluated) if isinstance(e, DeferredEval) else e
+            for e in entries
+        ]
+        records.append(_trial_record(results))
+    return records
+
+
+def _run_trials(
+    mesh: Mesh,
+    power: PowerModel,
+    workload: WorkloadFactory,
+    rngs: Sequence[np.random.Generator],
+    heuristic_names: Sequence[str],
+) -> List[TrialRecord]:
+    """Run a batch of trials: stacked when enabled, looped reference otherwise.
+
+    The ``REPRO_STACKED=0`` escape hatch keeps the original
+    trial-at-a-time path selectable for A/B parity checks; both paths
+    return bit-identical records (modulo the untimed wall clock nothing
+    reads).
+    """
+    if not stacked_enabled():
+        return [
+            run_trial(mesh, power, workload, rng, heuristic_names)
+            for rng in rngs
+        ]
+    trial_entries = [
+        _route_trial(mesh, power, workload, rng, heuristic_names)
+        for rng in rngs
+    ]
+    return _finalize_trials(trial_entries)
 
 
 def aggregate_records(
@@ -280,7 +421,7 @@ def _run_trial_chunk(
     # lazy caches once here, not inside the first trial's timed region
     warm_platform_caches(mesh, power)
     rngs = spawn_rngs_range(seed, lo, hi)
-    return [run_trial(mesh, power, workload, rng, names) for rng in rngs]
+    return _run_trials(mesh, power, workload, rngs, names)
 
 
 def _chunk_bounds(trials: int, jobs: int) -> List[Tuple[int, int]]:
@@ -374,10 +515,7 @@ class ParallelSweepRunner:
         if self.jobs == 1:
             warm_platform_caches(mesh, power)
             rngs = spawn_rngs(seed, trials)
-            records = [
-                run_trial(mesh, power, workload, rng, member_names)
-                for rng in rngs
-            ]
+            records = _run_trials(mesh, power, workload, rngs, member_names)
             return aggregate_records(records, names, x)
         records: List[TrialRecord] = map_trial_chunks(
             _run_trial_chunk,

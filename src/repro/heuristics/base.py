@@ -61,8 +61,24 @@ class Heuristic(abc.ABC):
     #: short display name ("XY", "SG", ...); subclasses must override
     name: str = "?"
 
-    def solve(self, problem: RoutingProblem) -> HeuristicResult:
-        """Route ``problem`` and return the evaluated result."""
+    #: True when the heuristic's final evaluation may be deferred into a
+    #: stacked :class:`~repro.mesh.kernel.MultiProblemKernel` pass: the
+    #: routing construction consumes no shared randomness after
+    #: :meth:`reseed` and does not read its own final report, so grading
+    #: many instances' results together is observably identical to
+    #: :meth:`solve` (the timed region covers ``_route`` only in both
+    #: cases).  Stochastic searchers keep this False so their trial RNG
+    #: draw order is documented per instance.
+    batch_eval: bool = False
+
+    def route_timed(self, problem: RoutingProblem):
+        """Route ``problem``; return ``(routing, elapsed_s)`` unevaluated.
+
+        The timed region is exactly :meth:`solve`'s — ``_route`` only —
+        so deferring the evaluation (see :mod:`repro.heuristics.
+        batch_eval`) changes neither the measured runtime nor any RNG
+        stream.
+        """
         if problem.num_comms == 0:
             raise InvalidParameterError(
                 f"{self.name}: cannot route an empty communication set"
@@ -70,7 +86,11 @@ class Heuristic(abc.ABC):
         t0 = time.perf_counter()
         paths = self._route(problem)
         elapsed = time.perf_counter() - t0
-        routing = Routing.single_path(problem, paths)
+        return Routing.single_path(problem, paths), elapsed
+
+    def solve(self, problem: RoutingProblem) -> HeuristicResult:
+        """Route ``problem`` and return the evaluated result."""
+        routing, elapsed = self.route_timed(problem)
         return HeuristicResult(
             name=self.name,
             routing=routing,

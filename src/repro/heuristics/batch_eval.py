@@ -1,0 +1,72 @@
+"""Deferred heuristic evaluation through the stacked multi-problem kernel.
+
+Heuristics whose construction is RNG-free after :meth:`~repro.heuristics.
+base.Heuristic.reseed` (``batch_eval = True``: XY/YX, SG, TB, XYI, PR)
+split cleanly into a timed routing phase and an untimed evaluation phase —
+:meth:`~repro.heuristics.base.Heuristic.route_timed` produces the routing
+and its wall time, and the final :func:`~repro.core.evaluate.
+evaluate_routing` can be postponed and batched.  This module holds the
+other half of that split: collect :class:`DeferredEval` records across
+many heuristic runs (different instances, different heuristics), then
+grade them all through **one** :class:`~repro.mesh.kernel.
+MultiProblemKernel` pass.
+
+Each produced :class:`~repro.heuristics.base.HeuristicResult` is
+bit-identical to the one :meth:`Heuristic.solve` would have returned: the
+timed region is the same, no RNG is consumed by evaluation, and the
+stacked report replicates :func:`loads_report` float for float.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.core.evaluate import evaluate_routing
+from repro.core.routing import Routing
+from repro.heuristics.base import HeuristicResult
+from repro.mesh.kernel import MultiProblemKernel
+
+
+@dataclass(frozen=True)
+class DeferredEval:
+    """A routed-but-unevaluated heuristic run awaiting batch grading."""
+
+    name: str
+    routing: Routing
+    runtime_s: float
+
+
+def evaluate_deferred(
+    deferred: Sequence[DeferredEval],
+) -> List[HeuristicResult]:
+    """Grade every deferred run in one stacked pass, preserving order.
+
+    ``out[i]`` equals the :class:`HeuristicResult` that ``solve`` would
+    have produced for ``deferred[i]``.  A single entry falls through to
+    the plain per-instance evaluation (stacking one instance buys
+    nothing).
+    """
+    if not deferred:
+        return []
+    if len(deferred) == 1:
+        d = deferred[0]
+        return [
+            HeuristicResult(
+                name=d.name,
+                routing=d.routing,
+                report=evaluate_routing(d.routing),
+                runtime_s=d.runtime_s,
+            )
+        ]
+    mpk = MultiProblemKernel([d.routing.problem for d in deferred])
+    reports = mpk.evaluate_routings([d.routing for d in deferred])
+    return [
+        HeuristicResult(
+            name=d.name,
+            routing=d.routing,
+            report=rep,
+            runtime_s=d.runtime_s,
+        )
+        for d, rep in zip(deferred, reports)
+    ]

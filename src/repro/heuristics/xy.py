@@ -19,6 +19,8 @@ from repro.mesh.paths import Path
 class XYRouting(Heuristic):
     """Route every communication horizontally first, then vertically."""
 
+    batch_eval = True
+
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh
         return [Path.xy(mesh, c.src, c.snk) for c in problem.comms]
@@ -27,6 +29,8 @@ class XYRouting(Heuristic):
 @register_heuristic("YX")
 class YXRouting(Heuristic):
     """Route every communication vertically first, then horizontally."""
+
+    batch_eval = True
 
     def _route(self, problem: RoutingProblem) -> List[Path]:
         mesh = problem.mesh

@@ -10,6 +10,7 @@ constructors (loading runs the same checks as building by hand).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
@@ -22,9 +23,36 @@ from repro.utils.validation import InvalidParameterError
 
 PathLike = Union[str, pathlib.Path]
 
+#: default ceiling on memoized parses per :class:`ParseCache`
+_PARSE_CACHE_DEFAULT = 256
+
+
+def parse_cache_size() -> int:
+    """Entry limit for new :class:`ParseCache` instances.
+
+    ``REPRO_PARSE_CACHE`` overrides the default of
+    ``_PARSE_CACHE_DEFAULT`` entries (must be an integer >= 1) — sized
+    for the service front, where the cache now lives for the process
+    rather than one batch.
+    """
+    raw = os.environ.get("REPRO_PARSE_CACHE", "")
+    if not raw:
+        return _PARSE_CACHE_DEFAULT
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidParameterError(
+            f"REPRO_PARSE_CACHE must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise InvalidParameterError(
+            f"REPRO_PARSE_CACHE must be >= 1, got {value}"
+        )
+    return value
+
 
 class ParseCache:
-    """Equality-keyed memo for repeated document parses.
+    """Equality-keyed LRU memo for repeated document parses.
 
     Batched service requests routinely repeat sub-documents: every
     request of a batch tends to share one mesh, one power model and —
@@ -35,18 +63,37 @@ class ParseCache:
     arrays, graded power tables, routing kernels) once instead of once
     per request.
 
+    The memo is bounded: at most ``maxsize`` entries
+    (:func:`parse_cache_size` by default, i.e. the ``REPRO_PARSE_CACHE``
+    env override), least-recently-*used* evicted first, with the
+    eviction count kept on :attr:`evictions`.  A process-lifetime cache
+    under adversarial traffic (every request a distinct mesh) therefore
+    stays O(maxsize) instead of growing without bound.
+
     Sharing is sound because parsing is a pure function of the
     document and every consumer treats the parsed objects as
-    immutable (their internal lazy caches are deterministic).  Scope a
-    cache to one batch; never share it across worker processes.
+    immutable (their internal lazy caches are deterministic).  A cache
+    may live as long as its process; never share one across worker
+    processes.
     """
 
-    __slots__ = ("_memo", "hits", "misses")
+    __slots__ = ("_memo", "maxsize", "hits", "misses", "evictions")
 
-    def __init__(self) -> None:
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is None:
+            maxsize = parse_cache_size()
+        if maxsize < 1:
+            raise InvalidParameterError(
+                f"ParseCache maxsize must be >= 1, got {maxsize}"
+            )
         self._memo: Dict[Tuple[str, str], Any] = {}
+        self.maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._memo)
 
     def get(self, kind: str, doc: Any, build: Callable[[Any], Any]) -> Any:
         """Parse ``doc`` via ``build``, memoized under ``(kind, doc)``.
@@ -60,12 +107,18 @@ class ParseCache:
         except (TypeError, ValueError):
             return build(doc)
         try:
-            value = self._memo[key]
+            # pop + reinsert keeps the dict in recency order, so the
+            # oldest entry (the eviction victim) is always first
+            value = self._memo.pop(key)
         except KeyError:
             self.misses += 1
-            value = self._memo[key] = build(doc)
-            return value
-        self.hits += 1
+            value = build(doc)
+            while len(self._memo) >= self.maxsize:
+                self._memo.pop(next(iter(self._memo)))
+                self.evictions += 1
+        else:
+            self.hits += 1
+        self._memo[key] = value
         return value
 
 

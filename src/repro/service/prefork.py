@@ -42,6 +42,7 @@ import tempfile
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.service.batching import parse_cache_stats
 from repro.service.resilience import FaultPlan
 from repro.service.server import RoutingServer
 from repro.utils.validation import ReproError
@@ -137,8 +138,9 @@ class ShardServer(RoutingServer):
 
     def snapshot(self) -> Dict[str, int]:
         """This shard's counters, baseline included."""
+        counters = {**self.stats, **parse_cache_stats()}
         return {
-            k: v + self._baseline.get(k, 0) for k, v in self.stats.items()
+            k: v + self._baseline.get(k, 0) for k, v in counters.items()
         }
 
     def flush(self) -> None:

@@ -91,6 +91,7 @@ from repro.service.batching import (  # noqa: F401 — re-exports
     handle_batch_docs,
     handle_request_doc,
     outcome_to_doc,
+    parse_cache_stats,
     parse_request_doc,
     probe_request_doc,
 )
@@ -572,10 +573,17 @@ class RoutingServer:
         return {"ok": True, "version": __version__, "jobs": self.jobs}
 
     def _stats_doc(self) -> Dict[str, Any]:
-        """The ``/stats`` body (prefork shards aggregate across peers)."""
+        """The ``/stats`` body (prefork shards aggregate across peers).
+
+        The ``parse_cache_*`` counters cover this process's shared
+        :class:`~repro.io.jsonio.ParseCache`; with a worker pool
+        (``jobs > 1``) each worker keeps its own cache, so the counters
+        then reflect inline parsing only.
+        """
         return {
             "ok": True,
             **self.stats,
+            **parse_cache_stats(),
             "inflight": self._inflight,
             "queued": self._waiting,
         }

@@ -331,23 +331,21 @@ def repair_state(
 # ----------------------------------------------------------------------
 # entry point
 # ----------------------------------------------------------------------
-def route_incremental(
+def solve_request(
     problem: RoutingProblem,
     prev: Optional[Routing] = None,
     *,
     solver: str = DEFAULT_SOLVER,
     polish: str = DEFAULT_POLISH,
     seed: int = 0,
-) -> RouteOutcome:
-    """Route a request, warm-starting from ``prev`` when one is given.
+) -> Tuple[Routing, RepairStats]:
+    """The solving phase of :func:`route_incremental`, evaluation deferred.
 
-    Cold path: the named registered heuristic (reseeded with ``seed``)
-    solves from scratch, any path it left on a dead link is evacuated by
-    the fault-aware greedy re-insertion (some constructives — XYI's XY
-    start in particular — are not fault-aware on their own), and the
-    requested polish finishes the routing.  Warm path:
-    :func:`repair_state` — the same polish on the repaired seed, so the
-    two paths differ only in where the seed comes from.
+    Returns the finished routing and the repair statistics *without* the
+    final strict evaluation — callers holding several solved requests
+    (the batch front) grade them together through
+    :func:`finalize_outcomes` in one stacked pass instead of one
+    evaluation per request.
     """
     _check_polish(polish)
     _check_seed(seed)
@@ -389,10 +387,66 @@ def route_incremental(
             polish_flips=flips,
             relocations=relocations,
         )
-    routing = state.to_routing()
-    return RouteOutcome(
-        routing=routing,
-        power=routing.total_power(),
-        valid=routing.is_valid(),
-        stats=stats,
+    return state.to_routing(), stats
+
+
+def finalize_outcomes(
+    pairs: List[Tuple[Routing, RepairStats]]
+) -> List[RouteOutcome]:
+    """Strictly evaluate solved requests — stacked when there are several.
+
+    Two or more routings are graded through one
+    :class:`~repro.mesh.kernel.MultiProblemKernel` pass (one array sweep
+    for every request's power and validity); the result is bit-identical
+    to evaluating each routing on its own, which is what a single entry
+    falls back to.
+    """
+    if len(pairs) > 1:
+        from repro.mesh.kernel import MultiProblemKernel
+
+        mpk = MultiProblemKernel([r.problem for r, _ in pairs])
+        loads = mpk.loads_from_routings([r for r, _ in pairs])
+        powers = mpk.total_powers(loads)
+        valids = mpk.valids(loads)
+        return [
+            RouteOutcome(
+                routing=r,
+                power=float(powers[i]),
+                valid=bool(valids[i]),
+                stats=stats,
+            )
+            for i, (r, stats) in enumerate(pairs)
+        ]
+    return [
+        RouteOutcome(
+            routing=r,
+            power=r.total_power(),
+            valid=r.is_valid(),
+            stats=stats,
+        )
+        for r, stats in pairs
+    ]
+
+
+def route_incremental(
+    problem: RoutingProblem,
+    prev: Optional[Routing] = None,
+    *,
+    solver: str = DEFAULT_SOLVER,
+    polish: str = DEFAULT_POLISH,
+    seed: int = 0,
+) -> RouteOutcome:
+    """Route a request, warm-starting from ``prev`` when one is given.
+
+    Cold path: the named registered heuristic (reseeded with ``seed``)
+    solves from scratch, any path it left on a dead link is evacuated by
+    the fault-aware greedy re-insertion (some constructives — XYI's XY
+    start in particular — are not fault-aware on their own), and the
+    requested polish finishes the routing.  Warm path:
+    :func:`repair_state` — the same polish on the repaired seed, so the
+    two paths differ only in where the seed comes from.
+    """
+    routing, stats = solve_request(
+        problem, prev, solver=solver, polish=polish, seed=seed
     )
+    return finalize_outcomes([(routing, stats)])[0]
